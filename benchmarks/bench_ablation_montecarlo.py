@@ -1,0 +1,84 @@
+"""Experiment E7 (extension) — Monte-Carlo SV baselines vs GroupSV.
+
+The related-work section cites permutation-sampling estimators (Ghorbani & Zou,
+Jia et al.) as the standard way to cut the 2^n cost of exact SV.  This bench
+compares them with GroupSV on the same round of local models:
+
+* accuracy: cosine similarity to the native SV over local models;
+* cost: number of distinct coalition-utility evaluations.
+
+GroupSV's selling point in the paper is not raw accuracy but compatibility with
+secure aggregation; this bench quantifies what that compatibility costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import PERMUTATION_SEED, build_workload, format_table, train_local_models
+from repro.shapley.group import group_shapley_round
+from repro.shapley.metrics import cosine_similarity
+from repro.shapley.montecarlo import permutation_sampling_shapley, truncated_monte_carlo_shapley
+from repro.shapley.native import native_shapley
+from repro.shapley.utility import CachedUtility, CoalitionModelUtility
+
+
+def _compare_estimators():
+    workload = build_workload(sigma=0.1)
+    local_models, _ = train_local_models(workload, round_number=0)
+    owners = sorted(local_models)
+
+    exact_cache = CachedUtility(CoalitionModelUtility(local_models, workload.scorer))
+    start = time.perf_counter()
+    exact = native_shapley(owners, exact_cache)
+    exact_time = time.perf_counter() - start
+
+    results = {"native": {"values": exact, "evaluations": exact_cache.evaluations(), "seconds": exact_time}}
+
+    for n_permutations in (20, 100):
+        cache = CachedUtility(CoalitionModelUtility(local_models, workload.scorer))
+        start = time.perf_counter()
+        estimate = permutation_sampling_shapley(owners, cache, n_permutations=n_permutations, seed=1)
+        results[f"perm-{n_permutations}"] = {
+            "values": estimate, "evaluations": cache.evaluations(), "seconds": time.perf_counter() - start,
+        }
+
+    cache = CachedUtility(CoalitionModelUtility(local_models, workload.scorer))
+    start = time.perf_counter()
+    tmc = truncated_monte_carlo_shapley(owners, cache, n_permutations=100, tolerance=0.02, seed=1)
+    results["tmc-100"] = {"values": tmc, "evaluations": cache.evaluations(), "seconds": time.perf_counter() - start}
+
+    for m in (3, 6, len(owners)):
+        start = time.perf_counter()
+        group = group_shapley_round(local_models, m, PERMUTATION_SEED, 0, workload.scorer)
+        results[f"groupsv-m{m}"] = {
+            "values": group.user_values,
+            "evaluations": len(group.coalition_utilities),
+            "seconds": time.perf_counter() - start,
+        }
+    return results
+
+
+def bench_ablation_montecarlo_baselines(benchmark):
+    """Compare GroupSV with permutation-sampling SV estimators."""
+    results = benchmark.pedantic(_compare_estimators, rounds=1, iterations=1, warmup_rounds=0)
+
+    exact = results["native"]["values"]
+    rows = []
+    for name, payload in results.items():
+        similarity = cosine_similarity(payload["values"], exact)
+        rows.append([name, f"{similarity:.4f}", payload["evaluations"], f"{payload['seconds']:.3f}"])
+    print("\nE7 — SV estimators: similarity to native SV, utility evaluations, runtime")
+    print(format_table(["estimator", "cosine to native", "utility evals", "seconds"], rows))
+
+    benchmark.extra_info["summary"] = {
+        name: {"cosine": cosine_similarity(payload["values"], exact), "evaluations": payload["evaluations"]}
+        for name, payload in results.items()
+    }
+
+    # Monte-Carlo with enough permutations approximates native SV well.
+    assert cosine_similarity(results["perm-100"]["values"], exact) > 0.95
+    # GroupSV at full resolution *is* the native SV over these local models.
+    assert cosine_similarity(results[f"groupsv-m{len(exact)}"]["values"], exact) > 0.999
+    # GroupSV at moderate m uses far fewer utility evaluations than native SV.
+    assert results["groupsv-m3"]["evaluations"] < results["native"]["evaluations"] / 10

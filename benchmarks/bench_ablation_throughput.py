@@ -1,0 +1,84 @@
+"""Experiment E5 (extension) — blockchain overhead and throughput bottlenecks.
+
+Future work §VI item 1 of the paper asks where the bottlenecks lie when the
+protocol is deployed on a real chain.  Two measurements:
+
+1. *measured* — run the full in-process protocol for several cohort sizes and
+   report transactions, bytes on the wire, and abstract gas per round;
+2. *modelled* — feed the measured per-update payload size into analytic
+   Ethereum-like and Hyperledger-like throughput models and report the
+   achievable rounds/hour and the binding constraint.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import format_table
+from repro.analysis.throughput import ThroughputModel, measure_chain_overhead
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import BlockchainFLProtocol
+from repro.datasets.loader import make_owner_datasets
+
+COHORT_SIZES = (3, 5, 7)
+
+
+def _run_protocols():
+    reports = {}
+    update_bytes = {}
+    for n_owners in COHORT_SIZES:
+        dataset, owners = make_owner_datasets(n_owners=n_owners, sigma=0.1, n_samples=600, seed=11)
+        config = ProtocolConfig(
+            n_owners=n_owners, n_groups=min(3, n_owners), n_rounds=2, local_epochs=3, learning_rate=2.0
+        )
+        protocol = BlockchainFLProtocol(
+            owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
+        )
+        result = protocol.run()
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        reports[n_owners] = measure_chain_overhead(chain, result.network_stats, config.n_rounds)
+        # Masked update payload: model dimension * 8 bytes (uint64 ring elements),
+        # plus base64 expansion on the wire (~4/3).
+        update_bytes[n_owners] = int(protocol.model_dimension * 8 * 4 / 3)
+    return reports, update_bytes
+
+
+def bench_ablation_blockchain_throughput(benchmark):
+    """Measure protocol overhead and model deployment throughput."""
+    reports, update_bytes = benchmark.pedantic(_run_protocols, rounds=1, iterations=1, warmup_rounds=0)
+
+    rows = []
+    for n_owners, report in reports.items():
+        rows.append([
+            n_owners, report.n_blocks, report.n_transactions,
+            f"{report.transactions_per_round:.1f}", f"{report.bytes_per_round / 1024:.1f}",
+            f"{report.gas_per_round:.0f}",
+        ])
+    print("\nE5a — measured on-chain overhead per cohort size")
+    print(format_table(["owners", "blocks", "txs", "txs/round", "KiB/round", "gas/round"], rows))
+
+    eth = ThroughputModel.ethereum_like()
+    fabric = ThroughputModel.hyperledger_like()
+    model_rows = []
+    for n_owners in COHORT_SIZES:
+        payload = update_bytes[n_owners]
+        model_rows.append([
+            n_owners, payload,
+            f"{eth.rounds_per_hour(n_owners, payload):.1f}", eth.bottleneck(n_owners, payload),
+            f"{fabric.rounds_per_hour(n_owners, payload):.1f}", fabric.bottleneck(n_owners, payload),
+        ])
+    print("\nE5b — modelled deployment throughput (rounds/hour and binding constraint)")
+    print(format_table(
+        ["owners", "update bytes", "eth rounds/h", "eth bottleneck", "fabric rounds/h", "fabric bottleneck"],
+        model_rows,
+    ))
+
+    benchmark.extra_info["txs_per_round"] = {str(k): r.transactions_per_round for k, r in reports.items()}
+
+    # Overhead grows with the cohort: more owners ⇒ more update transactions and bytes per round.
+    tx_rates = [reports[n].transactions_per_round for n in COHORT_SIZES]
+    byte_rates = [reports[n].bytes_per_round for n in COHORT_SIZES]
+    assert tx_rates == sorted(tx_rates)
+    assert byte_rates == sorted(byte_rates)
+    # A permissioned chain sustains at least as many rounds/hour as a public one.
+    assert fabric.rounds_per_hour(9, update_bytes[COHORT_SIZES[-1]]) >= eth.rounds_per_hour(
+        9, update_bytes[COHORT_SIZES[-1]]
+    )

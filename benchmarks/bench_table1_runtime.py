@@ -1,0 +1,59 @@
+"""Experiment E3 — Table I: runtime of GroupSV vs native SV.
+
+The paper reports the wall-clock time of the contribution-evaluation phase:
+GroupSV for m = 2..9 (2 s up to 77 s) versus native SV with 9 users (316 s) —
+an order-of-magnitude gap, because GroupSV aggregates coalition models from the
+n local updates while native SV retrains 2^n coalition models from raw data.
+
+This bench measures the same two quantities on our (reduced-scale) workload and
+asserts the shape: GroupSV runtime grows with m, and native SV is at least an
+order of magnitude slower than GroupSV at small m.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import GROUP_COUNTS, build_workload, format_table, ground_truth_shapley, group_shapley_over_rounds
+
+
+def _measure_runtimes():
+    """Wall-clock seconds of GroupSV per m and of the native (retraining) SV."""
+    workload = build_workload(sigma=0.1)
+
+    group_times = {}
+    for m in GROUP_COUNTS:
+        start = time.perf_counter()
+        group_shapley_over_rounds(workload, m, n_rounds=1)
+        group_times[m] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ground_truth_shapley(workload)
+    native_time = time.perf_counter() - start
+    return group_times, native_time
+
+
+def bench_table1_groupsv_vs_native_runtime(benchmark):
+    """Regenerate Table I and check the order-of-magnitude gap."""
+    group_times, native_time = benchmark.pedantic(_measure_runtimes, rounds=1, iterations=1, warmup_rounds=0)
+
+    headers = ["method"] + [f"m={m}" for m in GROUP_COUNTS] + ["native (n=9)"]
+    row = ["time / s"] + [f"{group_times[m]:.2f}" for m in GROUP_COUNTS] + [f"{native_time:.2f}"]
+    print("\nTable I — contribution-evaluation runtime, GroupSV vs native SV")
+    print(format_table(headers, [row]))
+
+    speedup_small_m = native_time / group_times[GROUP_COUNTS[0]]
+    speedup_large_m = native_time / group_times[GROUP_COUNTS[-1]]
+    print(f"\nspeedup over native SV: {speedup_small_m:.1f}x at m={GROUP_COUNTS[0]}, "
+          f"{speedup_large_m:.1f}x at m={GROUP_COUNTS[-1]}")
+
+    benchmark.extra_info["group_times"] = {str(m): float(t) for m, t in group_times.items()}
+    benchmark.extra_info["native_time"] = float(native_time)
+
+    # Shape 1: GroupSV cost grows with the number of groups (2^m coalition models).
+    assert group_times[GROUP_COUNTS[-1]] > group_times[GROUP_COUNTS[0]]
+    # Shape 2: native SV is at least an order of magnitude more expensive than
+    # GroupSV at small m, mirroring the 316 s vs 2 s gap in the paper.
+    assert speedup_small_m > 10.0
+    # Shape 3: even at full resolution (m = n) GroupSV stays cheaper than native SV.
+    assert native_time > group_times[GROUP_COUNTS[-1]]

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments where the ``wheel`` package (needed by the PEP 517 editable
+build path) is unavailable: pip falls back to the legacy ``setup.py develop``
+route in that case.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""Privacy/resolution analysis of the group count m (Section IV.B discussion).
+
+The paper observes: "given the number of groups m, the average model parameters
+for each group of size n/m is revealed, in some sense similar to
+(n/m)-anonymity.  Hence, the larger the m, the less private.  When m decreases
+... the resolution decreases."
+
+This module quantifies both sides of that trade-off:
+
+* the *anonymity set size* of every owner (its group size): larger is more
+  private because the revealed group-average model blends more owners;
+* the *SV resolution*: how finely the group-based SV can distinguish owners
+  (the number of distinct contribution levels it can assign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.shapley.group import make_groups
+
+
+def anonymity_set_sizes(groups: Sequence[Sequence[str]]) -> dict[str, int]:
+    """Each owner's anonymity set size = the size of the group it was averaged into."""
+    sizes: dict[str, int] = {}
+    for group in groups:
+        for owner in group:
+            sizes[owner] = len(group)
+    return sizes
+
+
+def sv_resolution(n_owners: int, n_groups: int) -> float:
+    """Fraction of owners the group-based SV can distinguish (m / n).
+
+    ``m = n`` gives per-owner resolution 1.0 (every owner scored individually);
+    ``m = 1`` gives resolution 1/n (all owners share one score).
+    """
+    if n_owners < 1 or not 1 <= n_groups <= n_owners:
+        raise ValidationError("need 1 <= n_groups <= n_owners")
+    return n_groups / n_owners
+
+
+@dataclass(frozen=True)
+class PrivacyAssessment:
+    """Summary of the privacy/resolution position of a (n, m) configuration.
+
+    Attributes:
+        n_owners / n_groups: the configuration assessed.
+        min_anonymity: smallest group size (worst-case privacy).
+        mean_anonymity: average group size.
+        resolution: m / n, the contribution-resolution proxy.
+        revealed_fraction: 1 / min_anonymity — how much of a single owner's
+            model is exposed in the worst case (1.0 when a group has size 1,
+            i.e. that owner's exact model is published).
+    """
+
+    n_owners: int
+    n_groups: int
+    min_anonymity: int
+    mean_anonymity: float
+    resolution: float
+    revealed_fraction: float
+
+
+def assess_privacy(
+    n_owners: int,
+    n_groups: int,
+    permutation_seed: int = 13,
+    round_number: int = 0,
+) -> PrivacyAssessment:
+    """Assess the privacy/resolution trade-off of a configuration.
+
+    Uses the actual grouping the protocol would produce for the given seed and
+    round, so uneven group sizes (when m does not divide n) are reflected.
+    """
+    owner_ids = [f"owner-{i}" for i in range(n_owners)]
+    groups = make_groups(owner_ids, n_groups, permutation_seed, round_number)
+    sizes = list(anonymity_set_sizes(groups).values())
+    min_anonymity = int(min(sizes))
+    return PrivacyAssessment(
+        n_owners=n_owners,
+        n_groups=n_groups,
+        min_anonymity=min_anonymity,
+        mean_anonymity=float(np.mean(sizes)),
+        resolution=sv_resolution(n_owners, n_groups),
+        revealed_fraction=1.0 / min_anonymity,
+    )

@@ -1,0 +1,80 @@
+"""Joint privacy / approximation-accuracy / runtime sweeps over the group count m.
+
+Future work §VI item 3 asks for a thorough examination of "the trade-offs
+between privacy, transparency, and security".  :func:`sweep_group_counts`
+produces the quantitative slice of that study our substrates can measure: for
+every m it reports the privacy position (anonymity set size), the GroupSV
+approximation quality against ground truth (cosine similarity), and the number
+of coalition evaluations (the on-chain cost driver).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.privacy import assess_privacy
+from repro.exceptions import ValidationError
+from repro.fl.model import ModelParameters
+from repro.shapley.group import group_shapley_round
+from repro.shapley.metrics import cosine_similarity, spearman_correlation
+from repro.shapley.utility import AccuracyUtility
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One (n, m) operating point of the privacy/accuracy/cost trade-off."""
+
+    n_owners: int
+    n_groups: int
+    min_anonymity: int
+    resolution: float
+    cosine_to_ground_truth: float
+    rank_correlation: float
+    coalition_evaluations: int
+    runtime_seconds: float
+
+
+def sweep_group_counts(
+    local_models: Mapping[str, ModelParameters],
+    ground_truth: Mapping[str, float],
+    scorer: AccuracyUtility,
+    group_counts: list[int] | None = None,
+    permutation_seed: int = 13,
+    round_number: int = 0,
+) -> list[TradeoffPoint]:
+    """Evaluate the trade-off at every requested group count.
+
+    Args:
+        local_models: each owner's local model for the round being analysed.
+        ground_truth: reference per-owner Shapley values (e.g. native SV).
+        scorer: the shared utility scorer.
+        group_counts: the m values to sweep (default 2..n).
+        permutation_seed / round_number: grouping inputs, as in Algorithm 1.
+    """
+    owners = sorted(local_models)
+    n_owners = len(owners)
+    if set(ground_truth) != set(owners):
+        raise ValidationError("ground truth must cover exactly the owners with local models")
+    if group_counts is None:
+        group_counts = list(range(2, n_owners + 1))
+    points = []
+    for m in group_counts:
+        start = time.perf_counter()
+        result = group_shapley_round(local_models, m, permutation_seed, round_number, scorer)
+        elapsed = time.perf_counter() - start
+        privacy = assess_privacy(n_owners, m, permutation_seed, round_number)
+        points.append(
+            TradeoffPoint(
+                n_owners=n_owners,
+                n_groups=m,
+                min_anonymity=privacy.min_anonymity,
+                resolution=privacy.resolution,
+                cosine_to_ground_truth=cosine_similarity(result.user_values, dict(ground_truth)),
+                rank_correlation=spearman_correlation(result.user_values, dict(ground_truth)),
+                coalition_evaluations=len(result.coalition_utilities),
+                runtime_seconds=elapsed,
+            )
+        )
+    return points

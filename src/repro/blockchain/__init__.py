@@ -1,0 +1,44 @@
+"""A deterministic, in-process blockchain with smart-contract support.
+
+The paper's protocol is blockchain agnostic: it only needs (1) a leader that
+proposes transactions, (2) miners that re-execute and verify the proposal, and
+(3) transparent, replayable on-chain state.  This package provides exactly that
+as an in-memory simulation:
+
+* :mod:`repro.blockchain.transaction` / :mod:`repro.blockchain.block` — signed
+  transactions, Merkle-rooted blocks.
+* :mod:`repro.blockchain.state` — the key-value world state with snapshotting.
+* :mod:`repro.blockchain.chain` — the ledger, validation, and replay.
+* :mod:`repro.blockchain.contracts` — the deterministic contract runtime and the
+  FL / secure-aggregation / contribution-evaluation contracts.
+* :mod:`repro.blockchain.consensus` — round-robin (proof-of-authority) leader
+  selection and majority re-execution verification.
+* :mod:`repro.blockchain.network` / :mod:`repro.blockchain.node` — a simulated
+  P2P network of miner nodes.
+"""
+
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import ConsensusEngine, RoundRobinLeaderSelector, VerificationResult
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.merkle import MerkleTree
+from repro.blockchain.network import Network
+from repro.blockchain.node import MinerNode
+from repro.blockchain.state import WorldState
+from repro.blockchain.transaction import Transaction, TransactionReceipt
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "ConsensusEngine",
+    "RoundRobinLeaderSelector",
+    "VerificationResult",
+    "Mempool",
+    "MerkleTree",
+    "Network",
+    "MinerNode",
+    "WorldState",
+    "Transaction",
+    "TransactionReceipt",
+]

@@ -1,0 +1,250 @@
+"""The ledger: ordered blocks plus the world state they produce.
+
+A :class:`Blockchain` owns a :class:`~repro.blockchain.state.WorldState` and a
+:class:`~repro.blockchain.contracts.base.ContractRuntime`.  It can
+
+* execute transactions (producing receipts, rolling back failed calls),
+* propose a block from a transaction list (leader role),
+* verify and append a block proposed by someone else by re-executing it
+  against its own state (miner role), and
+* replay the whole chain from genesis to reconstruct the state — the
+  transparency property audits rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.blockchain.block import GENESIS_PARENT_HASH, Block
+from repro.blockchain.contracts.base import ContractRuntime
+from repro.blockchain.state import WorldState
+from repro.blockchain.transaction import Transaction, TransactionReceipt
+from repro.exceptions import ChainValidationError, InvalidBlockError, InvalidTransactionError
+
+
+class Blockchain:
+    """An in-memory blockchain replica.
+
+    Args:
+        runtime_factory: zero-argument callable returning a fresh
+            :class:`ContractRuntime` with all protocol contracts registered.
+            Every replica must use the same factory so re-execution agrees.
+        chain_id: label distinguishing independent simulations.
+    """
+
+    def __init__(self, runtime_factory: Callable[[], ContractRuntime], chain_id: str = "repro-chain") -> None:
+        self.chain_id = chain_id
+        self._runtime_factory = runtime_factory
+        self.runtime = runtime_factory()
+        self.state = WorldState()
+        self.blocks: list[Block] = []
+        self._nonces: dict[str, int] = {}
+        self._append_genesis()
+
+    # ------------------------------------------------------------------
+    # Genesis and basic accessors
+    # ------------------------------------------------------------------
+
+    def _append_genesis(self) -> None:
+        genesis = Block.build(
+            height=0,
+            parent_hash=GENESIS_PARENT_HASH,
+            proposer="genesis",
+            transactions=[],
+            receipts=[],
+            state_root=self.state.state_root(),
+            timestamp=0,
+        )
+        self.blocks.append(genesis)
+
+    @property
+    def height(self) -> int:
+        """Height of the latest block."""
+        return self.blocks[-1].height
+
+    @property
+    def head(self) -> Block:
+        """The latest block."""
+        return self.blocks[-1]
+
+    def next_nonce(self, sender: str) -> int:
+        """The nonce the given sender should use for its next transaction."""
+        return self._nonces.get(sender, 0)
+
+    # ------------------------------------------------------------------
+    # Transaction execution
+    # ------------------------------------------------------------------
+
+    def execute_transaction(self, tx: Transaction, block_height: int) -> TransactionReceipt:
+        """Execute one transaction against the current state.
+
+        Failed calls roll the state back to the pre-transaction snapshot and
+        produce a failed receipt rather than raising, mirroring how real chains
+        include reverted transactions in blocks.
+        """
+        tx.validate()
+        expected_nonce = self._nonces.get(tx.sender, 0)
+        if tx.nonce != expected_nonce:
+            raise InvalidTransactionError(
+                f"nonce mismatch for {tx.sender}: expected {expected_nonce}, got {tx.nonce}"
+            )
+        snapshot = self.state.snapshot()
+        try:
+            result, events, gas = self.runtime.execute(
+                state=self.state,
+                sender=tx.sender,
+                contract_name=tx.contract,
+                method_name=tx.method,
+                args=tx.args,
+                block_height=block_height,
+            )
+            receipt = TransactionReceipt(
+                tx_hash=tx.tx_hash,
+                success=True,
+                result=result,
+                events=tuple(events),
+                gas_used=gas,
+            )
+        except Exception as exc:  # noqa: BLE001 - contract faults become failed receipts
+            self.state.restore(snapshot)
+            receipt = TransactionReceipt(
+                tx_hash=tx.tx_hash,
+                success=False,
+                error=str(exc),
+                gas_used=0,
+            )
+        self._nonces[tx.sender] = expected_nonce + 1
+        return receipt
+
+    # ------------------------------------------------------------------
+    # Block production and verification
+    # ------------------------------------------------------------------
+
+    def propose_block(self, proposer: str, transactions: Iterable[Transaction], timestamp: int | None = None) -> Block:
+        """Leader role: execute ``transactions`` and assemble the next block.
+
+        The chain's own state advances as a side effect, exactly as it would on
+        the leader node.
+        """
+        txs = list(transactions)
+        height = self.height + 1
+        receipts = [self.execute_transaction(tx, height) for tx in txs]
+        block = Block.build(
+            height=height,
+            parent_hash=self.head.block_hash,
+            proposer=proposer,
+            transactions=txs,
+            receipts=receipts,
+            state_root=self.state.state_root(),
+            timestamp=self.head.header.timestamp + 1 if timestamp is None else timestamp,
+        )
+        self.blocks.append(block)
+        return block
+
+    def verify_and_append(self, block: Block) -> None:
+        """Miner role: re-execute a proposed block and append it if results match.
+
+        Raises :class:`InvalidBlockError` if the block does not extend the head,
+        its roots do not match its contents, or re-execution produces different
+        receipts or a different state root than the proposer claimed.
+        """
+        if block.height != self.height + 1:
+            raise InvalidBlockError(
+                f"block height {block.height} does not extend local head {self.height}"
+            )
+        if block.header.parent_hash != self.head.block_hash:
+            raise InvalidBlockError("block parent hash does not match local head")
+        block.verify_roots()
+
+        # Re-execute on copies so a rejected proposal leaves local state untouched.
+        saved_state = self.state.snapshot()
+        saved_nonces = dict(self._nonces)
+        try:
+            receipts = [self.execute_transaction(tx, block.height) for tx in block.transactions]
+            local_receipt_dicts = [r.to_dict() for r in receipts]
+            proposed_receipt_dicts = [r.to_dict() for r in block.receipts]
+            if local_receipt_dicts != proposed_receipt_dicts:
+                raise InvalidBlockError(f"block {block.height}: re-executed receipts differ from proposal")
+            if self.state.state_root() != block.header.state_root:
+                raise InvalidBlockError(f"block {block.height}: state root mismatch after re-execution")
+        except InvalidBlockError:
+            self.state.restore(saved_state)
+            self._nonces = saved_nonces
+            raise
+        except Exception as exc:  # noqa: BLE001
+            self.state.restore(saved_state)
+            self._nonces = saved_nonces
+            raise InvalidBlockError(f"block {block.height}: re-execution failed: {exc}") from exc
+        self.blocks.append(block)
+
+    # ------------------------------------------------------------------
+    # Validation and replay (transparency)
+    # ------------------------------------------------------------------
+
+    def validate_chain(self) -> None:
+        """Check structural integrity of the whole chain (links and Merkle roots)."""
+        if not self.blocks or self.blocks[0].height != 0:
+            raise ChainValidationError("chain has no genesis block")
+        if self.blocks[0].header.parent_hash != GENESIS_PARENT_HASH:
+            raise ChainValidationError("genesis parent hash is wrong")
+        for previous, current in zip(self.blocks, self.blocks[1:]):
+            if current.height != previous.height + 1:
+                raise ChainValidationError(f"non-contiguous heights at block {current.height}")
+            if current.header.parent_hash != previous.block_hash:
+                raise ChainValidationError(f"broken parent link at block {current.height}")
+            current.verify_roots()
+
+    def replay(self) -> "Blockchain":
+        """Rebuild a fresh replica by re-executing every block from genesis.
+
+        This is the transparency guarantee in executable form: anyone holding
+        the block data can independently reconstruct the final state (and hence
+        every published model and contribution score).
+        """
+        self.validate_chain()
+        replica = Blockchain(self._runtime_factory, chain_id=f"{self.chain_id}-replay")
+        for block in self.blocks[1:]:
+            replica.verify_and_append(block)
+        return replica
+
+    def clone(self) -> "Blockchain":
+        """A structural copy of this replica (blocks, state, nonces) without re-execution.
+
+        Used by miner nodes to stage proposals and verification runs cheaply;
+        :meth:`replay` remains the from-scratch transparency check.
+        """
+        replica = Blockchain(self._runtime_factory, chain_id=f"{self.chain_id}-clone")
+        replica.blocks = list(self.blocks)
+        replica.state = self.state.copy()
+        replica._nonces = dict(self._nonces)
+        return replica
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def find_receipt(self, tx_hash: str) -> TransactionReceipt | None:
+        """Locate the receipt for a transaction hash anywhere in the chain."""
+        for block in self.blocks:
+            for receipt in block.receipts:
+                if receipt.tx_hash == tx_hash:
+                    return receipt
+        return None
+
+    def events(self, name: str | None = None) -> list[dict[str, Any]]:
+        """All events emitted on the chain, optionally filtered by event name."""
+        found = []
+        for block in self.blocks:
+            for receipt in block.receipts:
+                for event in receipt.events:
+                    if name is None or event.get("name") == name:
+                        found.append({"block": block.height, "tx": receipt.tx_hash, **event})
+        return found
+
+    def total_transactions(self) -> int:
+        """Number of transactions across all blocks."""
+        return sum(len(block.transactions) for block in self.blocks)
+
+    def total_gas(self) -> int:
+        """Total abstract gas consumed by the chain."""
+        return sum(block.total_gas() for block in self.blocks)

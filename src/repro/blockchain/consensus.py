@@ -1,0 +1,117 @@
+"""Consensus: leader selection and majority re-execution verification.
+
+The paper's protocol (Section III) needs two things from the blockchain layer:
+
+1. a *leader selection protocol* that periodically selects a leader to propose
+   a set of transactions, and
+2. a *verification protocol* in which all other miners re-execute the proposed
+   transactions and accept the block only if their results match; otherwise
+   they wait for another leader.
+
+We implement leader selection as deterministic round-robin over the authority
+set (proof-of-authority), with a pluggable interface so a randomized selector
+can be swapped in, and verification as majority voting over re-execution
+outcomes.  The chain makes progress as long as a majority of miners are honest,
+matching the paper's trust model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blockchain.block import Block
+from repro.exceptions import ConsensusError, ValidationError
+from repro.utils.rng import spawn_rng
+
+
+class LeaderSelector:
+    """Interface for leader-selection policies."""
+
+    def select(self, round_index: int, authorities: list[str]) -> str:
+        """Return the leader for the given consensus round."""
+        raise NotImplementedError
+
+
+class RoundRobinLeaderSelector(LeaderSelector):
+    """Deterministic rotation through the sorted authority set."""
+
+    def select(self, round_index: int, authorities: list[str]) -> str:
+        if not authorities:
+            raise ConsensusError("cannot select a leader from an empty authority set")
+        ordered = sorted(authorities)
+        return ordered[round_index % len(ordered)]
+
+
+class SeededRandomLeaderSelector(LeaderSelector):
+    """Pseudo-random leader selection seeded by (seed, round), still deterministic."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def select(self, round_index: int, authorities: list[str]) -> str:
+        if not authorities:
+            raise ConsensusError("cannot select a leader from an empty authority set")
+        ordered = sorted(authorities)
+        rng = spawn_rng("leader-selection", self.seed, round_index)
+        return ordered[int(rng.integers(0, len(ordered)))]
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of putting a proposed block to the miner vote.
+
+    Attributes:
+        block_hash: hash of the proposed block.
+        accepted: whether a strict majority of miners accepted it.
+        votes: per-miner boolean votes.
+        rejections: per-miner error messages for rejecting miners.
+    """
+
+    block_hash: str
+    accepted: bool
+    votes: dict[str, bool] = field(default_factory=dict)
+    rejections: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def accept_count(self) -> int:
+        """Number of accepting miners."""
+        return sum(1 for vote in self.votes.values() if vote)
+
+    @property
+    def reject_count(self) -> int:
+        """Number of rejecting miners."""
+        return sum(1 for vote in self.votes.values() if not vote)
+
+
+class ConsensusEngine:
+    """Coordinates one consensus round among a set of miner nodes.
+
+    The engine itself holds no secret authority: it simply sequences the steps
+    a real P2P protocol would perform (select leader, leader proposes, everyone
+    verifies, majority decides) in a deterministic, observable way.
+    """
+
+    def __init__(self, selector: LeaderSelector | None = None) -> None:
+        self.selector = selector or RoundRobinLeaderSelector()
+        self.round_index = 0
+
+    def select_leader(self, authorities: list[str]) -> str:
+        """Pick the leader for the current round and advance the round counter."""
+        if not authorities:
+            raise ValidationError("authority set must be non-empty")
+        leader = self.selector.select(self.round_index, authorities)
+        self.round_index += 1
+        return leader
+
+    @staticmethod
+    def tally(block: Block, votes: dict[str, bool], rejections: dict[str, str] | None = None) -> VerificationResult:
+        """Apply the strict-majority rule to a set of verification votes."""
+        if not votes:
+            raise ConsensusError("no votes were cast")
+        accepted = sum(1 for vote in votes.values() if vote) * 2 > len(votes)
+        return VerificationResult(
+            block_hash=block.block_hash,
+            accepted=accepted,
+            votes=dict(votes),
+            rejections=dict(rejections or {}),
+        )

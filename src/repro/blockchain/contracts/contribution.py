@@ -1,0 +1,167 @@
+"""Contribution-evaluation contract: Algorithm 1 (GroupSV) executed on chain.
+
+After a training round is finalized, any participant (typically the round's
+leader) submits an ``evaluate_round`` transaction.  The contract
+
+1. reads the round's published group models and grouping from the training
+   contract,
+2. builds coalition models over the groups by plain averaging (line 4),
+3. scores every coalition with the agreed utility function — accuracy on the
+   public validation set the contract was deployed with (line 6),
+4. computes each group's Shapley value and splits it equally among the group's
+   members (lines 5-7), and
+5. accumulates per-user totals ``v_i = Σ_r v_i^r``.
+
+Because the contract is deterministic, a fraudulent leader cannot inflate its
+own contribution: honest miners re-execute the evaluation and reject any block
+whose receipts differ (see the adversarial integration tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
+from repro.blockchain.contracts.fl_training import read_round_record
+from repro.blockchain.contracts.registry import read_protocol_params
+from repro.exceptions import ContractStateError, ValidationError
+from repro.fl.logistic_regression import LogisticRegressionModel
+from repro.fl.metrics import accuracy
+from repro.shapley.native import exact_shapley_from_utilities
+from repro.shapley.native import all_coalitions
+
+CONTRACT_NAME = "contribution"
+
+
+class ContributionContract(Contract):
+    """On-chain GroupSV evaluation against a public validation set.
+
+    The validation set and model family are part of the contract's deployment
+    (agreed at the off-chain setup stage), so every miner scores coalitions
+    identically.
+    """
+
+    name = CONTRACT_NAME
+
+    def __init__(
+        self,
+        validation_features: np.ndarray,
+        validation_labels: np.ndarray,
+        n_classes: int,
+    ) -> None:
+        super().__init__()
+        self.validation_features = np.asarray(validation_features, dtype=np.float64)
+        self.validation_labels = np.asarray(validation_labels).ravel().astype(int)
+        if self.validation_features.ndim != 2:
+            raise ValidationError("validation features must be 2-D")
+        if self.validation_features.shape[0] != self.validation_labels.size:
+            raise ValidationError("validation features and labels disagree on sample count")
+        if self.validation_features.shape[0] == 0:
+            raise ValidationError("the contribution contract needs a non-empty validation set")
+        self.n_classes = int(n_classes)
+
+    # ------------------------------------------------------------------
+    # Utility scoring
+    # ------------------------------------------------------------------
+
+    def _score_vector(self, vector: np.ndarray) -> float:
+        """u(.) — accuracy of a flat-parameter model on the public validation set."""
+        model = LogisticRegressionModel(self.validation_features.shape[1], self.n_classes)
+        model.set_vector(np.asarray(vector, dtype=np.float64))
+        predictions = model.predict(self.validation_features)
+        return accuracy(self.validation_labels, predictions)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    @contract_method
+    def evaluate_round(self, ctx: ContractContext, round_number: int) -> dict[str, Any]:
+        """Run Algorithm 1 lines 4-7 for a finalized training round."""
+        round_number = int(round_number)
+        if ctx.contains(f"evaluated/{round_number}"):
+            raise ContractStateError(f"round {round_number} has already been evaluated")
+        read_protocol_params(ctx)  # fails early if setup never completed
+        record = read_round_record(ctx, round_number)
+        groups: list[list[str]] = [list(group) for group in record["groups"]]
+        group_models = [np.asarray(model, dtype=np.float64) for model in record["group_models"]]
+        if len(groups) != len(group_models):
+            raise ContractStateError("round record is inconsistent: groups vs group models")
+
+        m = len(groups)
+        labels = [f"group-{j}" for j in range(m)]
+        model_by_label = dict(zip(labels, group_models))
+
+        # Line 4: coalition models are plain averages of the member group models.
+        utilities: dict[tuple[str, ...], float] = {(): 0.0}
+        for coalition in all_coalitions(labels):
+            if not coalition:
+                continue
+            coalition_model = np.mean(
+                np.stack([model_by_label[label] for label in coalition], axis=0), axis=0
+            )
+            utilities[coalition] = self._score_vector(coalition_model)
+
+        # Lines 5-6: group-level Shapley values from the utility table.
+        group_value_map = exact_shapley_from_utilities(labels, utilities)
+        group_values = [group_value_map[label] for label in labels]
+
+        # Line 7: split each group's value equally among its members.
+        user_values: dict[str, float] = {}
+        for group, value in zip(groups, group_values):
+            share = value / len(group)
+            for owner in group:
+                user_values[owner] = share
+
+        totals = ctx.get("totals", {})
+        for owner, value in user_values.items():
+            totals[owner] = float(totals.get(owner, 0.0) + value)
+
+        ctx.set(
+            f"evaluation/{round_number}",
+            {
+                "round": round_number,
+                "groups": groups,
+                "group_values": [float(v) for v in group_values],
+                "user_values": {k: float(v) for k, v in user_values.items()},
+                "coalition_utilities": {
+                    "/".join(coalition): float(value)
+                    for coalition, value in utilities.items()
+                    if coalition
+                },
+                "global_utility": float(utilities[tuple(labels)]),
+            },
+        )
+        ctx.set("totals", totals)
+        ctx.set(f"evaluated/{round_number}", True)
+        ctx.emit(
+            "RoundEvaluated",
+            round=round_number,
+            by=ctx.sender,
+            global_utility=float(utilities[tuple(labels)]),
+        )
+        return {"status": "evaluated", "round": round_number, "user_values": user_values}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @contract_method
+    def get_round_evaluation(self, ctx: ContractContext, round_number: int) -> dict[str, Any] | None:
+        """The stored evaluation record for a round (None if not evaluated)."""
+        return ctx.get(f"evaluation/{int(round_number)}")
+
+    @contract_method
+    def get_total_contributions(self, ctx: ContractContext) -> dict[str, float]:
+        """Accumulated contributions v_i = Σ_r v_i^r for every owner."""
+        return ctx.get("totals", {})
+
+
+def read_total_contributions(ctx: ContractContext) -> dict[str, float]:
+    """Helper for the reward contract: read accumulated contributions."""
+    totals = ctx.read_external(CONTRACT_NAME, "totals", default=None)
+    if totals is None:
+        raise ContractStateError("no contributions have been recorded yet")
+    return dict(totals)

@@ -1,0 +1,191 @@
+"""FL training contract: masked-update collection and secure group aggregation.
+
+Per round ``r`` the contract
+
+1. accepts one masked update per registered owner (`submit_masked_update`),
+   checking that the owner's claimed group matches the canonical grouping
+   derived from the registry's permutation seed and group count;
+2. once all owners have submitted, `finalize_round` sums the masked payloads of
+   each group — the pairwise masks cancel — decodes the fixed-point sum into
+   the group-average model ``W_j``, averages the group models into the global
+   model ``W_G``, and publishes both.
+
+Everything the contract does is a deterministic function of on-chain data, so
+any miner re-executing the round reproduces the same group and global models.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
+from repro.blockchain.contracts.registry import read_participants, read_protocol_params
+from repro.crypto.fixed_point import FixedPointCodec
+from repro.exceptions import ContractStateError
+from repro.shapley.group import group_members, make_groups
+
+CONTRACT_NAME = "fl_training"
+
+
+def _codec_from_params(params: dict[str, Any]) -> FixedPointCodec:
+    """Build the fixed-point codec pinned at setup time."""
+    return FixedPointCodec(
+        precision_bits=int(params["precision_bits"]),
+        field_bits=int(params["field_bits"]),
+        max_summands=int(params.get("max_summands", 256)),
+    )
+
+
+class FLTrainingContract(Contract):
+    """Collects masked updates and performs the on-chain secure aggregation."""
+
+    name = CONTRACT_NAME
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    @contract_method
+    def submit_masked_update(
+        self,
+        ctx: ContractContext,
+        round_number: int,
+        group_id: int,
+        payload: np.ndarray,
+        n_samples: int = 0,
+    ) -> dict[str, Any]:
+        """Record the sender's masked local model for a round.
+
+        The payload is the fixed-point encoded, pairwise-masked flat weight
+        vector.  The claimed ``group_id`` must match the canonical grouping for
+        this round (derived from the pinned permutation seed), and double
+        submissions are rejected.
+        """
+        params = read_protocol_params(ctx)
+        participants = read_participants(ctx)
+        if ctx.sender not in participants:
+            raise ContractStateError(f"{ctx.sender} is not a registered participant")
+        round_number = int(round_number)
+        if round_number < 0 or round_number >= int(params["n_rounds"]):
+            raise ContractStateError(f"round {round_number} is outside the configured schedule")
+        if ctx.contains(f"finalized/{round_number}"):
+            raise ContractStateError(f"round {round_number} is already finalized")
+
+        owners = sorted(participants)
+        groups = make_groups(owners, int(params["n_groups"]), int(params["permutation_seed"]), round_number)
+        expected_group = group_members(groups)[ctx.sender]
+        if int(group_id) != expected_group:
+            raise ContractStateError(
+                f"{ctx.sender} claims group {group_id} but the round-{round_number} "
+                f"permutation assigns it to group {expected_group}"
+            )
+
+        update_key = f"update/{round_number}/{ctx.sender}"
+        if ctx.contains(update_key):
+            raise ContractStateError(f"{ctx.sender} already submitted an update for round {round_number}")
+        payload = np.asarray(payload, dtype=np.uint64)
+        expected_dim = params.get("model_dimension")
+        if expected_dim is not None and payload.size != int(expected_dim):
+            raise ContractStateError(
+                f"payload has dimension {payload.size}, expected {expected_dim}"
+            )
+        ctx.set(
+            update_key,
+            {
+                "owner": ctx.sender,
+                "round": round_number,
+                "group": expected_group,
+                "payload": payload,
+                "n_samples": int(n_samples),
+            },
+        )
+        submitted = ctx.get(f"submitted/{round_number}", [])
+        ctx.set(f"submitted/{round_number}", sorted(submitted + [ctx.sender]))
+        ctx.emit("MaskedUpdateSubmitted", owner=ctx.sender, round=round_number, group=expected_group)
+        return {"status": "accepted", "group": expected_group}
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    @contract_method
+    def finalize_round(self, ctx: ContractContext, round_number: int) -> dict[str, Any]:
+        """Aggregate a round once every registered owner has submitted.
+
+        Publishes, per group, the decoded group-average model ``W_j`` and the
+        global model ``W_G`` (the unweighted mean of the group models, matching
+        Algorithm 1), plus the grouping used — everything the contribution
+        contract needs.
+        """
+        params = read_protocol_params(ctx)
+        participants = read_participants(ctx)
+        round_number = int(round_number)
+        if ctx.contains(f"finalized/{round_number}"):
+            raise ContractStateError(f"round {round_number} is already finalized")
+        owners = sorted(participants)
+        submitted = ctx.get(f"submitted/{round_number}", [])
+        missing = sorted(set(owners) - set(submitted))
+        if missing:
+            raise ContractStateError(f"round {round_number} is missing updates from: {missing}")
+
+        codec = _codec_from_params(params)
+        groups = make_groups(owners, int(params["n_groups"]), int(params["permutation_seed"]), round_number)
+
+        group_models: list[np.ndarray] = []
+        group_sizes: list[int] = []
+        for group in groups:
+            total: np.ndarray | None = None
+            for owner in group:
+                update = ctx.get(f"update/{round_number}/{owner}")
+                payload = np.asarray(update["payload"], dtype=np.uint64)
+                total = payload if total is None else codec.add(total, payload)
+            # The pairwise masks within the group cancel in this sum; decoding
+            # yields the plain sum of the members' weights.
+            group_sum = codec.decode_sum(total, n_summands=len(group))
+            group_models.append(group_sum / float(len(group)))
+            group_sizes.append(len(group))
+
+        global_model = np.mean(np.stack(group_models, axis=0), axis=0)
+        ctx.set(
+            f"round/{round_number}",
+            {
+                "groups": [list(group) for group in groups],
+                "group_sizes": group_sizes,
+                "group_models": [model for model in group_models],
+                "global_model": global_model,
+            },
+        )
+        ctx.set(f"finalized/{round_number}", True)
+        ctx.set("latest_round", round_number)
+        ctx.emit("RoundFinalized", round=round_number, n_groups=len(groups), by=ctx.sender)
+        return {"status": "finalized", "round": round_number, "n_groups": len(groups)}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @contract_method
+    def get_round(self, ctx: ContractContext, round_number: int) -> dict[str, Any] | None:
+        """The published aggregation record for a round (None before finalization)."""
+        return ctx.get(f"round/{int(round_number)}")
+
+    @contract_method
+    def get_global_model(self, ctx: ContractContext, round_number: int) -> np.ndarray | None:
+        """The global model W_G published for a round (None before finalization)."""
+        record = ctx.get(f"round/{int(round_number)}")
+        return None if record is None else record["global_model"]
+
+    @contract_method
+    def get_submissions(self, ctx: ContractContext, round_number: int) -> list[str]:
+        """Owners that have submitted an update for the round so far."""
+        return ctx.get(f"submitted/{int(round_number)}", [])
+
+
+def read_round_record(ctx: ContractContext, round_number: int) -> dict[str, Any]:
+    """Helper for the contribution contract: read a finalized round or fail."""
+    record = ctx.read_external(CONTRACT_NAME, f"round/{int(round_number)}")
+    if record is None:
+        raise ContractStateError(f"round {round_number} has not been finalized on the training contract")
+    return record

@@ -1,0 +1,123 @@
+"""Participant registry and protocol-parameter contract.
+
+The off-chain setup stage of the paper has the owners agree on FL parameters,
+secure-aggregation parameters, and contribution-evaluation parameters (the
+permutation seed ``e``, the number of groups ``m``, the utility function) and
+submit them to the blockchain.  This contract pins those parameters on chain
+and records every participant's Diffie–Hellman public key, after which the
+training and contribution contracts treat the registry as read-only ground
+truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
+from repro.exceptions import ContractStateError
+from repro.utils.serialization import canonical_dumps
+
+CONTRACT_NAME = "registry"
+
+_REQUIRED_PARAM_KEYS = (
+    "n_owners",
+    "n_groups",
+    "n_rounds",
+    "permutation_seed",
+    "precision_bits",
+    "field_bits",
+)
+
+
+class ParticipantRegistryContract(Contract):
+    """On-chain registry of participants and agreed protocol parameters."""
+
+    name = CONTRACT_NAME
+
+    @contract_method
+    def set_protocol_params(self, ctx: ContractContext, params: dict[str, Any]) -> dict[str, Any]:
+        """Pin the agreed protocol parameters.
+
+        The first successful call wins; later calls must carry byte-identical
+        parameters (idempotent confirmation) or they fail — disagreement on
+        setup parameters is a protocol error, not something to silently merge.
+        """
+        missing = [key for key in _REQUIRED_PARAM_KEYS if key not in params]
+        if missing:
+            raise ContractStateError(f"protocol params missing required keys: {missing}")
+        existing = ctx.get("protocol_params")
+        if existing is not None:
+            if canonical_dumps(existing) != canonical_dumps(params):
+                raise ContractStateError("protocol parameters are already pinned and differ")
+            return {"status": "already-set"}
+        ctx.set("protocol_params", params)
+        ctx.emit("ProtocolParamsSet", by=ctx.sender, n_owners=params["n_owners"], n_groups=params["n_groups"])
+        return {"status": "set"}
+
+    @contract_method
+    def register_participant(self, ctx: ContractContext, public_key: int, role: str = "owner") -> dict[str, Any]:
+        """Register the sender with its Diffie–Hellman public key.
+
+        Re-registration with the same key is idempotent; changing the key after
+        registration is rejected (it would break already-derived pairwise masks).
+        """
+        if public_key <= 1:
+            raise ContractStateError("public key must be a group element greater than 1")
+        record_key = f"participant/{ctx.sender}"
+        existing = ctx.get(record_key)
+        if existing is not None:
+            if int(existing["public_key"]) != int(public_key):
+                raise ContractStateError(f"participant {ctx.sender} already registered with a different key")
+            return {"status": "already-registered"}
+        index = ctx.get("participant_index", [])
+        params = ctx.get("protocol_params")
+        if params is not None and len(index) >= int(params["n_owners"]):
+            raise ContractStateError("registry is full: all owner slots are taken")
+        ctx.set(record_key, {"public_key": int(public_key), "role": role, "registered_at": ctx.block_height})
+        ctx.set("participant_index", sorted(index + [ctx.sender]))
+        ctx.emit("ParticipantRegistered", owner=ctx.sender, role=role)
+        return {"status": "registered"}
+
+    @contract_method
+    def get_protocol_params(self, ctx: ContractContext) -> dict[str, Any] | None:
+        """Read the pinned protocol parameters (None until set)."""
+        return ctx.get("protocol_params")
+
+    @contract_method
+    def get_participants(self, ctx: ContractContext) -> dict[str, dict[str, Any]]:
+        """All registered participants and their public keys, keyed by owner id."""
+        participants = {}
+        for owner_id in ctx.get("participant_index", []):
+            participants[owner_id] = ctx.get(f"participant/{owner_id}")
+        return participants
+
+    @contract_method
+    def is_setup_complete(self, ctx: ContractContext) -> bool:
+        """True once parameters are pinned and every owner slot has registered."""
+        params = ctx.get("protocol_params")
+        if params is None:
+            return False
+        return len(ctx.get("participant_index", [])) >= int(params["n_owners"])
+
+
+def read_protocol_params(ctx: ContractContext) -> dict[str, Any]:
+    """Helper for other contracts: read the registry's pinned parameters or fail."""
+    params = ctx.read_external(CONTRACT_NAME, "protocol_params")
+    if params is None:
+        raise ContractStateError("protocol parameters have not been pinned on the registry")
+    return params
+
+
+def read_participants(ctx: ContractContext) -> dict[str, dict[str, Any]]:
+    """Helper for other contracts: read all registered participants.
+
+    Other contracts cannot enumerate a foreign namespace through the context,
+    so the registry maintains an index of owner ids under a single key.
+    """
+    participants = {}
+    index = ctx.read_external(CONTRACT_NAME, "participant_index", default=[])
+    for owner_id in index:
+        record = ctx.read_external(CONTRACT_NAME, f"participant/{owner_id}")
+        if record is not None:
+            participants[owner_id] = record
+    return participants

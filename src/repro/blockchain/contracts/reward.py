@@ -1,0 +1,69 @@
+"""Reward contract: converts accumulated contributions into token payouts.
+
+The paper motivates contribution evaluation with incentive allocation ("a fair
+reward based on their contributions").  This contract closes that loop: given a
+reward pool, it pays each owner proportionally to its positive accumulated
+Shapley value (owners with non-positive contributions receive nothing), and it
+keeps auditable per-owner balances.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
+from repro.blockchain.contracts.contribution import read_total_contributions
+from repro.exceptions import ContractStateError
+
+CONTRACT_NAME = "reward"
+
+
+class RewardContract(Contract):
+    """Proportional reward distribution over accumulated contributions."""
+
+    name = CONTRACT_NAME
+
+    @contract_method
+    def distribute(self, ctx: ContractContext, reward_pool: float, label: str = "final") -> dict[str, Any]:
+        """Distribute ``reward_pool`` tokens proportionally to positive contributions.
+
+        A distribution label can only be used once, so re-running the protocol's
+        final step cannot double-pay.  If every contribution is non-positive the
+        pool is split equally (the degenerate σ = 0 case where all owners are
+        interchangeable).
+        """
+        if reward_pool < 0:
+            raise ContractStateError("reward_pool must be non-negative")
+        if ctx.contains(f"distribution/{label}"):
+            raise ContractStateError(f"distribution {label!r} has already been executed")
+        totals = read_total_contributions(ctx)
+        if not totals:
+            raise ContractStateError("there are no contributions to reward")
+
+        positive = {owner: max(value, 0.0) for owner, value in totals.items()}
+        weight_sum = sum(positive.values())
+        if weight_sum <= 0.0:
+            payouts = {owner: reward_pool / len(totals) for owner in totals}
+        else:
+            payouts = {owner: reward_pool * weight / weight_sum for owner, weight in positive.items()}
+
+        balances = ctx.get("balances", {})
+        for owner, payout in payouts.items():
+            balances[owner] = float(balances.get(owner, 0.0) + payout)
+        ctx.set("balances", balances)
+        ctx.set(
+            f"distribution/{label}",
+            {"reward_pool": float(reward_pool), "payouts": {k: float(v) for k, v in payouts.items()}},
+        )
+        ctx.emit("RewardsDistributed", label=label, reward_pool=float(reward_pool), by=ctx.sender)
+        return {"status": "distributed", "payouts": payouts}
+
+    @contract_method
+    def get_balances(self, ctx: ContractContext) -> dict[str, float]:
+        """Current token balance per owner."""
+        return ctx.get("balances", {})
+
+    @contract_method
+    def get_distribution(self, ctx: ContractContext, label: str = "final") -> dict[str, Any] | None:
+        """A specific distribution record (None if that label was never executed)."""
+        return ctx.get(f"distribution/{label}")

@@ -1,0 +1,42 @@
+"""Event log helpers: structured views over contract-emitted events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class ChainEvent:
+    """A contract event with its provenance on the chain."""
+
+    block_height: int
+    tx_hash: str
+    name: str
+    data: dict[str, Any]
+
+
+def collect_events(raw_events: Iterable[dict[str, Any]]) -> list[ChainEvent]:
+    """Convert the dict events returned by ``Blockchain.events`` into ChainEvents."""
+    collected = []
+    for raw in raw_events:
+        collected.append(
+            ChainEvent(
+                block_height=int(raw.get("block", -1)),
+                tx_hash=str(raw.get("tx", "")),
+                name=str(raw.get("name", "")),
+                data=dict(raw.get("data", {})),
+            )
+        )
+    return collected
+
+
+def filter_events(events: Iterable[ChainEvent], name: str) -> list[ChainEvent]:
+    """Events with the given name, preserving chain order."""
+    return [event for event in events if event.name == name]
+
+
+def latest_event(events: Iterable[ChainEvent], name: str) -> ChainEvent | None:
+    """The most recent event with the given name, or None."""
+    matching = filter_events(events, name)
+    return matching[-1] if matching else None

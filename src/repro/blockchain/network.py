@@ -1,0 +1,103 @@
+"""A simulated peer-to-peer network.
+
+Messages (transactions, block proposals, votes) are delivered in-process and in
+deterministic order.  The network records simple statistics — message counts
+and payload bytes — which the throughput analysis (Experiment E5) uses to model
+blockchain overhead as a function of cohort size and model dimension.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import BlockchainError
+from repro.utils.serialization import canonical_dumps
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics for a simulated network."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_by_topic: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_topic: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, topic: str, payload_bytes: int, recipients: int) -> None:
+        """Account for one logical broadcast reaching ``recipients`` peers."""
+        self.messages_sent += recipients
+        self.bytes_sent += payload_bytes * recipients
+        self.messages_by_topic[topic] += recipients
+        self.bytes_by_topic[topic] += payload_bytes * recipients
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view for reports."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "messages_by_topic": dict(self.messages_by_topic),
+            "bytes_by_topic": dict(self.bytes_by_topic),
+        }
+
+
+class Network:
+    """An in-process broadcast network connecting miner nodes.
+
+    Nodes register a handler per topic; ``broadcast`` synchronously invokes the
+    handler of every *other* registered node in sorted node-id order, which
+    keeps simulations deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, dict[str, Callable[[str, Any], Any]]] = defaultdict(dict)
+        self._node_ids: set[str] = set()
+        self.stats = NetworkStats()
+
+    def join(self, node_id: str) -> None:
+        """Register a node on the network."""
+        if node_id in self._node_ids:
+            raise BlockchainError(f"node {node_id!r} already joined the network")
+        self._node_ids.add(node_id)
+
+    def subscribe(self, node_id: str, topic: str, handler: Callable[[str, Any], Any]) -> None:
+        """Register ``handler(sender_id, payload)`` for a topic on behalf of a node."""
+        if node_id not in self._node_ids:
+            raise BlockchainError(f"node {node_id!r} must join before subscribing")
+        self._handlers[topic][node_id] = handler
+
+    def peers(self) -> list[str]:
+        """All node ids on the network, sorted."""
+        return sorted(self._node_ids)
+
+    def _payload_size(self, payload: Any) -> int:
+        try:
+            return len(canonical_dumps(payload))
+        except Exception:  # noqa: BLE001 - size accounting must never break delivery
+            return len(repr(payload))
+
+    def broadcast(self, sender_id: str, topic: str, payload: Any) -> dict[str, Any]:
+        """Deliver ``payload`` to every other subscriber of ``topic``.
+
+        Returns the per-recipient handler results (used for vote collection).
+        """
+        if sender_id not in self._node_ids:
+            raise BlockchainError(f"unknown sender {sender_id!r}")
+        handlers = self._handlers.get(topic, {})
+        recipients = [node_id for node_id in sorted(handlers) if node_id != sender_id]
+        self.stats.record(topic, self._payload_size(payload), len(recipients))
+        results = {}
+        for node_id in recipients:
+            results[node_id] = handlers[node_id](sender_id, payload)
+        return results
+
+    def send(self, sender_id: str, recipient_id: str, topic: str, payload: Any) -> Any:
+        """Point-to-point delivery to a single node."""
+        if sender_id not in self._node_ids:
+            raise BlockchainError(f"unknown sender {sender_id!r}")
+        handlers = self._handlers.get(topic, {})
+        if recipient_id not in handlers:
+            raise BlockchainError(f"node {recipient_id!r} is not subscribed to {topic!r}")
+        self.stats.record(topic, self._payload_size(payload), 1)
+        return handlers[recipient_id](sender_id, payload)

@@ -1,0 +1,139 @@
+"""Miner nodes: blockchain replicas attached to the simulated network.
+
+Every data owner in the paper's framework runs a miner.  A
+:class:`MinerNode` keeps its own chain replica and mempool, gossips
+transactions, proposes blocks when selected as leader, verifies other leaders'
+proposals by re-execution, and commits blocks that reach a majority.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import ConsensusEngine, VerificationResult
+from repro.blockchain.contracts.base import ContractRuntime
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.network import Network
+from repro.blockchain.transaction import Transaction
+from repro.exceptions import ConsensusError, InvalidBlockError
+
+TOPIC_TRANSACTIONS = "tx"
+TOPIC_PROPOSAL = "proposal"
+TOPIC_COMMIT = "commit"
+
+
+class MinerNode:
+    """A single miner: chain replica + mempool + network endpoints."""
+
+    def __init__(
+        self,
+        node_id: str,
+        network: Network,
+        runtime_factory: Callable[[], ContractRuntime],
+        byzantine: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.chain = Blockchain(runtime_factory, chain_id=f"chain-{node_id}")
+        self.mempool = Mempool()
+        self.byzantine = byzantine
+        network.join(node_id)
+        network.subscribe(node_id, TOPIC_TRANSACTIONS, self._on_transaction)
+        network.subscribe(node_id, TOPIC_PROPOSAL, self._on_proposal)
+        network.subscribe(node_id, TOPIC_COMMIT, self._on_commit)
+
+    # ------------------------------------------------------------------
+    # Network handlers
+    # ------------------------------------------------------------------
+
+    def _on_transaction(self, sender_id: str, tx: Transaction) -> bool:
+        """Gossip handler: admit a transaction into the local mempool."""
+        try:
+            return self.mempool.add(tx)
+        except Exception:  # noqa: BLE001 - a bad tx is simply not admitted
+            return False
+
+    def _on_proposal(self, sender_id: str, block: Block) -> dict[str, Any]:
+        """Verification protocol: re-execute the proposal and vote.
+
+        A Byzantine miner votes to reject everything, modelling the paper's
+        assumption that dishonest miners cannot stall the chain unless they are
+        a majority.
+        """
+        if self.byzantine:
+            return {"vote": False, "error": "byzantine rejection"}
+        try:
+            # Verify against a throwaway copy of the local chain so the vote
+            # does not mutate local state before commit.
+            probe = self.chain.clone()
+            probe.verify_and_append(block)
+            return {"vote": True, "error": ""}
+        except Exception as exc:  # noqa: BLE001 - any failure is a rejection vote
+            return {"vote": False, "error": str(exc)}
+
+    def _on_commit(self, sender_id: str, block: Block) -> bool:
+        """Commit handler: append a block that reached majority acceptance."""
+        try:
+            self.commit_block(block)
+            return True
+        except InvalidBlockError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Active behaviour
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Add a transaction locally and gossip it to every peer."""
+        self.mempool.add(tx)
+        self.network.broadcast(self.node_id, TOPIC_TRANSACTIONS, tx)
+
+    def propose_block(self, limit: int | None = None) -> Block:
+        """Leader role: build the next block from the local mempool.
+
+        The block is constructed on a copy of the chain so that the leader's
+        local replica is only advanced at commit time, keeping all replicas in
+        lock-step.
+        """
+        txs = self.mempool.peek() if limit is None else self.mempool.peek()[:limit]
+        staging = self.chain.clone()
+        block = staging.propose_block(self.node_id, txs)
+        return block
+
+    def collect_votes(self, block: Block) -> tuple[dict[str, bool], dict[str, str]]:
+        """Broadcast a proposal and gather per-miner votes."""
+        responses = self.network.broadcast(self.node_id, TOPIC_PROPOSAL, block)
+        votes = {self.node_id: True}
+        rejections: dict[str, str] = {}
+        for node_id, response in responses.items():
+            votes[node_id] = bool(response.get("vote", False))
+            if not votes[node_id]:
+                rejections[node_id] = str(response.get("error", ""))
+        return votes, rejections
+
+    def commit_block(self, block: Block) -> None:
+        """Append an accepted block to the local replica and drop included txs."""
+        self.chain.verify_and_append(block)
+        self.mempool.remove([tx.tx_hash for tx in block.transactions])
+
+    def run_consensus_round(self, engine: ConsensusEngine, authorities: list[str] | None = None) -> VerificationResult:
+        """Drive one full consensus round with this node acting as the selected leader.
+
+        The caller is responsible for having chosen this node via the engine's
+        leader selector; the method proposes, collects votes, and — on majority
+        acceptance — commits locally and broadcasts the commit.
+        """
+        block = self.propose_block()
+        votes, rejections = self.collect_votes(block)
+        result = ConsensusEngine.tally(block, votes, rejections)
+        if result.accepted:
+            self.commit_block(block)
+            self.network.broadcast(self.node_id, TOPIC_COMMIT, block)
+        else:
+            raise ConsensusError(
+                f"block {block.height} proposed by {self.node_id} was rejected by "
+                f"{result.reject_count}/{len(votes)} miners"
+            )
+        return result

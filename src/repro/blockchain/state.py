@@ -1,0 +1,80 @@
+"""World state: the key-value store contracts read and write.
+
+State keys are namespaced per contract (``"<contract>/<key>"``).  The state
+supports deterministic hashing (for block state roots), deep snapshots (so a
+failed transaction rolls back cleanly), and structured access helpers for the
+contract runtime.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator
+
+from repro.exceptions import ValidationError
+from repro.utils.hashing import hash_payload
+
+
+class WorldState:
+    """A namespaced key-value store with snapshot/rollback and hashing."""
+
+    def __init__(self, initial: dict[str, Any] | None = None) -> None:
+        self._data: dict[str, Any] = copy.deepcopy(initial) if initial else {}
+
+    @staticmethod
+    def _full_key(namespace: str, key: str) -> str:
+        if not namespace or not key:
+            raise ValidationError("state namespace and key must be non-empty")
+        if "/" in namespace:
+            raise ValidationError("state namespace must not contain '/'")
+        return f"{namespace}/{key}"
+
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        """Read a value; returns a deep copy so callers cannot mutate state in place."""
+        value = self._data.get(self._full_key(namespace, key), default)
+        return copy.deepcopy(value)
+
+    def set(self, namespace: str, key: str, value: Any) -> None:
+        """Write a value (deep-copied on the way in)."""
+        self._data[self._full_key(namespace, key)] = copy.deepcopy(value)
+
+    def delete(self, namespace: str, key: str) -> None:
+        """Remove a key if present."""
+        self._data.pop(self._full_key(namespace, key), None)
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """Whether the key exists."""
+        return self._full_key(namespace, key) in self._data
+
+    def keys(self, namespace: str) -> list[str]:
+        """All keys within a namespace (without the namespace prefix), sorted."""
+        prefix = f"{namespace}/"
+        return sorted(k[len(prefix):] for k in self._data if k.startswith(prefix))
+
+    def items(self, namespace: str) -> Iterator[tuple[str, Any]]:
+        """Iterate ``(key, value)`` pairs of a namespace in sorted key order."""
+        for key in self.keys(namespace):
+            yield key, self.get(namespace, key)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A deep copy of the raw state, suitable for rollback."""
+        return copy.deepcopy(self._data)
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Replace the state with a previously taken snapshot."""
+        self._data = copy.deepcopy(snapshot)
+
+    def copy(self) -> "WorldState":
+        """An independent copy of the whole state."""
+        return WorldState(self._data)
+
+    def state_root(self) -> str:
+        """Deterministic hash of the entire state (the block's state root)."""
+        return hash_payload({key: self._data[key] for key in sorted(self._data)})
+
+    def raw(self) -> dict[str, Any]:
+        """A deep copy of the underlying dict (for audits and debugging)."""
+        return copy.deepcopy(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)

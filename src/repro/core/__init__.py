@@ -1,0 +1,29 @@
+"""Protocol core: the end-to-end blockchain federated-learning system.
+
+* :mod:`repro.core.config` — the protocol configuration agreed at setup.
+* :mod:`repro.core.participant` — a data owner acting as both FL trainer and
+  blockchain miner.
+* :mod:`repro.core.protocol` — :class:`BlockchainFLProtocol`, the orchestration
+  of setup → masked training rounds → on-chain GroupSV evaluation → reward.
+* :mod:`repro.core.audit` — transparency audits that re-derive every published
+  result from raw chain data.
+* :mod:`repro.core.adversary` — adversarial participant behaviours (future-work
+  §VI item 2) used by the robustness experiments.
+"""
+
+from repro.core.adversary import AdversaryBehavior, apply_adversary
+from repro.core.audit import AuditReport, audit_chain
+from repro.core.config import ProtocolConfig
+from repro.core.participant import Participant
+from repro.core.protocol import BlockchainFLProtocol, ProtocolResult
+
+__all__ = [
+    "AdversaryBehavior",
+    "apply_adversary",
+    "AuditReport",
+    "audit_chain",
+    "ProtocolConfig",
+    "Participant",
+    "BlockchainFLProtocol",
+    "ProtocolResult",
+]

@@ -1,0 +1,65 @@
+"""Adversarial participant behaviours (future work §VI, item 2).
+
+The paper leaves "the effects of adversarial participants on the Shapley value
+calculation" to future work.  These behaviours model the standard update-level
+attacks studied in the robust-FL literature and are applied to a participant's
+*local model* before masking, so the rest of the pipeline (secure aggregation,
+GroupSV) is exercised unchanged:
+
+* ``scale`` — multiply the update by a large factor (model-boosting attack);
+* ``noise`` — replace the update with random noise (free-rider submitting junk);
+* ``zero`` — submit a zero update (free-rider submitting nothing);
+* ``sign_flip`` — negate the update (a simple poisoning attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.fl.model import ModelParameters
+from repro.utils.rng import spawn_rng
+
+_BEHAVIORS = ("honest", "scale", "noise", "zero", "sign_flip")
+
+
+@dataclass(frozen=True)
+class AdversaryBehavior:
+    """An adversarial update transformation.
+
+    Attributes:
+        kind: one of ``honest``, ``scale``, ``noise``, ``zero``, ``sign_flip``.
+        magnitude: behaviour-specific strength (scale factor or noise std).
+        seed: seed for the noise behaviour.
+    """
+
+    kind: str = "honest"
+    magnitude: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BEHAVIORS:
+            raise ValidationError(f"unknown adversary kind {self.kind!r}; choose from {_BEHAVIORS}")
+        if self.magnitude < 0:
+            raise ValidationError("magnitude must be non-negative")
+
+
+def apply_adversary(parameters: ModelParameters, behavior: AdversaryBehavior) -> ModelParameters:
+    """Transform a local model according to the adversarial behaviour."""
+    if behavior.kind == "honest":
+        return parameters
+    vector = parameters.to_vector()
+    if behavior.kind == "scale":
+        tampered = vector * behavior.magnitude
+    elif behavior.kind == "zero":
+        tampered = np.zeros_like(vector)
+    elif behavior.kind == "sign_flip":
+        tampered = -vector
+    elif behavior.kind == "noise":
+        rng = spawn_rng("adversary-noise", behavior.seed, vector.size)
+        tampered = rng.normal(0.0, max(behavior.magnitude, 1e-12), size=vector.shape)
+    else:  # pragma: no cover - guarded by __post_init__
+        raise ValidationError(f"unknown adversary kind {behavior.kind!r}")
+    return parameters.from_vector(tampered)

@@ -1,0 +1,150 @@
+"""Transparency audits: re-derive published results from raw chain data.
+
+The framework's central claim is that contribution evaluation is *transparent
+and verifiable*: any participant (or outside auditor) holding the chain can
+re-derive every group model, every coalition utility, and every contribution
+score without trusting whoever proposed the blocks.  :func:`audit_chain` does
+exactly that — it replays the chain from genesis, recomputes the GroupSV
+evaluation for every finalized round from the published group models, and
+compares the results against the values stored by the contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blockchain.chain import Blockchain
+from repro.exceptions import AuditError
+from repro.shapley.native import all_coalitions, exact_shapley_from_utilities
+
+
+@dataclass
+class AuditReport:
+    """Result of a transparency audit over a protocol chain.
+
+    Attributes:
+        chain_valid: structural validation and full replay succeeded.
+        rounds_checked: round numbers whose evaluation was independently recomputed.
+        mismatches: human-readable descriptions of any discrepancy found.
+        recomputed_totals: the auditor's own accumulated per-owner contributions.
+    """
+
+    chain_valid: bool
+    rounds_checked: list[int] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
+    recomputed_totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when the chain replays cleanly and every evaluation matches."""
+        return self.chain_valid and not self.mismatches
+
+
+def _recompute_round(score_vector, round_record: dict, tolerance: float) -> dict[str, float]:
+    """Recompute Algorithm 1 lines 4-7 from a round's published group models."""
+    groups = [list(group) for group in round_record["groups"]]
+    group_models = [np.asarray(model, dtype=np.float64) for model in round_record["group_models"]]
+    labels = [f"group-{j}" for j in range(len(groups))]
+    model_by_label = dict(zip(labels, group_models))
+    utilities = {(): 0.0}
+    for coalition in all_coalitions(labels):
+        if not coalition:
+            continue
+        stacked = np.stack([model_by_label[label] for label in coalition], axis=0)
+        utilities[coalition] = score_vector(np.mean(stacked, axis=0))
+    group_value_map = exact_shapley_from_utilities(labels, utilities)
+    user_values: dict[str, float] = {}
+    for label, group in zip(labels, groups):
+        share = group_value_map[label] / len(group)
+        for owner in group:
+            user_values[owner] = share
+    return user_values
+
+
+def audit_chain(
+    chain: Blockchain,
+    validation_features: np.ndarray,
+    validation_labels: np.ndarray,
+    n_classes: int,
+    tolerance: float = 1e-9,
+    raise_on_failure: bool = False,
+) -> AuditReport:
+    """Audit a protocol chain end to end.
+
+    Args:
+        chain: any replica of the protocol chain.
+        validation_features / validation_labels / n_classes: the public
+            validation set agreed at setup (the auditor must know the utility
+            function, exactly as the paper assumes).
+        tolerance: numeric tolerance when comparing recomputed contributions.
+        raise_on_failure: raise :class:`AuditError` instead of returning a
+            failing report.
+    """
+    from repro.fl.logistic_regression import LogisticRegressionModel
+    from repro.fl.metrics import accuracy
+
+    validation_features = np.asarray(validation_features, dtype=np.float64)
+    validation_labels = np.asarray(validation_labels).ravel().astype(int)
+
+    def score_vector(vector: np.ndarray) -> float:
+        model = LogisticRegressionModel(validation_features.shape[1], n_classes)
+        model.set_vector(vector)
+        return accuracy(validation_labels, model.predict(validation_features))
+
+    report = AuditReport(chain_valid=True)
+
+    # 1. Structural validation and full replay from genesis.
+    try:
+        replayed = chain.replay()
+        if replayed.state.state_root() != chain.state.state_root():
+            report.chain_valid = False
+            report.mismatches.append("replayed state root differs from the live replica's state root")
+    except Exception as exc:  # noqa: BLE001 - any replay failure fails the audit
+        report.chain_valid = False
+        report.mismatches.append(f"chain replay failed: {exc}")
+        if raise_on_failure:
+            raise AuditError("; ".join(report.mismatches)) from exc
+        return report
+
+    # 2. Recompute every evaluated round from the published group models.
+    state = replayed.state
+    evaluated_rounds = sorted(
+        int(key.split("/", 1)[1])
+        for key in state.keys("contribution")
+        if key.startswith("evaluation/")
+    )
+    for round_number in evaluated_rounds:
+        round_record = state.get("fl_training", f"round/{round_number}")
+        stored = state.get("contribution", f"evaluation/{round_number}")
+        if round_record is None or stored is None:
+            report.mismatches.append(f"round {round_number}: missing training or evaluation record")
+            continue
+        recomputed = _recompute_round(score_vector, round_record, tolerance)
+        stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
+        if set(recomputed) != set(stored_values):
+            report.mismatches.append(f"round {round_number}: contribution covers different owners")
+        else:
+            for owner, value in recomputed.items():
+                if abs(value - stored_values[owner]) > tolerance:
+                    report.mismatches.append(
+                        f"round {round_number}: owner {owner} stored {stored_values[owner]:.6f} "
+                        f"but recomputation gives {value:.6f}"
+                    )
+        for owner, value in recomputed.items():
+            report.recomputed_totals[owner] = report.recomputed_totals.get(owner, 0.0) + value
+        report.rounds_checked.append(round_number)
+
+    # 3. Check the accumulated totals stored by the contract.
+    stored_totals = state.get("contribution", "totals", {})
+    for owner, value in report.recomputed_totals.items():
+        if abs(float(stored_totals.get(owner, 0.0)) - value) > max(tolerance * 10, 1e-8):
+            report.mismatches.append(
+                f"totals: owner {owner} stored {float(stored_totals.get(owner, 0.0)):.6f} "
+                f"but recomputation gives {value:.6f}"
+            )
+
+    if raise_on_failure and not report.passed:
+        raise AuditError("; ".join(report.mismatches))
+    return report

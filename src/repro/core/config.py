@@ -1,0 +1,73 @@
+"""Protocol configuration: everything the owners agree on at the setup stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Parameters pinned on the registry contract before training starts.
+
+    Attributes:
+        n_owners: number of participating data owners.
+        n_groups: GroupSV group count ``m`` (1 ≤ m ≤ n_owners).
+        n_rounds: number of federated rounds ``R``.
+        permutation_seed: the shared seed ``e`` driving per-round groupings.
+        local_epochs: local gradient-descent epochs per round.
+        learning_rate: local learning rate.
+        l2: L2 regularization strength for the logistic-regression model.
+        batch_size: local mini-batch size (None = full batch).
+        precision_bits / field_bits: fixed-point codec parameters for masking.
+        dh_bits: size of the Diffie–Hellman group used in simulation (small
+            safe-prime groups keep tests fast; use >= 2048 in production).
+        reward_pool: tokens distributed proportionally to contributions at the end.
+        byzantine_miners: node ids that vote dishonestly during verification.
+    """
+
+    n_owners: int = 9
+    n_groups: int = 3
+    n_rounds: int = 3
+    permutation_seed: int = 13
+    local_epochs: int = 1
+    learning_rate: float = 0.5
+    l2: float = 1e-4
+    batch_size: int | None = None
+    precision_bits: int = 24
+    field_bits: int = 64
+    dh_bits: int = 64
+    reward_pool: float = 1000.0
+    byzantine_miners: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n_owners < 2:
+            raise ConfigurationError("the protocol needs at least two data owners")
+        if not 1 <= self.n_groups <= self.n_owners:
+            raise ConfigurationError("n_groups must be in [1, n_owners]")
+        if self.n_rounds < 1:
+            raise ConfigurationError("n_rounds must be positive")
+        if self.local_epochs < 1:
+            raise ConfigurationError("local_epochs must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.reward_pool < 0:
+            raise ConfigurationError("reward_pool must be non-negative")
+
+    def on_chain_params(self, model_dimension: int) -> dict[str, Any]:
+        """The parameter dict pinned on the registry contract."""
+        return {
+            "n_owners": self.n_owners,
+            "n_groups": self.n_groups,
+            "n_rounds": self.n_rounds,
+            "permutation_seed": self.permutation_seed,
+            "precision_bits": self.precision_bits,
+            "field_bits": self.field_bits,
+            "max_summands": max(256, self.n_owners * 2),
+            "model_dimension": model_dimension,
+            "local_epochs": self.local_epochs,
+            "learning_rate": self.learning_rate,
+            "l2": self.l2,
+        }

@@ -1,0 +1,317 @@
+"""The end-to-end protocol: blockchain-based secure FL with on-chain GroupSV.
+
+:class:`BlockchainFLProtocol` wires every substrate together and follows the
+procedure of Section IV.B:
+
+1. **Setup** — the owners pin the agreed parameters (FL hyper-parameters,
+   secure-aggregation codec, permutation seed ``e``, group count ``m``) on the
+   registry contract and register their Diffie–Hellman public keys.
+2. **Training rounds** — at each round ``r`` every owner trains locally from
+   the current global model, masks its local model against its GroupSV group
+   cohort, and submits the masked update.  The round's leader proposes a block
+   containing all submissions plus the ``finalize_round`` (secure aggregation)
+   and ``evaluate_round`` (Algorithm 1) calls; all miners re-execute and vote.
+3. **Completion** — per-round contributions accumulate on chain
+   (``v_i = Σ_r v_i^r``) and the reward contract converts them into payouts.
+
+The result object exposes everything the experiments need: per-round
+contributions, totals, the global model, chain statistics, and the chain itself
+for transparency audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.blockchain.consensus import ConsensusEngine, LeaderSelector, VerificationResult
+from repro.blockchain.contracts.base import ContractRuntime
+from repro.blockchain.contracts.contribution import ContributionContract
+from repro.blockchain.contracts.fl_training import FLTrainingContract
+from repro.blockchain.contracts.registry import ParticipantRegistryContract
+from repro.blockchain.contracts.reward import RewardContract
+from repro.blockchain.network import Network
+from repro.blockchain.transaction import Transaction
+from repro.core.adversary import AdversaryBehavior
+from repro.core.config import ProtocolConfig
+from repro.core.participant import Participant
+from repro.crypto.dh import DHParameters
+from repro.crypto.fixed_point import FixedPointCodec
+from repro.datasets.loader import OwnerDataset
+from repro.exceptions import ProtocolError, RoundError, SetupError
+from repro.fl.logistic_regression import LogisticRegressionModel
+from repro.fl.model import ModelParameters
+from repro.shapley.group import group_members, make_groups
+
+
+@dataclass
+class RoundResult:
+    """What one on-chain round produced."""
+
+    round_number: int
+    groups: tuple[tuple[str, ...], ...]
+    user_values: dict[str, float]
+    group_values: tuple[float, ...]
+    global_utility: float
+    global_parameters: ModelParameters
+    consensus: VerificationResult | None = None
+
+
+@dataclass
+class ProtocolResult:
+    """The outcome of a full protocol run."""
+
+    rounds: list[RoundResult] = field(default_factory=list)
+    total_contributions: dict[str, float] = field(default_factory=dict)
+    reward_balances: dict[str, float] = field(default_factory=dict)
+    final_parameters: ModelParameters | None = None
+    chain_height: int = 0
+    total_transactions: int = 0
+    total_gas: int = 0
+    network_stats: dict = field(default_factory=dict)
+
+    def contributions_per_round(self) -> dict[str, list[float]]:
+        """Per-owner time series of round contributions."""
+        series: dict[str, list[float]] = {}
+        for record in self.rounds:
+            for owner, value in record.user_values.items():
+                series.setdefault(owner, []).append(value)
+        return series
+
+
+class BlockchainFLProtocol:
+    """Orchestrates the blockchain-based secure FL + contribution evaluation run."""
+
+    def __init__(
+        self,
+        owner_data: Sequence[OwnerDataset],
+        validation_features: np.ndarray,
+        validation_labels: np.ndarray,
+        n_classes: int,
+        config: ProtocolConfig | None = None,
+        adversaries: dict[str, AdversaryBehavior] | None = None,
+        leader_selector: LeaderSelector | None = None,
+    ) -> None:
+        self.config = config or ProtocolConfig(n_owners=len(owner_data))
+        if len(owner_data) != self.config.n_owners:
+            raise ProtocolError(
+                f"config expects {self.config.n_owners} owners but {len(owner_data)} datasets were given"
+            )
+        self.validation_features = np.asarray(validation_features, dtype=np.float64)
+        self.validation_labels = np.asarray(validation_labels).ravel().astype(int)
+        self.n_classes = int(n_classes)
+        self.n_features = int(self.validation_features.shape[1])
+
+        template = LogisticRegressionModel(self.n_features, self.n_classes, l2=self.config.l2)
+        self._template_parameters = template.parameters
+        self.model_dimension = self._template_parameters.dimension
+
+        self.network = Network()
+        self._runtime_factory = self._build_runtime_factory()
+        self.consensus = ConsensusEngine(leader_selector)
+        dh_params = DHParameters.for_testing(bits=self.config.dh_bits, seed=self.config.permutation_seed)
+        codec = FixedPointCodec(
+            precision_bits=self.config.precision_bits,
+            field_bits=self.config.field_bits,
+            max_summands=max(256, self.config.n_owners * 2),
+        )
+        adversaries = adversaries or {}
+        self.participants: dict[str, Participant] = {}
+        for data in owner_data:
+            participant = Participant(
+                data=data,
+                n_classes=self.n_classes,
+                network=self.network,
+                runtime_factory=self._runtime_factory,
+                dh_params=dh_params,
+                codec=codec,
+                local_epochs=self.config.local_epochs,
+                learning_rate=self.config.learning_rate,
+                l2=self.config.l2,
+                batch_size=self.config.batch_size,
+                key_seed=self.config.permutation_seed,
+                byzantine=data.owner_id in self.config.byzantine_miners,
+                adversary=adversaries.get(data.owner_id),
+            )
+            self.participants[data.owner_id] = participant
+        self.owner_ids = sorted(self.participants)
+        self._nonces = {owner: 0 for owner in self.owner_ids}
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+
+    def _build_runtime_factory(self):
+        """A factory producing identical contract runtimes on every miner."""
+        validation_features = self.validation_features
+        validation_labels = self.validation_labels
+        n_classes = self.n_classes
+
+        def factory() -> ContractRuntime:
+            runtime = ContractRuntime()
+            runtime.register(ParticipantRegistryContract())
+            runtime.register(FLTrainingContract())
+            runtime.register(ContributionContract(validation_features, validation_labels, n_classes))
+            runtime.register(RewardContract())
+            return runtime
+
+        return factory
+
+    def _next_nonce(self, owner_id: str) -> int:
+        nonce = self._nonces[owner_id]
+        self._nonces[owner_id] = nonce + 1
+        return nonce
+
+    def _submit(self, tx: Transaction) -> None:
+        """Submit a transaction through its sender's own node (gossips to all)."""
+        self.participants[tx.sender].node.submit_transaction(tx)
+
+    def _commit_block(self) -> VerificationResult:
+        """Run one consensus round: leader proposes all pending txs, miners vote."""
+        leader_id = self.consensus.select_leader(self.owner_ids)
+        leader = self.participants[leader_id]
+        return leader.node.run_consensus_round(self.consensus, self.owner_ids)
+
+    def _reference_chain(self):
+        """Any honest replica (the first owner's chain) used for reads."""
+        return self.participants[self.owner_ids[0]].node.chain
+
+    # ------------------------------------------------------------------
+    # Phase 1: setup
+    # ------------------------------------------------------------------
+
+    def setup(self) -> VerificationResult:
+        """Pin protocol parameters and register every participant on chain."""
+        if self._setup_done:
+            raise SetupError("setup has already been executed")
+        initiator = self.owner_ids[0]
+        params_tx = Transaction(
+            sender=initiator,
+            contract="registry",
+            method="set_protocol_params",
+            args={"params": self.config.on_chain_params(self.model_dimension)},
+            nonce=self._next_nonce(initiator),
+        )
+        self._submit(params_tx)
+        for owner_id in self.owner_ids:
+            participant = self.participants[owner_id]
+            self._submit(participant.registration_transaction(self._next_nonce(owner_id)))
+        result = self._commit_block()
+
+        chain = self._reference_chain()
+        registered = {}
+        for owner_id in chain.state.get("registry", "participant_index", []):
+            record = chain.state.get("registry", f"participant/{owner_id}")
+            registered[owner_id] = int(record["public_key"])
+        missing = sorted(set(self.owner_ids) - set(registered))
+        if missing:
+            raise SetupError(f"registration did not complete for: {missing}")
+        for participant in self.participants.values():
+            participant.learn_peer_keys(registered)
+        self._setup_done = True
+        return result
+
+    # ------------------------------------------------------------------
+    # Phase 2: training + evaluation rounds
+    # ------------------------------------------------------------------
+
+    def run_round(self, round_number: int, global_parameters: ModelParameters) -> RoundResult:
+        """Execute one full on-chain round (train, mask, aggregate, evaluate)."""
+        if not self._setup_done:
+            raise ProtocolError("setup() must run before training rounds")
+        groups = make_groups(
+            self.owner_ids, self.config.n_groups, self.config.permutation_seed, round_number
+        )
+        membership = group_members(groups)
+
+        # Local training and masked submissions (one transaction per owner).
+        for owner_id in self.owner_ids:
+            participant = self.participants[owner_id]
+            local_parameters = participant.train_local(global_parameters, round_number)
+            group_id = membership[owner_id]
+            tx = participant.masked_update_transaction(
+                local_parameters,
+                round_number,
+                group=list(groups[group_id]),
+                group_id=group_id,
+                nonce=self._next_nonce(owner_id),
+            )
+            self._submit(tx)
+
+        # The round's closing calls are submitted by the first owner; which owner
+        # sends them does not matter because every miner re-executes them.
+        closer = self.owner_ids[round_number % len(self.owner_ids)]
+        finalize_tx = Transaction(
+            sender=closer,
+            contract="fl_training",
+            method="finalize_round",
+            args={"round_number": round_number},
+            nonce=self._next_nonce(closer),
+        )
+        evaluate_tx = Transaction(
+            sender=closer,
+            contract="contribution",
+            method="evaluate_round",
+            args={"round_number": round_number},
+            nonce=self._next_nonce(closer),
+        )
+        self._submit(finalize_tx)
+        self._submit(evaluate_tx)
+        consensus_result = self._commit_block()
+
+        chain = self._reference_chain()
+        round_record = chain.state.get("fl_training", f"round/{round_number}")
+        evaluation = chain.state.get("contribution", f"evaluation/{round_number}")
+        if round_record is None or evaluation is None:
+            raise RoundError(f"round {round_number} did not finalize or evaluate on chain")
+        global_vector = np.asarray(round_record["global_model"], dtype=np.float64)
+        new_global = self._template_parameters.from_vector(global_vector)
+        return RoundResult(
+            round_number=round_number,
+            groups=tuple(tuple(group) for group in round_record["groups"]),
+            user_values=dict(evaluation["user_values"]),
+            group_values=tuple(evaluation["group_values"]),
+            global_utility=float(evaluation["global_utility"]),
+            global_parameters=new_global,
+            consensus=consensus_result,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 3: the full run
+    # ------------------------------------------------------------------
+
+    def run(self) -> ProtocolResult:
+        """Run setup, every training round, and the final reward distribution."""
+        result = ProtocolResult()
+        if not self._setup_done:
+            self.setup()
+        global_parameters = self._template_parameters
+        for round_number in range(self.config.n_rounds):
+            round_result = self.run_round(round_number, global_parameters)
+            global_parameters = round_result.global_parameters
+            result.rounds.append(round_result)
+
+        # Final reward distribution.
+        closer = self.owner_ids[0]
+        reward_tx = Transaction(
+            sender=closer,
+            contract="reward",
+            method="distribute",
+            args={"reward_pool": self.config.reward_pool, "label": "final"},
+            nonce=self._next_nonce(closer),
+        )
+        self._submit(reward_tx)
+        self._commit_block()
+
+        chain = self._reference_chain()
+        result.total_contributions = dict(chain.state.get("contribution", "totals", {}))
+        result.reward_balances = dict(chain.state.get("reward", "balances", {}))
+        result.final_parameters = global_parameters
+        result.chain_height = chain.height
+        result.total_transactions = chain.total_transactions()
+        result.total_gas = chain.total_gas()
+        result.network_stats = self.network.stats.as_dict()
+        return result

@@ -1,0 +1,185 @@
+"""Multiplicative group parameters for Diffie–Hellman key agreement.
+
+The secure-aggregation scheme in the paper is "based on discrete logarithm
+cryptography": every user publishes ``g**a mod p`` and derives pairwise
+Diffie–Hellman keys.  This module provides the group parameters ``(p, g)``:
+
+* the standard RFC 3526 MODP groups (1536/2048/3072 bit), hard-coded, which a
+  production deployment would use, and
+* a deterministic safe-prime generator for small parameter sizes so the test
+  suite can exercise the full protocol quickly without multi-thousand-bit
+  arithmetic dominating runtime.
+
+Primality testing uses deterministic Miller–Rabin bases for 64-bit inputs and
+a fixed set of rounds (sufficient for our deterministic generator) above that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CryptoError, ValidationError
+from repro.utils.rng import derive_seed
+
+# RFC 3526 groups. The generator is 2 for all of them.
+_MODP_1536_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+)
+
+_MODP_2048_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF"
+)
+
+_MODP_3072_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AAAC42DAD33170D04507A33"
+    "A85521ABDF1CBA64ECFB850458DBEF0A8AEA71575D060C7DB3970F85A6E1E4C7"
+    "ABF5AE8CDB0933D71E8C94E04A25619DCEE3D2261AD2EE6BF12FFA06D98A0864"
+    "D87602733EC86A64521F2B18177B200CBBE117577A615D6C770988C0BAD946E2"
+    "08E24FA074E5AB3143DB5BFCE0FD108E4B82D120A93AD2CAFFFFFFFFFFFFFFFF"
+)
+
+
+@dataclass(frozen=True)
+class GroupParameters:
+    """Parameters of a multiplicative group modulo a prime.
+
+    Attributes:
+        prime: the modulus ``p`` (a safe prime for the built-in groups).
+        generator: the group generator ``g``.
+        name: human-readable identifier (e.g. ``"modp-2048"``).
+    """
+
+    prime: int
+    generator: int
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.prime <= 3:
+            raise ValidationError("group prime must exceed 3")
+        if not 1 < self.generator < self.prime:
+            raise ValidationError("generator must lie strictly between 1 and the prime")
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits in the modulus."""
+        return self.prime.bit_length()
+
+    def power(self, base: int, exponent: int) -> int:
+        """Compute ``base ** exponent mod p``."""
+        return pow(base, exponent, self.prime)
+
+    def element_from_seed(self, *parts: object) -> int:
+        """Derive a deterministic exponent in ``[2, p - 2]`` from label parts.
+
+        Used to generate private keys reproducibly in simulations; a production
+        deployment would draw from an OS CSPRNG instead.
+        """
+        seed = derive_seed(*parts)
+        span = self.prime - 3
+        return 2 + (seed % span)
+
+
+MODP_GROUPS: dict[str, GroupParameters] = {
+    "modp-1536": GroupParameters(prime=int(_MODP_1536_HEX, 16), generator=2, name="modp-1536"),
+    "modp-2048": GroupParameters(prime=int(_MODP_2048_HEX, 16), generator=2, name="modp-2048"),
+    "modp-3072": GroupParameters(prime=int(_MODP_3072_HEX, 16), generator=2, name="modp-3072"),
+}
+
+# Deterministic Miller-Rabin witness sets. The first set is provably sufficient
+# for all n < 3.3 * 10**24 (covers 64-bit and a bit beyond).
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int, rounds: int = 16) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic for n below ~3.3e24 using fixed witnesses; otherwise performs
+    ``rounds`` additional pseudo-random rounds derived deterministically from n.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def witness(a: int) -> bool:
+        """Return True if ``a`` proves ``n`` composite."""
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            return False
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                return False
+        return True
+
+    for a in _SMALL_PRIMES:
+        if witness(a):
+            return False
+
+    if n >= 3_317_044_064_679_887_385_961_981:
+        for i in range(rounds):
+            a = 2 + derive_seed("miller-rabin", n, i) % (n - 3)
+            if witness(a):
+                return False
+    return True
+
+
+def generate_safe_prime_group(bits: int, seed: object = "repro") -> GroupParameters:
+    """Deterministically generate a small safe-prime group for tests.
+
+    A safe prime is ``p = 2q + 1`` with ``q`` prime.  The generator returned is
+    a quadratic residue (``g = h**2 mod p``) so it generates the order-``q``
+    subgroup, which avoids leaking the low bit of exponents.
+
+    Args:
+        bits: modulus size in bits (8..512 supported; use RFC groups above that).
+        seed: any hashable label; the same label always yields the same group.
+
+    Raises:
+        CryptoError: if no safe prime is found in a bounded search window.
+    """
+    if bits < 8 or bits > 512:
+        raise ValidationError("generate_safe_prime_group supports 8..512 bit moduli")
+    base = derive_seed("safe-prime", seed, bits)
+    # Start the search from a deterministic odd candidate with the top bit set.
+    start = (1 << (bits - 1)) | (base % (1 << (bits - 1))) | 1
+    candidate = start
+    for _ in range(200_000):
+        q = candidate
+        p = 2 * q + 1
+        if p.bit_length() <= bits + 1 and is_probable_prime(q) and is_probable_prime(p):
+            # Find a generator of the order-q subgroup.
+            for h in range(2, 64):
+                g = pow(h, 2, p)
+                if g not in (0, 1, p - 1):
+                    return GroupParameters(prime=p, generator=g, name=f"safe-{bits}")
+        candidate += 2
+    raise CryptoError(f"no safe prime found near seed {seed!r} for {bits} bits")

@@ -1,0 +1,140 @@
+"""Pairwise masking and secure aggregation (Bonawitz-style).
+
+Per Section IV.A.1 of the paper, each user ``i`` derives, for every other user
+``j``, a per-round mask vector ``m_ij = PRNG(g^{a_i a_j}, r)`` and submits
+
+    y_i = encode(w_i) + sum_{j > i} m_ij - sum_{j < i} m_ij   (mod M)
+
+to the blockchain.  Summing all users' submissions cancels every mask and
+yields ``encode(sum_i w_i)``, which the chain decodes and divides by the number
+of users to obtain the FedAvg aggregate — without ever seeing an individual
+``w_i`` in the clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.dh import DHKeyPair, shared_secret
+from repro.crypto.fixed_point import FixedPointCodec
+from repro.crypto.prng import expand_mask
+from repro.exceptions import MaskingError, ValidationError
+
+
+@dataclass(frozen=True)
+class MaskedUpdate:
+    """A single user's masked model update for one round.
+
+    Attributes:
+        owner_id: identifier of the submitting data owner.
+        round_number: the FL round this update belongs to.
+        payload: uint64 ring elements of the masked, fixed-point encoded update.
+        group_id: index of the GroupSV group the owner was assigned to this round.
+    """
+
+    owner_id: str
+    round_number: int
+    payload: np.ndarray
+    group_id: int = 0
+
+    def __post_init__(self) -> None:
+        payload = np.asarray(self.payload, dtype=np.uint64)
+        object.__setattr__(self, "payload", payload)
+        if payload.ndim != 1:
+            raise ValidationError("masked payload must be a flat vector")
+
+
+class PairwiseMasker:
+    """Builds masked updates for one data owner.
+
+    The masker is initialized with the owner's DH key pair and the public keys
+    of every peer *within the same aggregation cohort* (the GroupSV group): the
+    paper aggregates one model per group with secure aggregation, so masks are
+    pairwise within a group.
+    """
+
+    def __init__(
+        self,
+        owner_id: str,
+        keypair: DHKeyPair,
+        peer_public_keys: dict[str, int],
+        codec: FixedPointCodec | None = None,
+    ) -> None:
+        if owner_id in peer_public_keys:
+            peer_public_keys = {k: v for k, v in peer_public_keys.items() if k != owner_id}
+        self.owner_id = owner_id
+        self.keypair = keypair
+        self.codec = codec or FixedPointCodec()
+        self._secrets: dict[str, bytes] = {
+            peer: shared_secret(keypair, pub) for peer, pub in peer_public_keys.items()
+        }
+
+    @property
+    def peers(self) -> list[str]:
+        """Sorted peer identifiers this masker shares secrets with."""
+        return sorted(self._secrets)
+
+    def _pair_mask(self, peer: str, round_number: int, length: int) -> np.ndarray:
+        secret = self._secrets[peer]
+        return expand_mask(secret, round_number, length, self.codec.modulus)
+
+    def mask(self, weights: np.ndarray, round_number: int, group_id: int = 0) -> MaskedUpdate:
+        """Encode and mask a flat weight vector for submission to the chain.
+
+        Mask orientation follows the canonical ordering of owner ids: the mask
+        shared with a lexicographically *larger* peer is added, with a smaller
+        peer subtracted.  Both sides of a pair agree on this ordering, so the
+        masks cancel in the aggregate.
+        """
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        encoded = self.codec.encode(weights)
+        masked = encoded
+        for peer in self.peers:
+            mask = self._pair_mask(peer, round_number, weights.size)
+            if peer > self.owner_id:
+                masked = self.codec.add(masked, mask)
+            else:
+                masked = self.codec.subtract(masked, mask)
+        return MaskedUpdate(
+            owner_id=self.owner_id,
+            round_number=round_number,
+            payload=masked,
+            group_id=group_id,
+        )
+
+
+@dataclass
+class SecureAggregator:
+    """Aggregates masked updates and recovers the (average of the) plain sum.
+
+    This is the logic the on-chain contract runs: it never needs any secret —
+    the pairwise masks cancel by construction once every cohort member's update
+    is present.
+    """
+
+    codec: FixedPointCodec = field(default_factory=FixedPointCodec)
+
+    def aggregate_sum(self, updates: list[MaskedUpdate]) -> np.ndarray:
+        """Return the decoded element-wise *sum* of the participants' weights."""
+        if not updates:
+            raise MaskingError("cannot aggregate an empty update set")
+        rounds = {u.round_number for u in updates}
+        if len(rounds) != 1:
+            raise MaskingError(f"updates span multiple rounds: {sorted(rounds)}")
+        owners = [u.owner_id for u in updates]
+        if len(set(owners)) != len(owners):
+            raise MaskingError("duplicate owner in update set")
+        lengths = {u.payload.size for u in updates}
+        if len(lengths) != 1:
+            raise MaskingError("masked updates have mismatched lengths")
+        total = np.zeros(lengths.pop(), dtype=np.uint64)
+        for update in updates:
+            total = self.codec.add(total, update.payload)
+        return self.codec.decode_sum(total, n_summands=len(updates))
+
+    def aggregate_mean(self, updates: list[MaskedUpdate]) -> np.ndarray:
+        """Return the decoded element-wise *mean* — the FedAvg group model."""
+        summed = self.aggregate_sum(updates)
+        return summed / float(len(updates))

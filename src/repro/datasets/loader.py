@@ -1,0 +1,144 @@
+"""Dataset containers, train/test splitting, and per-owner dataset assembly.
+
+``make_owner_datasets`` wires the full Section V.A setup together: load the
+digits data, split 8:2 into train/test, split the training set uniformly into
+``n_owners`` subsets, and degrade owner *i*'s features with ``N(0, (σ·i)²)``
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.digits import DIGITS_N_CLASSES, load_digits
+from repro.datasets.noise import apply_quality_gradient
+from repro.exceptions import ValidationError
+from repro.fl.partition import uniform_partition
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled dataset split into train and test parts."""
+
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    test_features: np.ndarray
+    test_labels: np.ndarray
+    n_classes: int
+
+    @property
+    def n_features(self) -> int:
+        """Input dimensionality."""
+        return int(self.train_features.shape[1])
+
+    @property
+    def n_train(self) -> int:
+        """Number of training samples."""
+        return int(self.train_features.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        """Number of test samples."""
+        return int(self.test_features.shape[0])
+
+
+@dataclass(frozen=True)
+class OwnerDataset:
+    """One data owner's local training data (possibly quality-degraded)."""
+
+    owner_id: str
+    features: np.ndarray
+    labels: np.ndarray
+    noise_sigma: float
+
+    @property
+    def n_samples(self) -> int:
+        """Number of local samples."""
+        return int(self.features.shape[0])
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split; returns (train_X, train_y, test_X, test_y)."""
+    features = np.asarray(features)
+    labels = np.asarray(labels).ravel()
+    if features.shape[0] != labels.size:
+        raise ValidationError("features and labels disagree on sample count")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError("test_fraction must be in (0, 1)")
+    n_samples = features.shape[0]
+    n_test = max(1, int(round(n_samples * test_fraction)))
+    if n_test >= n_samples:
+        raise ValidationError("test_fraction leaves no training data")
+    rng = spawn_rng("train-test-split", seed, n_samples, test_fraction)
+    order = rng.permutation(n_samples)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return features[train_idx], labels[train_idx], features[test_idx], labels[test_idx]
+
+
+def make_owner_datasets(
+    n_owners: int = 9,
+    sigma: float = 0.0,
+    n_samples: int | None = None,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    normalized: bool = True,
+) -> tuple[Dataset, list[OwnerDataset]]:
+    """Build the paper's experimental setup (Section V.A).
+
+    Args:
+        n_owners: number of data owners (paper: 9).
+        sigma: per-rank Gaussian noise increment σ (owner i receives σ·i noise).
+        n_samples: total dataset size (default: the full 5620-sample digits set).
+        test_fraction: held-out fraction for the utility function (paper: 0.2).
+        seed: master seed controlling every random choice.
+        normalized: scale pixel features to [0, 1] (keeps gradient descent well
+            conditioned at the paper's learning rates).
+
+    Returns:
+        ``(dataset, owners)`` where ``dataset`` carries the global train/test
+        split and ``owners`` the per-owner (noised) training subsets, ordered
+        ``owner-0`` (clean) through ``owner-{n-1}`` (noisiest).
+    """
+    if n_owners < 1:
+        raise ValidationError("n_owners must be positive")
+    features, labels = load_digits(n_samples=n_samples or 5620, seed=seed, normalized=normalized)
+    train_x, train_y, test_x, test_y = train_test_split(
+        features, labels, test_fraction=test_fraction, seed=seed
+    )
+    dataset = Dataset(
+        train_features=train_x,
+        train_labels=train_y,
+        test_features=test_x,
+        test_labels=test_y,
+        n_classes=DIGITS_N_CLASSES,
+    )
+
+    parts = uniform_partition(train_x.shape[0], n_owners, seed=seed)
+    width = len(str(max(n_owners - 1, 1)))
+    owner_ids = [f"owner-{i:0{width}d}" for i in range(n_owners)]
+    owner_features = {owner_ids[i]: train_x[parts[i]] for i in range(n_owners)}
+    owner_labels = {owner_ids[i]: train_y[parts[i]] for i in range(n_owners)}
+
+    # Noise is left unclipped: clipping back to the pixel range would partially
+    # undo the quality degradation the σ-sweep is meant to induce.
+    noisy_features = apply_quality_gradient(owner_features, sigma=sigma, seed=seed, clip_range=None)
+
+    owners = []
+    for rank, owner_id in enumerate(owner_ids):
+        owners.append(
+            OwnerDataset(
+                owner_id=owner_id,
+                features=noisy_features[owner_id],
+                labels=owner_labels[owner_id],
+                noise_sigma=sigma * rank,
+            )
+        )
+    return dataset, owners

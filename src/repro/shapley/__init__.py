@@ -1,0 +1,43 @@
+"""Shapley-value contribution evaluation.
+
+* :mod:`repro.shapley.utility` — utility functions ``u(S)`` over coalitions
+  (test accuracy of a coalition model, the paper's choice, plus alternatives).
+* :mod:`repro.shapley.native` — the exact ("native") Shapley value, Eq. (1).
+* :mod:`repro.shapley.group` — GroupSV, Algorithm 1 of the paper.
+* :mod:`repro.shapley.montecarlo` — permutation-sampling and truncated
+  Monte-Carlo approximations (extension baselines).
+* :mod:`repro.shapley.metrics` — similarity measures between SV vectors
+  (cosine similarity used in Fig. 2, plus rank correlation and L2).
+"""
+
+from repro.shapley.group import GroupShapleyResult, compute_group_shapley, group_members, make_groups
+from repro.shapley.metrics import cosine_similarity, l2_distance, max_abs_error, spearman_correlation
+from repro.shapley.montecarlo import permutation_sampling_shapley, truncated_monte_carlo_shapley
+from repro.shapley.native import exact_shapley_from_utilities, native_shapley
+from repro.shapley.utility import (
+    AccuracyUtility,
+    CachedUtility,
+    CoalitionModelUtility,
+    RetrainUtility,
+    UtilityFunction,
+)
+
+__all__ = [
+    "GroupShapleyResult",
+    "compute_group_shapley",
+    "group_members",
+    "make_groups",
+    "cosine_similarity",
+    "l2_distance",
+    "max_abs_error",
+    "spearman_correlation",
+    "permutation_sampling_shapley",
+    "truncated_monte_carlo_shapley",
+    "exact_shapley_from_utilities",
+    "native_shapley",
+    "AccuracyUtility",
+    "CachedUtility",
+    "CoalitionModelUtility",
+    "RetrainUtility",
+    "UtilityFunction",
+]

@@ -1,0 +1,192 @@
+"""GroupSV — Algorithm 1 of the paper.
+
+Inputs: users I, their (masked) local weights, a shared random seed ``e``, the
+round number ``r``, a utility function u(.), and the number of groups ``m``.
+
+1. Permute the users with ``permutation(e, r, I)``.
+2. Assign users to ``m`` groups following the permutation.
+3. Build one group model per group by (securely) averaging its members' local
+   weights.
+4. Build coalition models for every subset of groups by *plain* averaging of
+   the group models.
+5. Compute each group's Shapley value over the m-player group game.
+6. Assign each user 1/|G_j| of its group's value.
+
+Steps 1-2 and 4-6 are pure functions implemented here; step 3 is performed by
+secure aggregation (or plainly, for the unmasked reference path).  The on-chain
+contribution contract calls into these same functions, so the protocol and the
+standalone evaluator cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import GroupingError, ShapleyError
+from repro.fl.model import ModelParameters
+from repro.shapley.native import native_shapley
+from repro.shapley.utility import AccuracyUtility, CachedUtility, CoalitionModelUtility
+from repro.utils.rng import spawn_rng
+
+
+def permute_users(users: Sequence[str], seed: int, round_number: int) -> list[str]:
+    """The permutation π = permutation(e, r, I) from Algorithm 1 line 1.
+
+    Deterministic in (seed, round, user set); independent of input order.
+    """
+    if not users:
+        raise GroupingError("cannot permute an empty user list")
+    ordered = sorted(users)
+    rng = spawn_rng("groupsv-permutation", seed, round_number)
+    permutation = rng.permutation(len(ordered))
+    return [ordered[i] for i in permutation]
+
+
+def make_groups(users: Sequence[str], m: int, seed: int, round_number: int) -> list[list[str]]:
+    """Partition users into m groups following the round permutation (lines 1-2).
+
+    Users are dealt round-robin along the permutation (user k goes to group
+    k mod m), which matches the paper's example where consecutive permutation
+    positions land in different groups (π = A,E,H,B,F,I,C,G,D with m = 3 gives
+    G1 = [A,E,H]).
+    """
+    users = list(users)
+    if len(set(users)) != len(users):
+        raise GroupingError("user ids must be unique")
+    if not 1 <= m <= len(users):
+        raise GroupingError(f"number of groups m={m} must be in [1, {len(users)}]")
+    permuted = permute_users(users, seed, round_number)
+    groups: list[list[str]] = [[] for _ in range(m)]
+    for position, user in enumerate(permuted):
+        groups[position % m].append(user)
+    if any(not group for group in groups):
+        raise GroupingError("grouping produced an empty group")
+    return groups
+
+
+def group_members(groups: Sequence[Sequence[str]]) -> dict[str, int]:
+    """Invert a grouping: map each user to its group index."""
+    membership: dict[str, int] = {}
+    for group_index, group in enumerate(groups):
+        for user in group:
+            if user in membership:
+                raise GroupingError(f"user {user!r} appears in more than one group")
+            membership[user] = group_index
+    return membership
+
+
+def aggregate_group_models(
+    groups: Sequence[Sequence[str]],
+    local_models: Mapping[str, ModelParameters],
+) -> list[ModelParameters]:
+    """Algorithm 1 line 3 (plain version): W_j = mean of group j's local weights.
+
+    The blockchain path computes the same quantity through secure aggregation;
+    this helper is the reference the integration tests compare against.
+    """
+    models = []
+    for group in groups:
+        missing = [user for user in group if user not in local_models]
+        if missing:
+            raise ShapleyError(f"missing local models for users: {missing}")
+        models.append(ModelParameters.mean([local_models[user] for user in group]))
+    return models
+
+
+@dataclass(frozen=True)
+class GroupShapleyResult:
+    """Everything Algorithm 1 outputs (plus provenance useful for audits).
+
+    Attributes:
+        round_number: the round r this evaluation belongs to.
+        n_groups: the configured m.
+        groups: the user grouping actually used.
+        group_values: Shapley value V_j per group index.
+        user_values: per-user contributions v_i^r (group value split equally).
+        global_model: the aggregation of all group models, W_G.
+        coalition_utilities: the utility of every evaluated group coalition.
+    """
+
+    round_number: int
+    n_groups: int
+    groups: tuple[tuple[str, ...], ...]
+    group_values: tuple[float, ...]
+    user_values: dict[str, float]
+    global_model: ModelParameters
+    coalition_utilities: dict[tuple[str, ...], float] = field(default_factory=dict)
+
+
+def compute_group_shapley(
+    group_models: Sequence[ModelParameters],
+    groups: Sequence[Sequence[str]],
+    scorer: AccuracyUtility,
+    round_number: int = 0,
+) -> GroupShapleyResult:
+    """Algorithm 1 lines 4-7: group-level SV from per-group models.
+
+    Args:
+        group_models: W_j for each group (from secure or plain aggregation).
+        groups: the user grouping (same order as ``group_models``).
+        scorer: the utility scorer u(.) applied to coalition models.
+        round_number: recorded in the result for bookkeeping.
+    """
+    if len(group_models) != len(groups):
+        raise ShapleyError("one group model per group is required")
+    if not groups:
+        raise ShapleyError("at least one group is required")
+    m = len(groups)
+    group_labels = [f"group-{j}" for j in range(m)]
+    label_models = dict(zip(group_labels, group_models))
+
+    # Lines 4-6: coalition models are plain averages of group models; the
+    # group game's Shapley values come from the native formula over m players.
+    utility = CachedUtility(CoalitionModelUtility(label_models, scorer))
+    group_value_map = native_shapley(group_labels, utility)
+    group_values = tuple(group_value_map[label] for label in group_labels)
+
+    # Line 7: each user inherits an equal share of its group's value.
+    user_values: dict[str, float] = {}
+    for group, value in zip(groups, group_values):
+        share = value / len(group)
+        for user in group:
+            user_values[user] = share
+
+    global_model = ModelParameters.mean(list(group_models))
+    coalition_utilities = {k: v for k, v in utility.cache_contents().items()}
+    return GroupShapleyResult(
+        round_number=round_number,
+        n_groups=m,
+        groups=tuple(tuple(group) for group in groups),
+        group_values=group_values,
+        user_values=user_values,
+        global_model=global_model,
+        coalition_utilities=coalition_utilities,
+    )
+
+
+def group_shapley_round(
+    local_models: Mapping[str, ModelParameters],
+    m: int,
+    seed: int,
+    round_number: int,
+    scorer: AccuracyUtility,
+) -> GroupShapleyResult:
+    """Run the full Algorithm 1 for one round on *plain* local models.
+
+    This is the unmasked reference path used by Fig. 2's similarity sweep and
+    by tests; the blockchain protocol reproduces it with masked updates.
+    """
+    users = sorted(local_models)
+    groups = make_groups(users, m, seed, round_number)
+    group_models = aggregate_group_models(groups, local_models)
+    return compute_group_shapley(group_models, groups, scorer, round_number=round_number)
+
+
+def accumulate_user_values(results: Sequence[GroupShapleyResult]) -> dict[str, float]:
+    """Total contribution per user across rounds: v_i = sum_r v_i^r."""
+    totals: dict[str, float] = {}
+    for result in results:
+        for user, value in result.user_values.items():
+            totals[user] = totals.get(user, 0.0) + value
+    return totals

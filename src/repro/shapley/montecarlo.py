@@ -1,0 +1,90 @@
+"""Monte-Carlo Shapley approximations (extension baselines).
+
+The paper's related-work section cites Ghorbani & Zou and Jia et al., whose
+main concern is reducing the 2^n cost of exact SV by sampling.  We implement
+the two standard estimators so the benchmark suite can compare GroupSV against
+them on accuracy and runtime:
+
+* permutation sampling: average marginal contributions over random permutations;
+* truncated Monte-Carlo (TMC): permutation sampling that stops scanning a
+  permutation once the running utility is within a tolerance of the grand
+  coalition's utility (later marginals are ~0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ShapleyError
+from repro.shapley.utility import CachedUtility, UtilityFunction
+from repro.utils.rng import spawn_rng
+
+
+def permutation_sampling_shapley(
+    players: list[str],
+    utility: UtilityFunction | Callable[[tuple[str, ...]], float],
+    n_permutations: int = 100,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Estimate Shapley values by averaging marginal contributions over permutations."""
+    if not players:
+        raise ShapleyError("at least one player is required")
+    if n_permutations < 1:
+        raise ShapleyError("n_permutations must be positive")
+    players = sorted(players)
+    cached = utility if isinstance(utility, CachedUtility) else CachedUtility(utility)
+    rng = spawn_rng("permutation-shapley", seed, len(players), n_permutations)
+    totals = {player: 0.0 for player in players}
+    empty_value = cached.empty_value
+    for _ in range(n_permutations):
+        order = [players[i] for i in rng.permutation(len(players))]
+        previous_utility = empty_value
+        coalition: list[str] = []
+        for player in order:
+            coalition.append(player)
+            current_utility = cached(tuple(coalition))
+            totals[player] += current_utility - previous_utility
+            previous_utility = current_utility
+    return {player: total / n_permutations for player, total in totals.items()}
+
+
+def truncated_monte_carlo_shapley(
+    players: list[str],
+    utility: UtilityFunction | Callable[[tuple[str, ...]], float],
+    n_permutations: int = 100,
+    tolerance: float = 0.01,
+    seed: int = 0,
+) -> dict[str, float]:
+    """TMC-Shapley: permutation sampling with early truncation.
+
+    Once the running coalition's utility is within ``tolerance`` of the grand
+    coalition's utility, the remaining players in the permutation are assigned
+    zero marginal contribution for that permutation.
+    """
+    if not players:
+        raise ShapleyError("at least one player is required")
+    if n_permutations < 1:
+        raise ShapleyError("n_permutations must be positive")
+    if tolerance < 0:
+        raise ShapleyError("tolerance must be non-negative")
+    players = sorted(players)
+    cached = utility if isinstance(utility, CachedUtility) else CachedUtility(utility)
+    grand_utility = cached(tuple(players))
+    rng = spawn_rng("tmc-shapley", seed, len(players), n_permutations)
+    totals = {player: 0.0 for player in players}
+    for _ in range(n_permutations):
+        order = [players[i] for i in rng.permutation(len(players))]
+        previous_utility = cached.empty_value
+        coalition: list[str] = []
+        truncated = False
+        for player in order:
+            if truncated:
+                # Remaining players contribute nothing in this permutation.
+                continue
+            coalition.append(player)
+            current_utility = cached(tuple(coalition))
+            totals[player] += current_utility - previous_utility
+            previous_utility = current_utility
+            if abs(grand_utility - current_utility) <= tolerance:
+                truncated = True
+    return {player: total / n_permutations for player, total in totals.items()}

@@ -1,0 +1,95 @@
+"""The exact ("native") Shapley value, Eq. (1) of the paper.
+
+For player i among n players with utility u(.):
+
+    v_i = (1/n) * sum_{S ⊆ I \\ {i}}  [ u(S ∪ {i}) − u(S) ] / C(n−1, |S|)
+
+The implementation enumerates all coalitions once, caches their utilities, and
+then assembles every player's value from the cached table — so the cost is
+2^n utility evaluations regardless of n, matching the paper's complexity
+discussion (native SV needs 2^n coalition models).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Callable, Iterable, Mapping
+
+from repro.exceptions import ShapleyError
+from repro.shapley.utility import CachedUtility, UtilityFunction
+
+
+def all_coalitions(players: Iterable[str]) -> list[tuple[str, ...]]:
+    """Every subset of ``players`` (including the empty set), in size order."""
+    players = sorted(players)
+    coalitions: list[tuple[str, ...]] = []
+    for size in range(len(players) + 1):
+        coalitions.extend(combinations(players, size))
+    return coalitions
+
+
+def native_shapley(
+    players: list[str],
+    utility: UtilityFunction | Callable[[tuple[str, ...]], float],
+) -> dict[str, float]:
+    """Exact Shapley values for every player.
+
+    Args:
+        players: participant identifiers.
+        utility: coalition utility ``u(S)``; it is wrapped in a cache so each of
+            the 2^n coalitions is evaluated exactly once.
+
+    Returns:
+        Mapping of player id to its Shapley value.
+    """
+    if not players:
+        raise ShapleyError("native_shapley requires at least one player")
+    if len(set(players)) != len(players):
+        raise ShapleyError("player ids must be unique")
+    players = sorted(players)
+    cached = utility if isinstance(utility, CachedUtility) else CachedUtility(utility)
+
+    utilities = {coalition: cached(coalition) for coalition in all_coalitions(players)}
+    return exact_shapley_from_utilities(players, utilities)
+
+
+def exact_shapley_from_utilities(
+    players: list[str],
+    utilities: Mapping[tuple[str, ...], float],
+) -> dict[str, float]:
+    """Assemble exact Shapley values from a pre-computed coalition-utility table.
+
+    The table must contain every subset of ``players`` (keys are sorted tuples).
+    Splitting the computation this way lets callers (and the on-chain contract)
+    reuse one utility table for every player, and lets tests check the
+    combinatorial weighting independently of model training.
+    """
+    players = sorted(players)
+    n = len(players)
+    values: dict[str, float] = {}
+    for player in players:
+        others = [p for p in players if p != player]
+        total = 0.0
+        for size in range(n):
+            weight = 1.0 / (n * comb(n - 1, size))
+            for subset in combinations(others, size):
+                without = tuple(sorted(subset))
+                with_player = tuple(sorted(subset + (player,)))
+                if without not in utilities and without != ():
+                    raise ShapleyError(f"utility table is missing coalition {without}")
+                if with_player not in utilities:
+                    raise ShapleyError(f"utility table is missing coalition {with_player}")
+                u_without = utilities.get(without, utilities.get((), 0.0))
+                total += weight * (utilities[with_player] - u_without)
+        values[player] = total
+    return values
+
+
+def efficiency_gap(values: Mapping[str, float], grand_utility: float, empty_utility: float = 0.0) -> float:
+    """|sum_i v_i − (u(I) − u(∅))| — zero for an exact Shapley computation.
+
+    Exposed as a helper because both tests and the on-chain audit use the
+    efficiency axiom as a cheap internal-consistency check.
+    """
+    return abs(sum(values.values()) - (grand_utility - empty_utility))

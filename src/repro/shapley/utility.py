@@ -1,0 +1,190 @@
+"""Utility functions u(S) over coalitions of participants.
+
+A utility function maps a coalition (a subset of participant identifiers) to a
+real number — in the paper, the test accuracy of the model built from that
+coalition's data or model updates.  Two families are provided:
+
+* :class:`RetrainUtility` — trains a model from scratch on the pooled data of
+  the coalition.  This is how the paper's *ground truth* SV (Fig. 1) is built;
+  it requires raw data access and therefore cannot run on chain.
+* :class:`CoalitionModelUtility` — evaluates a model obtained by *averaging*
+  pre-trained member models (the FL-style aggregation of Song et al. adopted by
+  GroupSV, Algorithm 1 line 4).  This only needs model parameters, which is why
+  it is compatible with secure aggregation.
+
+Both are wrapped in :class:`CachedUtility` for memoization, since exact SV
+evaluates every one of the 2^n coalitions exactly once but approximation
+schemes revisit coalitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.exceptions import UtilityError, ValidationError
+from repro.fl.logistic_regression import LogisticRegressionModel
+from repro.fl.metrics import accuracy, macro_f1
+from repro.fl.model import ModelParameters
+from repro.fl.server import CentralizedTrainer
+
+
+class UtilityFunction:
+    """Interface: ``u(coalition) -> float`` with ``u(()) = empty_value``."""
+
+    empty_value: float = 0.0
+
+    def __call__(self, coalition: tuple[str, ...]) -> float:
+        """Evaluate the utility of a coalition of participant ids."""
+        raise NotImplementedError
+
+    def evaluations(self) -> int:
+        """How many (non-empty) coalition evaluations have been performed."""
+        return 0
+
+
+class AccuracyUtility(UtilityFunction):
+    """Utility = accuracy of given model parameters on a held-out test set.
+
+    This is not itself coalition-aware; it is the scoring piece shared by the
+    coalition utilities below and by the on-chain contribution contract.
+    """
+
+    def __init__(
+        self,
+        test_features: np.ndarray,
+        test_labels: np.ndarray,
+        n_classes: int,
+        metric: str = "accuracy",
+    ) -> None:
+        self.test_features = np.asarray(test_features, dtype=np.float64)
+        self.test_labels = np.asarray(test_labels).ravel().astype(int)
+        if self.test_features.shape[0] != self.test_labels.size:
+            raise ValidationError("test features and labels disagree on sample count")
+        if self.test_features.shape[0] == 0:
+            raise ValidationError("utility requires a non-empty test set")
+        if metric not in ("accuracy", "macro_f1"):
+            raise ValidationError(f"unknown metric {metric!r}")
+        self.n_classes = int(n_classes)
+        self.metric = metric
+
+    def score(self, parameters: ModelParameters) -> float:
+        """Score model parameters on the held-out set."""
+        model = LogisticRegressionModel(self.test_features.shape[1], self.n_classes)
+        model.set_parameters(parameters)
+        predictions = model.predict(self.test_features)
+        if self.metric == "accuracy":
+            return accuracy(self.test_labels, predictions)
+        return macro_f1(self.test_labels, predictions, self.n_classes)
+
+    def score_vector(self, vector: np.ndarray) -> float:
+        """Score a flat parameter vector (the on-chain representation)."""
+        model = LogisticRegressionModel(self.test_features.shape[1], self.n_classes)
+        model.set_vector(vector)
+        predictions = model.predict(self.test_features)
+        if self.metric == "accuracy":
+            return accuracy(self.test_labels, predictions)
+        return macro_f1(self.test_labels, predictions, self.n_classes)
+
+    def __call__(self, coalition: tuple[str, ...]) -> float:  # pragma: no cover - guidance only
+        raise UtilityError(
+            "AccuracyUtility scores model parameters; wrap it in RetrainUtility or "
+            "CoalitionModelUtility to evaluate coalitions"
+        )
+
+
+class RetrainUtility(UtilityFunction):
+    """u(S) = test accuracy of a model retrained from scratch on S's pooled data."""
+
+    def __init__(
+        self,
+        owner_features: Mapping[str, np.ndarray],
+        owner_labels: Mapping[str, np.ndarray],
+        scorer: AccuracyUtility,
+        trainer: CentralizedTrainer | None = None,
+        seed: int = 0,
+    ) -> None:
+        if set(owner_features) != set(owner_labels):
+            raise ValidationError("owner_features and owner_labels must cover the same owners")
+        if not owner_features:
+            raise ValidationError("at least one owner is required")
+        self.owner_features = {k: np.asarray(v, dtype=np.float64) for k, v in owner_features.items()}
+        self.owner_labels = {k: np.asarray(v).ravel().astype(int) for k, v in owner_labels.items()}
+        self.scorer = scorer
+        n_features = next(iter(self.owner_features.values())).shape[1]
+        self.trainer = trainer or CentralizedTrainer(n_features, scorer.n_classes)
+        self.seed = seed
+        self._evaluations = 0
+
+    def __call__(self, coalition: tuple[str, ...]) -> float:
+        coalition = tuple(sorted(coalition))
+        if not coalition:
+            return self.empty_value
+        unknown = [owner for owner in coalition if owner not in self.owner_features]
+        if unknown:
+            raise UtilityError(f"coalition names unknown owners: {unknown}")
+        self._evaluations += 1
+        parameters = self.trainer.train_on_coalition(
+            self.owner_features, self.owner_labels, coalition, seed=self.seed
+        )
+        return self.scorer.score(parameters)
+
+    def evaluations(self) -> int:
+        return self._evaluations
+
+
+class CoalitionModelUtility(UtilityFunction):
+    """u(S) = test accuracy of the plain average of S's member models.
+
+    ``member_models`` maps a participant id (an owner, or a GroupSV group label)
+    to its model parameters.  This mirrors Algorithm 1 line 4: coalition models
+    are aggregated from the already-trained member models, not retrained.
+    """
+
+    def __init__(self, member_models: Mapping[str, ModelParameters], scorer: AccuracyUtility) -> None:
+        if not member_models:
+            raise ValidationError("at least one member model is required")
+        self.member_models = dict(member_models)
+        self.scorer = scorer
+        self._evaluations = 0
+
+    def __call__(self, coalition: tuple[str, ...]) -> float:
+        coalition = tuple(sorted(coalition))
+        if not coalition:
+            return self.empty_value
+        unknown = [member for member in coalition if member not in self.member_models]
+        if unknown:
+            raise UtilityError(f"coalition names unknown members: {unknown}")
+        self._evaluations += 1
+        averaged = ModelParameters.mean([self.member_models[member] for member in coalition])
+        return self.scorer.score(averaged)
+
+    def evaluations(self) -> int:
+        return self._evaluations
+
+
+class CachedUtility(UtilityFunction):
+    """Memoizing wrapper around any utility function."""
+
+    def __init__(self, inner: UtilityFunction | Callable[[tuple[str, ...]], float]) -> None:
+        self.inner = inner
+        self._cache: dict[tuple[str, ...], float] = {}
+        if isinstance(inner, UtilityFunction):
+            self.empty_value = inner.empty_value
+
+    def __call__(self, coalition: tuple[str, ...]) -> float:
+        key = tuple(sorted(coalition))
+        if not key:
+            return self.empty_value
+        if key not in self._cache:
+            self._cache[key] = float(self.inner(key))
+        return self._cache[key]
+
+    def evaluations(self) -> int:
+        """Number of distinct coalitions evaluated (cache size)."""
+        return len(self._cache)
+
+    def cache_contents(self) -> dict[tuple[str, ...], float]:
+        """A copy of the memo table (useful for audits and tests)."""
+        return dict(self._cache)

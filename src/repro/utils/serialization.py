@@ -1,0 +1,109 @@
+"""Canonical, deterministic serialization used throughout the blockchain layer.
+
+Transactions, blocks, and contract state must hash identically on every miner,
+so all on-chain payloads are serialized with a *canonical* JSON encoding:
+sorted keys, no insignificant whitespace, and explicit encodings for the few
+non-JSON types we need (bytes and NumPy arrays).
+
+NumPy arrays are encoded as a dict with a sentinel key ``__ndarray__`` holding
+the flattened values as a list, plus dtype and shape, so that decoding restores
+an identical array. Floats are serialized via ``repr`` -level precision which
+round-trips exactly for float64.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+_NDARRAY_KEY = "__ndarray__"
+_BYTES_KEY = "__bytes__"
+_INT_KEY = "__bigint__"
+
+# JSON numbers lose precision beyond 2**53; integers larger than this (e.g. DH
+# public keys) are encoded as decimal strings under a sentinel key.
+_MAX_SAFE_INT = 2**53 - 1
+
+
+def encode_array(array: np.ndarray) -> dict[str, Any]:
+    """Encode a NumPy array into a JSON-compatible dict.
+
+    The raw little-endian bytes are base64 encoded, which round-trips bit-exactly
+    (important for hashing model updates).
+    """
+    arr = np.ascontiguousarray(array)
+    return {
+        _NDARRAY_KEY: base64.b64encode(arr.tobytes()).decode("ascii"),
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+    }
+
+
+def decode_array(payload: dict[str, Any]) -> np.ndarray:
+    """Decode an array previously encoded with :func:`encode_array`."""
+    if _NDARRAY_KEY not in payload:
+        raise ValidationError("payload is not an encoded ndarray")
+    raw = base64.b64decode(payload[_NDARRAY_KEY])
+    arr = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return arr.reshape(payload["shape"]).copy()
+
+
+def _encode_value(value: Any) -> Any:
+    """Recursively convert a Python object tree into JSON-encodable form."""
+    if isinstance(value, np.ndarray):
+        return _encode_value(encode_array(value))
+    if isinstance(value, np.generic):
+        return _encode_value(value.item())
+    if isinstance(value, bytes):
+        return {_BYTES_KEY: base64.b64encode(value).decode("ascii")}
+    if isinstance(value, bool) or value is None or isinstance(value, (str, float)):
+        return value
+    if isinstance(value, int):
+        if abs(value) > _MAX_SAFE_INT:
+            return {_INT_KEY: str(value)}
+        return value
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValidationError(f"canonical serialization requires string keys, got {type(key).__name__}")
+            encoded[key] = _encode_value(item)
+        return encoded
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    raise ValidationError(f"cannot canonically serialize value of type {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    """Inverse of :func:`_encode_value`."""
+    if isinstance(value, dict):
+        if _NDARRAY_KEY in value:
+            return decode_array(value)
+        if _BYTES_KEY in value:
+            return base64.b64decode(value[_BYTES_KEY])
+        if _INT_KEY in value:
+            return int(value[_INT_KEY])
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Serialize ``obj`` to a canonical JSON string.
+
+    The output is deterministic: keys sorted, compact separators, arrays and
+    bytes base64 encoded. Two structurally equal objects always produce the
+    same string, so the string can be hashed for on-chain commitments.
+    """
+    return json.dumps(_encode_value(obj), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_loads(text: str) -> Any:
+    """Deserialize a canonical JSON string produced by :func:`canonical_dumps`."""
+    return _decode_value(json.loads(text))

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (datasets, trained local models, a full protocol run) are
+session scoped so the suite stays fast while many tests can assert against the
+same realistic objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import BlockchainFLProtocol
+from repro.datasets.loader import make_owner_datasets
+from repro.fl.client import DataOwner
+from repro.fl.trainer import FederatedTrainer, TrainingConfig
+from repro.shapley.utility import AccuracyUtility
+
+
+@pytest.fixture(scope="session")
+def small_setup():
+    """A 4-owner, 320-sample instance of the paper's experimental setup."""
+    dataset, owners = make_owner_datasets(n_owners=4, sigma=0.2, n_samples=320, seed=11)
+    return dataset, owners
+
+
+@pytest.fixture(scope="session")
+def dataset(small_setup):
+    """The global train/test split of the small setup."""
+    return small_setup[0]
+
+
+@pytest.fixture(scope="session")
+def owners(small_setup):
+    """The per-owner (quality-degraded) training subsets of the small setup."""
+    return small_setup[1]
+
+
+@pytest.fixture(scope="session")
+def scorer(dataset):
+    """The shared accuracy utility scorer over the held-out test set."""
+    return AccuracyUtility(dataset.test_features, dataset.test_labels, dataset.n_classes)
+
+
+@pytest.fixture(scope="session")
+def local_models(dataset, owners):
+    """One round of local models (owner id -> ModelParameters), trained plainly."""
+    clients = [
+        DataOwner(o.owner_id, o.features, o.labels, dataset.n_classes, local_epochs=8, learning_rate=2.0)
+        for o in owners
+    ]
+    trainer = FederatedTrainer(
+        clients,
+        dataset.n_features,
+        dataset.n_classes,
+        TrainingConfig(n_rounds=1, local_epochs=8, learning_rate=2.0),
+    )
+    record = trainer.run_round(trainer.initial_parameters(), 0)
+    return {update.owner_id: update.parameters for update in record.updates}
+
+
+@pytest.fixture(scope="session")
+def protocol_run(dataset, owners):
+    """A completed small blockchain protocol run (protocol object + result)."""
+    config = ProtocolConfig(
+        n_owners=len(owners),
+        n_groups=2,
+        n_rounds=2,
+        local_epochs=5,
+        learning_rate=2.0,
+        permutation_seed=13,
+    )
+    protocol = BlockchainFLProtocol(
+        owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
+    )
+    result = protocol.run()
+    return protocol, result
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic NumPy generator for per-test randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,50 @@
+"""Shared test helpers: simple contracts and chain factories."""
+
+from __future__ import annotations
+
+from repro.blockchain.contracts.base import Contract, ContractContext, ContractRuntime, contract_method
+from repro.blockchain.transaction import Transaction
+from repro.exceptions import ContractError
+
+
+class CounterContract(Contract):
+    """A tiny contract used to exercise the runtime and chain machinery."""
+
+    name = "counter"
+
+    @contract_method
+    def increment(self, ctx: ContractContext, amount: int = 1) -> int:
+        """Increase the counter and return its new value."""
+        if amount < 0:
+            raise ContractError("amount must be non-negative")
+        value = ctx.get("value", 0) + int(amount)
+        ctx.set("value", value)
+        ctx.emit("Incremented", by=ctx.sender, amount=int(amount), value=value)
+        return value
+
+    @contract_method
+    def get(self, ctx: ContractContext) -> int:
+        """Read the current counter value."""
+        return ctx.get("value", 0)
+
+    @contract_method
+    def fail(self, ctx: ContractContext) -> None:
+        """Write something and then fail, to exercise rollback."""
+        ctx.set("value", 999_999)
+        raise ContractError("intentional failure")
+
+    def not_callable(self, ctx: ContractContext) -> None:
+        """A method without the decorator; must not be invocable via transactions."""
+
+
+def counter_runtime_factory() -> ContractRuntime:
+    """Runtime with only the counter contract registered."""
+    runtime = ContractRuntime()
+    runtime.register(CounterContract())
+    return runtime
+
+
+def counter_tx(sender: str, nonce: int, amount: int = 1, method: str = "increment") -> Transaction:
+    """Convenience builder for counter transactions."""
+    args = {"amount": amount} if method == "increment" else {}
+    return Transaction(sender=sender, contract="counter", method=method, args=args, nonce=nonce)

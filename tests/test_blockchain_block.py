@@ -1,0 +1,108 @@
+"""Tests for blocks and block headers (repro.blockchain.block)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.blockchain.block import GENESIS_PARENT_HASH, Block, BlockHeader
+from repro.blockchain.transaction import Transaction, TransactionReceipt
+from repro.exceptions import InvalidBlockError, ValidationError
+
+
+def make_txs(n=2):
+    return [
+        Transaction(sender=f"user-{i}", contract="registry", method="register_participant", args={"public_key": i + 2}, nonce=0)
+        for i in range(n)
+    ]
+
+
+def make_receipts(txs):
+    return [TransactionReceipt(tx_hash=tx.tx_hash, success=True, result=None, gas_used=100) for tx in txs]
+
+
+def build_block(height=1, parent=GENESIS_PARENT_HASH, n_txs=2, state_root="ab" * 32):
+    txs = make_txs(n_txs)
+    receipts = make_receipts(txs)
+    return Block.build(
+        height=height,
+        parent_hash=parent,
+        proposer="user-0",
+        transactions=txs,
+        receipts=receipts,
+        state_root=state_root,
+    )
+
+
+class TestBlockHeader:
+    def test_hash_is_stable(self):
+        block = build_block()
+        assert block.header.block_hash == block.header.block_hash
+
+    def test_hash_changes_with_state_root(self):
+        a = build_block(state_root="aa" * 32)
+        b = build_block(state_root="bb" * 32)
+        assert a.block_hash != b.block_hash
+
+    def test_rejects_negative_height(self):
+        with pytest.raises(ValidationError):
+            BlockHeader(height=-1, parent_hash=GENESIS_PARENT_HASH, proposer="x", tx_root="a", receipt_root="b", state_root="c")
+
+    def test_rejects_malformed_parent_hash(self):
+        with pytest.raises(ValidationError):
+            BlockHeader(height=1, parent_hash="short", proposer="x", tx_root="a", receipt_root="b", state_root="c")
+
+
+class TestBlock:
+    def test_build_computes_matching_roots(self):
+        block = build_block()
+        block.verify_roots()
+
+    def test_roots_detect_transaction_tampering(self):
+        block = build_block(n_txs=3)
+        tampered_txs = list(block.transactions)
+        tampered_txs[0] = Transaction(
+            sender="mallory", contract="registry", method="register_participant", args={"public_key": 99}, nonce=0
+        )
+        tampered = Block(header=block.header, transactions=tuple(tampered_txs), receipts=block.receipts)
+        with pytest.raises(InvalidBlockError):
+            tampered.verify_roots()
+
+    def test_roots_detect_receipt_tampering(self):
+        block = build_block(n_txs=2)
+        tampered_receipts = list(block.receipts)
+        tampered_receipts[0] = TransactionReceipt(tx_hash=block.transactions[0].tx_hash, success=False, error="forged")
+        tampered = Block(header=block.header, transactions=block.transactions, receipts=tuple(tampered_receipts))
+        with pytest.raises(InvalidBlockError):
+            tampered.verify_roots()
+
+    def test_requires_one_receipt_per_transaction(self):
+        txs = make_txs(2)
+        receipts = make_receipts(txs)[:1]
+        header = build_block().header
+        with pytest.raises(ValidationError):
+            Block(header=header, transactions=tuple(txs), receipts=tuple(receipts))
+
+    def test_empty_block_is_valid(self):
+        block = Block.build(
+            height=1,
+            parent_hash=GENESIS_PARENT_HASH,
+            proposer="x",
+            transactions=[],
+            receipts=[],
+            state_root="cd" * 32,
+        )
+        block.verify_roots()
+        assert block.tx_hashes() == []
+
+    def test_total_gas_sums_receipts(self):
+        block = build_block(n_txs=3)
+        assert block.total_gas() == 300
+
+    def test_height_property(self):
+        assert build_block(height=7).height == 7
+
+    def test_tx_hashes_match_transactions(self):
+        block = build_block(n_txs=2)
+        assert block.tx_hashes() == [tx.tx_hash for tx in block.transactions]

@@ -1,0 +1,56 @@
+"""Tests for event-log helpers (repro.blockchain.events)."""
+
+from __future__ import annotations
+
+from repro.blockchain.events import ChainEvent, collect_events, filter_events, latest_event
+
+
+def raw_events():
+    return [
+        {"block": 1, "tx": "aa", "name": "RoundFinalized", "data": {"round": 0}},
+        {"block": 2, "tx": "bb", "name": "RoundEvaluated", "data": {"round": 0}},
+        {"block": 3, "tx": "cc", "name": "RoundFinalized", "data": {"round": 1}},
+    ]
+
+
+class TestEventHelpers:
+    def test_collect_events_builds_chain_events(self):
+        events = collect_events(raw_events())
+        assert all(isinstance(event, ChainEvent) for event in events)
+        assert events[0].block_height == 1
+        assert events[0].name == "RoundFinalized"
+
+    def test_collect_handles_missing_fields(self):
+        events = collect_events([{}])
+        assert events[0].block_height == -1
+        assert events[0].name == ""
+
+    def test_filter_by_name(self):
+        events = collect_events(raw_events())
+        finalized = filter_events(events, "RoundFinalized")
+        assert len(finalized) == 2
+        assert [e.data["round"] for e in finalized] == [0, 1]
+
+    def test_latest_event(self):
+        events = collect_events(raw_events())
+        latest = latest_event(events, "RoundFinalized")
+        assert latest is not None and latest.data["round"] == 1
+
+    def test_latest_event_missing_name(self):
+        events = collect_events(raw_events())
+        assert latest_event(events, "Nothing") is None
+
+    def test_protocol_chain_emits_expected_events(self, protocol_run):
+        protocol, _ = protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        events = collect_events(chain.events())
+        names = {event.name for event in events}
+        assert {"ProtocolParamsSet", "ParticipantRegistered", "MaskedUpdateSubmitted",
+                "RoundFinalized", "RoundEvaluated", "RewardsDistributed"} <= names
+
+    def test_protocol_emits_one_finalize_event_per_round(self, protocol_run):
+        protocol, _ = protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        events = collect_events(chain.events())
+        finalized = filter_events(events, "RoundFinalized")
+        assert len(finalized) == protocol.config.n_rounds

@@ -1,0 +1,87 @@
+"""Tests for the mempool (repro.blockchain.mempool)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.transaction import Transaction
+from repro.exceptions import InvalidTransactionError
+
+
+def tx(sender="alice", nonce=0, key=5):
+    return Transaction(sender=sender, contract="registry", method="register_participant", args={"public_key": key}, nonce=nonce)
+
+
+class TestMempool:
+    def test_add_and_len(self):
+        pool = Mempool()
+        assert pool.add(tx())
+        assert len(pool) == 1
+
+    def test_duplicate_is_ignored(self):
+        pool = Mempool()
+        transaction = tx()
+        assert pool.add(transaction)
+        assert not pool.add(transaction)
+        assert len(pool) == 1
+
+    def test_contains_by_hash(self):
+        pool = Mempool()
+        transaction = tx()
+        pool.add(transaction)
+        assert transaction.tx_hash in pool
+
+    def test_take_preserves_fifo_order(self):
+        pool = Mempool()
+        txs = [tx(nonce=i, key=i + 2) for i in range(5)]
+        pool.add_many(txs)
+        taken = pool.take()
+        assert [t.tx_hash for t in taken] == [t.tx_hash for t in txs]
+        assert len(pool) == 0
+
+    def test_take_with_limit(self):
+        pool = Mempool()
+        txs = [tx(nonce=i, key=i + 2) for i in range(5)]
+        pool.add_many(txs)
+        first_two = pool.take(limit=2)
+        assert len(first_two) == 2
+        assert len(pool) == 3
+
+    def test_peek_does_not_remove(self):
+        pool = Mempool()
+        pool.add(tx())
+        assert len(pool.peek()) == 1
+        assert len(pool) == 1
+
+    def test_remove_included_transactions(self):
+        pool = Mempool()
+        txs = [tx(nonce=i, key=i + 2) for i in range(3)]
+        pool.add_many(txs)
+        pool.remove([txs[0].tx_hash, txs[2].tx_hash])
+        remaining = pool.peek()
+        assert [t.tx_hash for t in remaining] == [txs[1].tx_hash]
+
+    def test_add_many_counts_new_only(self):
+        pool = Mempool()
+        first = tx(nonce=0)
+        assert pool.add_many([first, first, tx(nonce=1)]) == 2
+
+    def test_full_pool_rejects(self):
+        pool = Mempool(max_size=1)
+        pool.add(tx(nonce=0))
+        with pytest.raises(InvalidTransactionError):
+            pool.add(tx(nonce=1))
+
+    def test_invalid_transaction_rejected_on_admission(self):
+        pool = Mempool()
+        bad = Transaction(
+            sender="alice",
+            contract="registry",
+            method="register_participant",
+            args={"public_key": 5},
+            nonce=0,
+            signature="00" * 32,
+        )
+        with pytest.raises(InvalidTransactionError):
+            pool.add(bad)

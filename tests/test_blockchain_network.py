@@ -1,0 +1,102 @@
+"""Tests for the simulated P2P network (repro.blockchain.network)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.network import Network, NetworkStats
+from repro.exceptions import BlockchainError
+
+
+class TestMembership:
+    def test_join_and_peers(self):
+        net = Network()
+        net.join("b")
+        net.join("a")
+        assert net.peers() == ["a", "b"]
+
+    def test_double_join_rejected(self):
+        net = Network()
+        net.join("a")
+        with pytest.raises(BlockchainError):
+            net.join("a")
+
+    def test_subscribe_requires_join(self):
+        net = Network()
+        with pytest.raises(BlockchainError):
+            net.subscribe("ghost", "topic", lambda s, p: None)
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_other_subscribers(self):
+        net = Network()
+        received = {}
+        for node in ("a", "b", "c"):
+            net.join(node)
+            net.subscribe(node, "tx", lambda sender, payload, node=node: received.setdefault(node, payload))
+        net.broadcast("a", "tx", {"v": 1})
+        assert set(received) == {"b", "c"}
+
+    def test_broadcast_returns_handler_results(self):
+        net = Network()
+        for node in ("a", "b", "c"):
+            net.join(node)
+            net.subscribe(node, "vote", lambda sender, payload, node=node: f"ack-{node}")
+        results = net.broadcast("a", "vote", "ping")
+        assert results == {"b": "ack-b", "c": "ack-c"}
+
+    def test_broadcast_order_is_deterministic(self):
+        net = Network()
+        order = []
+        for node in ("c", "a", "b"):
+            net.join(node)
+            net.subscribe(node, "t", lambda sender, payload, node=node: order.append(node))
+        net.broadcast("c", "t", None)
+        assert order == ["a", "b"]
+
+    def test_unknown_sender_rejected(self):
+        net = Network()
+        net.join("a")
+        with pytest.raises(BlockchainError):
+            net.broadcast("ghost", "t", None)
+
+    def test_broadcast_without_subscribers_is_fine(self):
+        net = Network()
+        net.join("a")
+        assert net.broadcast("a", "unknown-topic", 1) == {}
+
+
+class TestSend:
+    def test_point_to_point_delivery(self):
+        net = Network()
+        net.join("a")
+        net.join("b")
+        net.subscribe("b", "dm", lambda sender, payload: (sender, payload))
+        assert net.send("a", "b", "dm", 42) == ("a", 42)
+
+    def test_send_to_unsubscribed_recipient_rejected(self):
+        net = Network()
+        net.join("a")
+        net.join("b")
+        with pytest.raises(BlockchainError):
+            net.send("a", "b", "dm", 42)
+
+
+class TestStats:
+    def test_stats_accumulate(self):
+        net = Network()
+        for node in ("a", "b", "c"):
+            net.join(node)
+            net.subscribe(node, "tx", lambda sender, payload: None)
+        net.broadcast("a", "tx", {"k": "v"})
+        assert net.stats.messages_sent == 2
+        assert net.stats.bytes_sent > 0
+        assert net.stats.messages_by_topic["tx"] == 2
+
+    def test_stats_as_dict(self):
+        stats = NetworkStats()
+        stats.record("tx", payload_bytes=10, recipients=3)
+        payload = stats.as_dict()
+        assert payload["messages_sent"] == 3
+        assert payload["bytes_sent"] == 30
+        assert payload["bytes_by_topic"] == {"tx": 30}

@@ -1,0 +1,104 @@
+"""Tests for miner nodes (repro.blockchain.node)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.consensus import ConsensusEngine
+from repro.blockchain.network import Network
+from repro.blockchain.node import MinerNode
+from repro.exceptions import ConsensusError
+
+from tests.helpers import counter_runtime_factory, counter_tx
+
+
+def build_cluster(n_nodes=4, byzantine=()):
+    network = Network()
+    nodes = {}
+    for i in range(n_nodes):
+        node_id = f"node-{i}"
+        nodes[node_id] = MinerNode(
+            node_id, network, counter_runtime_factory, byzantine=node_id in byzantine
+        )
+    return network, nodes
+
+
+class TestGossip:
+    def test_submitted_transaction_reaches_every_mempool(self):
+        _, nodes = build_cluster(3)
+        tx = counter_tx("node-0", 0)
+        nodes["node-0"].submit_transaction(tx)
+        assert all(tx.tx_hash in node.mempool for node in nodes.values())
+
+    def test_duplicate_gossip_is_deduplicated(self):
+        _, nodes = build_cluster(3)
+        tx = counter_tx("node-0", 0)
+        nodes["node-0"].submit_transaction(tx)
+        nodes["node-1"].submit_transaction(tx)
+        assert all(len(node.mempool) == 1 for node in nodes.values())
+
+
+class TestConsensusRound:
+    def test_honest_cluster_commits_block_everywhere(self):
+        _, nodes = build_cluster(4)
+        nodes["node-0"].submit_transaction(counter_tx("node-0", 0, amount=5))
+        engine = ConsensusEngine()
+        leader = nodes[engine.select_leader(sorted(nodes))]
+        result = leader.run_consensus_round(engine)
+        assert result.accepted
+        # The leader committed and broadcast; every replica holds the new block.
+        assert all(node.chain.height == 1 for node in nodes.values())
+        assert all(node.chain.state.get("counter", "value") == 5 for node in nodes.values())
+
+    def test_mempools_are_cleared_after_commit(self):
+        _, nodes = build_cluster(3)
+        nodes["node-1"].submit_transaction(counter_tx("node-1", 0))
+        engine = ConsensusEngine()
+        nodes["node-0"].run_consensus_round(engine)
+        assert all(len(node.mempool) == 0 for node in nodes.values())
+
+    def test_replicas_stay_in_sync_over_multiple_blocks(self):
+        _, nodes = build_cluster(4)
+        engine = ConsensusEngine()
+        order = sorted(nodes)
+        for height in range(3):
+            sender = order[height % len(order)]
+            nodes[sender].submit_transaction(counter_tx(sender, nodes[sender].chain.next_nonce(sender), amount=height + 1))
+            leader = nodes[engine.select_leader(order)]
+            leader.run_consensus_round(engine)
+        roots = {node.chain.state.state_root() for node in nodes.values()}
+        assert len(roots) == 1
+        assert list(nodes.values())[0].chain.state.get("counter", "value") == 6
+
+    def test_minority_byzantine_does_not_block_progress(self):
+        _, nodes = build_cluster(5, byzantine=("node-4",))
+        nodes["node-0"].submit_transaction(counter_tx("node-0", 0, amount=2))
+        engine = ConsensusEngine()
+        result = nodes["node-0"].run_consensus_round(engine)
+        assert result.accepted
+        assert result.votes["node-4"] is False
+
+    def test_majority_byzantine_blocks_progress(self):
+        _, nodes = build_cluster(5, byzantine=("node-2", "node-3", "node-4"))
+        nodes["node-0"].submit_transaction(counter_tx("node-0", 0))
+        engine = ConsensusEngine()
+        with pytest.raises(ConsensusError):
+            nodes["node-0"].run_consensus_round(engine)
+        # No honest replica advanced past genesis.
+        assert all(node.chain.height == 0 for node in nodes.values())
+
+    def test_verification_votes_record_rejection_reason(self):
+        _, nodes = build_cluster(3, byzantine=("node-2",))
+        nodes["node-0"].submit_transaction(counter_tx("node-0", 0))
+        block = nodes["node-0"].propose_block()
+        votes, rejections = nodes["node-0"].collect_votes(block)
+        assert votes["node-1"] is True
+        assert votes["node-2"] is False
+        assert "node-2" in rejections
+
+    def test_proposal_does_not_mutate_leader_state_before_commit(self):
+        _, nodes = build_cluster(3)
+        nodes["node-0"].submit_transaction(counter_tx("node-0", 0, amount=9))
+        nodes["node-0"].propose_block()
+        assert nodes["node-0"].chain.height == 0
+        assert nodes["node-0"].chain.state.get("counter", "value") is None

@@ -1,0 +1,143 @@
+"""Tests for the world state (repro.blockchain.state)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blockchain.state import WorldState
+from repro.exceptions import ValidationError
+
+
+class TestBasicAccess:
+    def test_get_returns_default_for_missing(self):
+        assert WorldState().get("ns", "missing", default=7) == 7
+
+    def test_set_then_get(self):
+        state = WorldState()
+        state.set("ns", "key", {"a": 1})
+        assert state.get("ns", "key") == {"a": 1}
+
+    def test_get_returns_a_copy(self):
+        state = WorldState()
+        state.set("ns", "key", {"a": [1, 2]})
+        value = state.get("ns", "key")
+        value["a"].append(3)
+        assert state.get("ns", "key") == {"a": [1, 2]}
+
+    def test_set_copies_input(self):
+        state = WorldState()
+        original = {"a": [1]}
+        state.set("ns", "key", original)
+        original["a"].append(2)
+        assert state.get("ns", "key") == {"a": [1]}
+
+    def test_delete(self):
+        state = WorldState()
+        state.set("ns", "key", 1)
+        state.delete("ns", "key")
+        assert not state.contains("ns", "key")
+
+    def test_delete_missing_is_noop(self):
+        WorldState().delete("ns", "nothing")
+
+    def test_namespaces_are_isolated(self):
+        state = WorldState()
+        state.set("a", "key", 1)
+        state.set("b", "key", 2)
+        assert state.get("a", "key") == 1
+        assert state.get("b", "key") == 2
+
+    def test_keys_sorted_within_namespace(self):
+        state = WorldState()
+        state.set("ns", "b", 1)
+        state.set("ns", "a", 2)
+        assert state.keys("ns") == ["a", "b"]
+
+    def test_items_iterates_pairs(self):
+        state = WorldState()
+        state.set("ns", "x", 1)
+        state.set("ns", "y", 2)
+        assert list(state.items("ns")) == [("x", 1), ("y", 2)]
+
+    def test_len_counts_all_entries(self):
+        state = WorldState()
+        state.set("a", "k1", 1)
+        state.set("b", "k2", 2)
+        assert len(state) == 2
+
+    def test_rejects_empty_namespace_or_key(self):
+        state = WorldState()
+        with pytest.raises(ValidationError):
+            state.set("", "k", 1)
+        with pytest.raises(ValidationError):
+            state.get("ns", "")
+
+    def test_rejects_slash_in_namespace(self):
+        with pytest.raises(ValidationError):
+            WorldState().set("a/b", "k", 1)
+
+
+class TestSnapshotsAndHashing:
+    def test_snapshot_restore_roundtrip(self):
+        state = WorldState()
+        state.set("ns", "k", 1)
+        snapshot = state.snapshot()
+        state.set("ns", "k", 2)
+        state.set("ns", "other", 3)
+        state.restore(snapshot)
+        assert state.get("ns", "k") == 1
+        assert not state.contains("ns", "other")
+
+    def test_snapshot_is_independent_copy(self):
+        state = WorldState()
+        state.set("ns", "k", {"list": [1]})
+        snapshot = state.snapshot()
+        state.get("ns", "k")  # no mutation
+        snapshot["ns/k"]["list"].append(99)
+        assert state.get("ns", "k") == {"list": [1]}
+
+    def test_state_root_is_deterministic(self):
+        a = WorldState()
+        b = WorldState()
+        for s in (a, b):
+            s.set("ns", "k1", [1, 2, 3])
+            s.set("ns", "k2", "text")
+        assert a.state_root() == b.state_root()
+
+    def test_state_root_changes_with_content(self):
+        a = WorldState()
+        a.set("ns", "k", 1)
+        root_before = a.state_root()
+        a.set("ns", "k", 2)
+        assert a.state_root() != root_before
+
+    def test_state_root_insensitive_to_write_order(self):
+        a = WorldState()
+        a.set("ns", "k1", 1)
+        a.set("ns", "k2", 2)
+        b = WorldState()
+        b.set("ns", "k2", 2)
+        b.set("ns", "k1", 1)
+        assert a.state_root() == b.state_root()
+
+    def test_state_root_with_arrays(self):
+        a = WorldState()
+        a.set("ns", "w", np.arange(5, dtype=np.float64))
+        b = WorldState()
+        b.set("ns", "w", np.arange(5, dtype=np.float64))
+        assert a.state_root() == b.state_root()
+
+    def test_copy_is_deep(self):
+        a = WorldState()
+        a.set("ns", "k", [1])
+        b = a.copy()
+        b.set("ns", "k", [2])
+        assert a.get("ns", "k") == [1]
+
+    def test_raw_returns_copy(self):
+        state = WorldState()
+        state.set("ns", "k", 1)
+        raw = state.raw()
+        raw["ns/k"] = 99
+        assert state.get("ns", "k") == 1

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import __version__
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["does-not-exist"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.owners == 5
+        assert args.groups == 3
+        assert args.rounds == 3
+
+    def test_run_custom_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--owners", "4", "--groups", "2", "--rounds", "1", "--sigma", "0.3"]
+        )
+        assert (args.owners, args.groups, args.rounds, args.sigma) == (4, 2, 1, 0.3)
+
+
+class TestCommands:
+    def test_info_command(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert __version__ in output
+        assert "n_groups" in output
+
+    def test_run_command_end_to_end(self, capsys):
+        exit_code = main([
+            "run", "--owners", "3", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "2", "--sigma", "0.1", "--seed", "3",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "accumulated contributions" in output
+        assert "transparency audit: PASSED" in output
+
+    def test_run_command_can_skip_audit(self, capsys):
+        exit_code = main([
+            "run", "--owners", "3", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "2", "--skip-audit",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "transparency audit" not in output
+
+    def test_sweep_groups_command(self, capsys):
+        exit_code = main([
+            "sweep-groups", "--owners", "4", "--samples", "320", "--local-epochs", "3",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "min anonymity" in output
+        # One row per m in 2..4 plus the header lines.
+        assert len(output.strip().splitlines()) >= 5
+
+    def test_ground_truth_command(self, capsys):
+        exit_code = main([
+            "ground-truth", "--owners", "3", "--samples", "300", "--epochs", "5",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "native SV" in output
+        assert "owner-0" in output

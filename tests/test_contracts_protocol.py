@@ -1,0 +1,407 @@
+"""Tests for the protocol contracts: registry, FL training, contribution, reward.
+
+These tests drive the contracts directly through a ContractRuntime and a shared
+WorldState (no consensus machinery), which keeps them fast and lets each state
+transition be asserted in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blockchain.contracts.base import ContractRuntime
+from repro.blockchain.contracts.contribution import ContributionContract
+from repro.blockchain.contracts.fl_training import FLTrainingContract
+from repro.blockchain.contracts.registry import ParticipantRegistryContract
+from repro.blockchain.contracts.reward import RewardContract
+from repro.blockchain.state import WorldState
+from repro.crypto.dh import DHKeyPair, DHParameters
+from repro.crypto.fixed_point import FixedPointCodec
+from repro.crypto.masking import PairwiseMasker
+from repro.datasets.synthetic import make_blobs
+from repro.exceptions import ContractError
+from repro.fl.logistic_regression import LogisticRegressionModel
+from repro.shapley.group import group_members, make_groups
+
+N_OWNERS = 4
+N_GROUPS = 2
+N_CLASSES = 3
+N_FEATURES = 6
+SEED = 13
+OWNERS = [f"owner-{i}" for i in range(N_OWNERS)]
+
+
+@pytest.fixture(scope="module")
+def validation_set():
+    return make_blobs(n_samples=120, n_features=N_FEATURES, n_classes=N_CLASSES, seed=5)
+
+
+@pytest.fixture(scope="module")
+def dh_setup():
+    params = DHParameters.for_testing(bits=64, seed="contract-tests")
+    keypairs = {owner: DHKeyPair.generate(params, owner) for owner in OWNERS}
+    public_keys = {owner: kp.public_key for owner, kp in keypairs.items()}
+    return keypairs, public_keys
+
+
+def build_runtime(validation_set) -> ContractRuntime:
+    features, labels = validation_set
+    runtime = ContractRuntime()
+    runtime.register(ParticipantRegistryContract())
+    runtime.register(FLTrainingContract())
+    runtime.register(ContributionContract(features, labels, N_CLASSES))
+    runtime.register(RewardContract())
+    return runtime
+
+
+def protocol_params(model_dimension):
+    return {
+        "n_owners": N_OWNERS,
+        "n_groups": N_GROUPS,
+        "n_rounds": 2,
+        "permutation_seed": SEED,
+        "precision_bits": 24,
+        "field_bits": 64,
+        "max_summands": 64,
+        "model_dimension": model_dimension,
+    }
+
+
+def model_dimension():
+    return LogisticRegressionModel(N_FEATURES, N_CLASSES).parameters.dimension
+
+
+def call(runtime, state, sender, contract, method, **args):
+    return runtime.execute(state, sender, contract, method, args)[0]
+
+
+def setup_registry(runtime, state, public_keys, dim):
+    call(runtime, state, OWNERS[0], "registry", "set_protocol_params", params=protocol_params(dim))
+    for owner in OWNERS:
+        call(runtime, state, owner, "registry", "register_participant", public_key=public_keys[owner])
+
+
+def local_models_for_round(round_number=0, scale=1.0):
+    """Deterministic fake local models, one flat vector per owner."""
+    dim = model_dimension()
+    rng = np.random.default_rng(round_number)
+    return {owner: rng.normal(scale=scale, size=dim) for owner in OWNERS}
+
+
+def submit_round(runtime, state, keypairs, public_keys, round_number=0, models=None):
+    """Mask and submit every owner's update for a round, then finalize it."""
+    codec = FixedPointCodec(max_summands=64)
+    models = models or local_models_for_round(round_number)
+    groups = make_groups(OWNERS, N_GROUPS, SEED, round_number)
+    membership = group_members(groups)
+    for owner in OWNERS:
+        group = groups[membership[owner]]
+        cohort = {peer: public_keys[peer] for peer in group if peer != owner}
+        masker = PairwiseMasker(owner, keypairs[owner], cohort, codec=codec)
+        masked = masker.mask(models[owner], round_number)
+        call(
+            runtime,
+            state,
+            owner,
+            "fl_training",
+            "submit_masked_update",
+            round_number=round_number,
+            group_id=membership[owner],
+            payload=np.asarray(masked.payload, dtype=np.uint64),
+            n_samples=10,
+        )
+    call(runtime, state, OWNERS[0], "fl_training", "finalize_round", round_number=round_number)
+    return models, groups
+
+
+class TestRegistryContract:
+    def test_params_can_only_be_pinned_once(self, validation_set):
+        runtime, state = build_runtime(validation_set), WorldState()
+        dim = model_dimension()
+        call(runtime, state, OWNERS[0], "registry", "set_protocol_params", params=protocol_params(dim))
+        # Identical confirmation is idempotent.
+        result = call(runtime, state, OWNERS[1], "registry", "set_protocol_params", params=protocol_params(dim))
+        assert result["status"] == "already-set"
+        conflicting = dict(protocol_params(dim), n_groups=3)
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[1], "registry", "set_protocol_params", params=conflicting)
+
+    def test_params_require_mandatory_keys(self, validation_set):
+        runtime, state = build_runtime(validation_set), WorldState()
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "registry", "set_protocol_params", params={"n_owners": 4})
+
+    def test_registration_records_public_keys(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        participants = call(runtime, state, OWNERS[0], "registry", "get_participants")
+        assert set(participants) == set(OWNERS)
+        assert participants[OWNERS[1]]["public_key"] == public_keys[OWNERS[1]]
+
+    def test_reregistration_with_same_key_is_idempotent(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        result = call(runtime, state, OWNERS[0], "registry", "register_participant", public_key=public_keys[OWNERS[0]])
+        assert result["status"] == "already-registered"
+
+    def test_key_change_rejected(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "registry", "register_participant", public_key=public_keys[OWNERS[0]] + 1)
+
+    def test_registry_full_rejects_extra_owner(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        with pytest.raises(ContractError):
+            call(runtime, state, "owner-extra", "registry", "register_participant", public_key=12345)
+
+    def test_setup_completeness_flag(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        dim = model_dimension()
+        call(runtime, state, OWNERS[0], "registry", "set_protocol_params", params=protocol_params(dim))
+        assert call(runtime, state, OWNERS[0], "registry", "is_setup_complete") is False
+        for owner in OWNERS:
+            call(runtime, state, owner, "registry", "register_participant", public_key=public_keys[owner])
+        assert call(runtime, state, OWNERS[0], "registry", "is_setup_complete") is True
+
+    def test_invalid_public_key_rejected(self, validation_set):
+        runtime, state = build_runtime(validation_set), WorldState()
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "registry", "register_participant", public_key=1)
+
+
+class TestFLTrainingContract:
+    def test_unregistered_sender_cannot_submit(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        with pytest.raises(ContractError):
+            call(
+                runtime, state, "stranger", "fl_training", "submit_masked_update",
+                round_number=0, group_id=0, payload=np.zeros(model_dimension(), dtype=np.uint64),
+            )
+
+    def test_wrong_group_claim_rejected(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        groups = make_groups(OWNERS, N_GROUPS, SEED, 0)
+        membership = group_members(groups)
+        owner = OWNERS[0]
+        wrong_group = (membership[owner] + 1) % N_GROUPS
+        with pytest.raises(ContractError):
+            call(
+                runtime, state, owner, "fl_training", "submit_masked_update",
+                round_number=0, group_id=wrong_group,
+                payload=np.zeros(model_dimension(), dtype=np.uint64),
+            )
+
+    def test_double_submission_rejected(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        groups = make_groups(OWNERS, N_GROUPS, SEED, 0)
+        membership = group_members(groups)
+        owner = OWNERS[0]
+        payload = np.zeros(model_dimension(), dtype=np.uint64)
+        call(runtime, state, owner, "fl_training", "submit_masked_update",
+             round_number=0, group_id=membership[owner], payload=payload)
+        with pytest.raises(ContractError):
+            call(runtime, state, owner, "fl_training", "submit_masked_update",
+                 round_number=0, group_id=membership[owner], payload=payload)
+
+    def test_wrong_dimension_rejected(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        groups = make_groups(OWNERS, N_GROUPS, SEED, 0)
+        membership = group_members(groups)
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "fl_training", "submit_masked_update",
+                 round_number=0, group_id=membership[OWNERS[0]], payload=np.zeros(3, dtype=np.uint64))
+
+    def test_round_outside_schedule_rejected(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "fl_training", "submit_masked_update",
+                 round_number=99, group_id=0, payload=np.zeros(model_dimension(), dtype=np.uint64))
+
+    def test_finalize_requires_all_submissions(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        groups = make_groups(OWNERS, N_GROUPS, SEED, 0)
+        membership = group_members(groups)
+        owner = OWNERS[0]
+        call(runtime, state, owner, "fl_training", "submit_masked_update",
+             round_number=0, group_id=membership[owner],
+             payload=np.zeros(model_dimension(), dtype=np.uint64))
+        with pytest.raises(ContractError):
+            call(runtime, state, owner, "fl_training", "finalize_round", round_number=0)
+
+    def test_secure_aggregation_recovers_group_means(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        models, groups = submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        record = call(runtime, state, OWNERS[0], "fl_training", "get_round", round_number=0)
+        for group, published in zip(groups, record["group_models"]):
+            expected = np.mean([models[owner] for owner in group], axis=0)
+            assert np.allclose(np.asarray(published), expected, atol=1e-5)
+        expected_global = np.mean(
+            [np.mean([models[o] for o in group], axis=0) for group in groups], axis=0
+        )
+        assert np.allclose(np.asarray(record["global_model"]), expected_global, atol=1e-5)
+
+    def test_finalize_twice_rejected(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "fl_training", "finalize_round", round_number=0)
+
+    def test_submissions_view_tracks_progress(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        assert call(runtime, state, OWNERS[0], "fl_training", "get_submissions", round_number=0) == []
+        groups = make_groups(OWNERS, N_GROUPS, SEED, 0)
+        membership = group_members(groups)
+        owner = OWNERS[2]
+        call(runtime, state, owner, "fl_training", "submit_masked_update",
+             round_number=0, group_id=membership[owner],
+             payload=np.zeros(model_dimension(), dtype=np.uint64))
+        assert call(runtime, state, OWNERS[0], "fl_training", "get_submissions", round_number=0) == [owner]
+
+    def test_global_model_view(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        assert call(runtime, state, OWNERS[0], "fl_training", "get_global_model", round_number=0) is None
+        submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        model = call(runtime, state, OWNERS[0], "fl_training", "get_global_model", round_number=0)
+        assert np.asarray(model).shape == (model_dimension(),)
+
+
+class TestContributionContract:
+    def test_evaluation_requires_finalized_round(self, validation_set, dh_setup):
+        _, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "contribution", "evaluate_round", round_number=0)
+
+    def test_evaluation_produces_values_for_every_owner(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        result = call(runtime, state, OWNERS[0], "contribution", "evaluate_round", round_number=0)
+        assert set(result["user_values"]) == set(OWNERS)
+
+    def test_group_members_share_their_group_value(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        _, groups = submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        call(runtime, state, OWNERS[0], "contribution", "evaluate_round", round_number=0)
+        evaluation = call(runtime, state, OWNERS[0], "contribution", "get_round_evaluation", round_number=0)
+        for group, value in zip(evaluation["groups"], evaluation["group_values"]):
+            for owner in group:
+                assert evaluation["user_values"][owner] == pytest.approx(value / len(group))
+
+    def test_efficiency_axiom_holds_on_chain(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        call(runtime, state, OWNERS[0], "contribution", "evaluate_round", round_number=0)
+        evaluation = call(runtime, state, OWNERS[0], "contribution", "get_round_evaluation", round_number=0)
+        assert sum(evaluation["group_values"]) == pytest.approx(evaluation["global_utility"], abs=1e-9)
+
+    def test_double_evaluation_rejected(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        call(runtime, state, OWNERS[0], "contribution", "evaluate_round", round_number=0)
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[1], "contribution", "evaluate_round", round_number=0)
+
+    def test_totals_accumulate_across_rounds(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        per_round = []
+        for round_number in range(2):
+            submit_round(runtime, state, keypairs, public_keys, round_number=round_number)
+            result = call(runtime, state, OWNERS[0], "contribution", "evaluate_round", round_number=round_number)
+            per_round.append(result["user_values"])
+        totals = call(runtime, state, OWNERS[0], "contribution", "get_total_contributions")
+        for owner in OWNERS:
+            assert totals[owner] == pytest.approx(per_round[0][owner] + per_round[1][owner])
+
+    def test_contract_requires_valid_validation_set(self):
+        with pytest.raises(Exception):
+            ContributionContract(np.zeros((0, 3)), np.zeros(0), 3)
+
+
+class TestRewardContract:
+    def _evaluated_state(self, validation_set, dh_setup):
+        keypairs, public_keys = dh_setup
+        runtime, state = build_runtime(validation_set), WorldState()
+        setup_registry(runtime, state, public_keys, model_dimension())
+        submit_round(runtime, state, keypairs, public_keys, round_number=0)
+        call(runtime, state, OWNERS[0], "contribution", "evaluate_round", round_number=0)
+        return runtime, state
+
+    def test_distribution_is_proportional_to_positive_contributions(self, validation_set, dh_setup):
+        runtime, state = self._evaluated_state(validation_set, dh_setup)
+        totals = call(runtime, state, OWNERS[0], "contribution", "get_total_contributions")
+        result = call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=100.0)
+        payouts = result["payouts"]
+        assert sum(payouts.values()) == pytest.approx(100.0)
+        positive = {k: max(v, 0.0) for k, v in totals.items()}
+        weight = sum(positive.values())
+        for owner in OWNERS:
+            assert payouts[owner] == pytest.approx(100.0 * positive[owner] / weight)
+
+    def test_distribution_without_contributions_rejected(self, validation_set):
+        runtime, state = build_runtime(validation_set), WorldState()
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=10.0)
+
+    def test_double_distribution_with_same_label_rejected(self, validation_set, dh_setup):
+        runtime, state = self._evaluated_state(validation_set, dh_setup)
+        call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=10.0)
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=10.0)
+
+    def test_balances_accumulate_across_labels(self, validation_set, dh_setup):
+        runtime, state = self._evaluated_state(validation_set, dh_setup)
+        call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=10.0, label="a")
+        call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=10.0, label="b")
+        balances = call(runtime, state, OWNERS[0], "reward", "get_balances")
+        assert sum(balances.values()) == pytest.approx(20.0)
+
+    def test_negative_pool_rejected(self, validation_set, dh_setup):
+        runtime, state = self._evaluated_state(validation_set, dh_setup)
+        with pytest.raises(ContractError):
+            call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=-1.0)
+
+    def test_distribution_record_is_stored(self, validation_set, dh_setup):
+        runtime, state = self._evaluated_state(validation_set, dh_setup)
+        call(runtime, state, OWNERS[0], "reward", "distribute", reward_pool=50.0)
+        record = call(runtime, state, OWNERS[0], "reward", "get_distribution")
+        assert record["reward_pool"] == 50.0
+        assert set(record["payouts"]) == set(OWNERS)

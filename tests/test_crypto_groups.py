@@ -1,0 +1,97 @@
+"""Tests for group parameters and primality testing (repro.crypto.groups)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import MODP_GROUPS, GroupParameters, generate_safe_prime_group, is_probable_prime
+from repro.exceptions import ValidationError
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("prime", [2, 3, 5, 7, 11, 13, 97, 65537, 2**31 - 1, 2**61 - 1])
+    def test_known_primes(self, prime):
+        assert is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", [0, 1, 4, 6, 9, 15, 21, 91, 561, 41041, 2**32, 2**61 - 3])
+    def test_known_composites_and_non_primes(self, composite):
+        assert not is_probable_prime(composite)
+
+    def test_carmichael_numbers_detected(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime((1 << 521) - 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_property_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert is_probable_prime(n) == by_trial
+
+
+class TestGroupParameters:
+    def test_rfc_groups_have_prime_modulus(self):
+        for group in MODP_GROUPS.values():
+            assert is_probable_prime(group.prime)
+
+    def test_rfc_group_bit_lengths(self):
+        assert MODP_GROUPS["modp-1536"].bit_length == 1536
+        assert MODP_GROUPS["modp-2048"].bit_length == 2048
+        assert MODP_GROUPS["modp-3072"].bit_length == 3072
+
+    def test_power_matches_builtin_pow(self):
+        group = MODP_GROUPS["modp-1536"]
+        assert group.power(2, 10) == pow(2, 10, group.prime)
+
+    def test_rejects_tiny_prime(self):
+        with pytest.raises(ValidationError):
+            GroupParameters(prime=3, generator=2)
+
+    def test_rejects_out_of_range_generator(self):
+        with pytest.raises(ValidationError):
+            GroupParameters(prime=23, generator=23)
+
+    def test_element_from_seed_in_range_and_deterministic(self):
+        group = GroupParameters(prime=2027, generator=2)
+        e1 = group.element_from_seed("owner", 1)
+        e2 = group.element_from_seed("owner", 1)
+        assert e1 == e2
+        assert 2 <= e1 <= group.prime - 2
+
+
+class TestGenerateSafePrimeGroup:
+    def test_produces_a_safe_prime(self):
+        group = generate_safe_prime_group(48, seed="test")
+        p = group.prime
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_safe_prime_group(40, seed="x")
+        b = generate_safe_prime_group(40, seed="x")
+        assert a.prime == b.prime and a.generator == b.generator
+
+    def test_different_seeds_give_different_groups(self):
+        a = generate_safe_prime_group(40, seed="x")
+        b = generate_safe_prime_group(40, seed="y")
+        assert a.prime != b.prime
+
+    def test_generator_is_in_group(self):
+        group = generate_safe_prime_group(32, seed="g")
+        assert 1 < group.generator < group.prime
+
+    def test_generator_has_subgroup_order_q(self):
+        group = generate_safe_prime_group(32, seed="q")
+        q = (group.prime - 1) // 2
+        assert pow(group.generator, q, group.prime) == 1
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ValidationError):
+            generate_safe_prime_group(4)
+        with pytest.raises(ValidationError):
+            generate_safe_prime_group(4096)

@@ -1,0 +1,119 @@
+"""Tests for the LDP baseline mechanisms (repro.crypto.ldp)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.ldp import LdpConfig, LdpMechanism, clip_by_norm, gaussian_sigma
+from repro.exceptions import ValidationError
+from repro.fl.model import ModelParameters
+
+
+class TestClipping:
+    def test_short_vectors_are_unchanged(self):
+        vector = np.array([0.3, -0.4])
+        assert np.array_equal(clip_by_norm(vector, 1.0), vector)
+
+    def test_long_vectors_are_scaled_to_the_bound(self):
+        vector = np.array([3.0, 4.0])
+        clipped = clip_by_norm(vector, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        # Direction is preserved.
+        assert np.allclose(clipped / np.linalg.norm(clipped), vector / np.linalg.norm(vector))
+
+    def test_zero_vector_is_unchanged(self):
+        assert np.array_equal(clip_by_norm(np.zeros(3), 1.0), np.zeros(3))
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValidationError):
+            clip_by_norm(np.ones(2), 0.0)
+
+
+class TestCalibration:
+    def test_gaussian_sigma_decreases_with_epsilon(self):
+        assert gaussian_sigma(2.0, 1e-5, 1.0) < gaussian_sigma(0.5, 1e-5, 1.0)
+
+    def test_gaussian_sigma_scales_with_sensitivity(self):
+        assert gaussian_sigma(1.0, 1e-5, 2.0) == pytest.approx(2 * gaussian_sigma(1.0, 1e-5, 1.0))
+
+    def test_gaussian_sigma_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            gaussian_sigma(0.0, 1e-5, 1.0)
+        with pytest.raises(ValidationError):
+            gaussian_sigma(1.0, 2.0, 1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            LdpConfig(epsilon=0.0)
+        with pytest.raises(ValidationError):
+            LdpConfig(delta=1.5)
+        with pytest.raises(ValidationError):
+            LdpConfig(clip_norm=0.0)
+        with pytest.raises(ValidationError):
+            LdpConfig(mechanism="staircase")
+
+    def test_noise_scale_shrinks_with_larger_epsilon(self):
+        loose = LdpConfig(epsilon=8.0).noise_scale(100)
+        tight = LdpConfig(epsilon=0.5).noise_scale(100)
+        assert loose < tight
+
+    def test_laplace_scale_grows_with_dimension(self):
+        config = LdpConfig(mechanism="laplace", epsilon=1.0)
+        assert config.noise_scale(400) > config.noise_scale(100)
+
+
+class TestMechanism:
+    @pytest.fixture()
+    def update(self):
+        return ModelParameters.from_mapping({"w": np.linspace(-0.5, 0.5, 20)})
+
+    def test_privatized_update_differs_from_original(self, update):
+        mechanism = LdpMechanism(LdpConfig(epsilon=1.0, clip_norm=1.0))
+        noisy = mechanism.privatize(update, "owner-0", 0)
+        assert not noisy.allclose(update)
+
+    def test_privatization_is_deterministic_per_owner_and_round(self, update):
+        mechanism = LdpMechanism(LdpConfig(epsilon=1.0))
+        a = mechanism.privatize(update, "owner-0", 3)
+        b = mechanism.privatize(update, "owner-0", 3)
+        assert a.allclose(b)
+
+    def test_noise_differs_across_owners_and_rounds(self, update):
+        mechanism = LdpMechanism(LdpConfig(epsilon=1.0))
+        assert not mechanism.privatize(update, "owner-0", 0).allclose(mechanism.privatize(update, "owner-1", 0))
+        assert not mechanism.privatize(update, "owner-0", 0).allclose(mechanism.privatize(update, "owner-0", 1))
+
+    def test_structure_is_preserved(self, update):
+        mechanism = LdpMechanism(LdpConfig(epsilon=1.0))
+        assert mechanism.privatize(update, "o", 0).shapes() == update.shapes()
+
+    def test_smaller_epsilon_means_more_noise(self, update):
+        rng_free = update.to_vector()
+        tight = LdpMechanism(LdpConfig(epsilon=0.1)).privatize_vector(rng_free, "o", 0)
+        loose = LdpMechanism(LdpConfig(epsilon=10.0)).privatize_vector(rng_free, "o", 0)
+        clipped = clip_by_norm(rng_free, 1.0)
+        assert np.linalg.norm(tight - clipped) > np.linalg.norm(loose - clipped)
+
+    def test_laplace_mechanism_runs(self, update):
+        mechanism = LdpMechanism(LdpConfig(epsilon=1.0, mechanism="laplace"))
+        noisy = mechanism.privatize(update, "o", 0)
+        assert np.all(np.isfinite(noisy.to_vector()))
+
+    def test_total_epsilon_composes_linearly(self):
+        mechanism = LdpMechanism(LdpConfig(epsilon=0.5))
+        assert mechanism.total_epsilon(10) == pytest.approx(5.0)
+        with pytest.raises(ValidationError):
+            mechanism.total_epsilon(0)
+
+    def test_aggregate_of_ldp_updates_is_noisier_than_secure_aggregation(self, update):
+        # The core point of Section II.B: averaging LDP updates leaves residual
+        # noise of order sigma/sqrt(n), while secure aggregation is exact.
+        n_owners = 10
+        mechanism = LdpMechanism(LdpConfig(epsilon=1.0, clip_norm=1.0))
+        clipped = clip_by_norm(update.to_vector(), 1.0)
+        noisy_mean = np.mean(
+            [mechanism.privatize_vector(update.to_vector(), f"o{i}", 0) for i in range(n_owners)], axis=0
+        )
+        residual = np.linalg.norm(noisy_mean - clipped)
+        assert residual > 1e-3

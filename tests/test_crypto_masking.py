@@ -1,0 +1,153 @@
+"""Tests for pairwise masking and secure aggregation (repro.crypto.masking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dh import DHKeyPair, DHParameters
+from repro.crypto.fixed_point import FixedPointCodec
+from repro.crypto.masking import MaskedUpdate, PairwiseMasker, SecureAggregator
+from repro.exceptions import MaskingError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def dh_params():
+    return DHParameters.for_testing(bits=64, seed="masking-tests")
+
+
+def _build_cohort(dh_params, owner_ids, dimension, seed=0):
+    """Key pairs, public keys, and deterministic weight vectors for a cohort."""
+    keypairs = {owner: DHKeyPair.generate(dh_params, owner, seed=seed) for owner in owner_ids}
+    public_keys = {owner: keypair.public_key for owner, keypair in keypairs.items()}
+    rng = np.random.default_rng(42)
+    weights = {owner: rng.normal(scale=2.0, size=dimension) for owner in owner_ids}
+    return keypairs, public_keys, weights
+
+
+def _masked_updates(dh_params, owner_ids, dimension, round_number=0, codec=None):
+    codec = codec or FixedPointCodec()
+    keypairs, public_keys, weights = _build_cohort(dh_params, owner_ids, dimension)
+    updates = []
+    for owner in owner_ids:
+        masker = PairwiseMasker(owner, keypairs[owner], public_keys, codec=codec)
+        updates.append(masker.mask(weights[owner], round_number))
+    return updates, weights, codec
+
+
+class TestPairwiseMasker:
+    def test_masks_cancel_in_the_sum(self, dh_params):
+        owners = ["a", "b", "c"]
+        updates, weights, codec = _masked_updates(dh_params, owners, dimension=50)
+        aggregator = SecureAggregator(codec)
+        total = aggregator.aggregate_sum(updates)
+        expected = np.sum([weights[o] for o in owners], axis=0)
+        assert np.allclose(total, expected, atol=len(owners) * 2.0 / codec.scale)
+
+    def test_mean_matches_plain_fedavg(self, dh_params):
+        owners = ["a", "b", "c", "d", "e"]
+        updates, weights, codec = _masked_updates(dh_params, owners, dimension=30)
+        mean = SecureAggregator(codec).aggregate_mean(updates)
+        expected = np.mean([weights[o] for o in owners], axis=0)
+        assert np.allclose(mean, expected, atol=2.0 / codec.scale)
+
+    def test_single_masked_update_is_not_the_plain_encoding(self, dh_params):
+        owners = ["a", "b", "c"]
+        updates, weights, codec = _masked_updates(dh_params, owners, dimension=40)
+        plain = codec.encode(weights["a"])
+        masked = next(u for u in updates if u.owner_id == "a").payload
+        assert not np.array_equal(masked, plain)
+
+    def test_two_party_masking_works(self, dh_params):
+        owners = ["a", "b"]
+        updates, weights, codec = _masked_updates(dh_params, owners, dimension=10)
+        total = SecureAggregator(codec).aggregate_sum(updates)
+        assert np.allclose(total, weights["a"] + weights["b"], atol=4.0 / codec.scale)
+
+    def test_masks_differ_per_round(self, dh_params):
+        owners = ["a", "b"]
+        keypairs, public_keys, weights = _build_cohort(dh_params, owners, 20)
+        masker = PairwiseMasker("a", keypairs["a"], public_keys)
+        round0 = masker.mask(weights["a"], 0).payload
+        round1 = masker.mask(weights["a"], 1).payload
+        assert not np.array_equal(round0, round1)
+
+    def test_missing_participant_breaks_cancellation(self, dh_params):
+        owners = ["a", "b", "c"]
+        updates, weights, codec = _masked_updates(dh_params, owners, dimension=25)
+        partial_sum = SecureAggregator(codec).aggregate_sum(updates[:2])
+        expected = weights["a"] + weights["b"]
+        assert not np.allclose(partial_sum, expected, atol=1e-3)
+
+    def test_excludes_self_from_peer_keys(self, dh_params):
+        owners = ["a", "b"]
+        keypairs, public_keys, _ = _build_cohort(dh_params, owners, 5)
+        masker = PairwiseMasker("a", keypairs["a"], public_keys)
+        assert masker.peers == ["b"]
+
+    def test_group_cohorts_are_independent(self, dh_params):
+        # Masks shared within group {a, b} must cancel without involving group {c, d}.
+        owners = ["a", "b", "c", "d"]
+        keypairs, public_keys, weights = _build_cohort(dh_params, owners, 15)
+        codec = FixedPointCodec()
+        group_one = ["a", "b"]
+        updates = []
+        for owner in group_one:
+            cohort = {peer: public_keys[peer] for peer in group_one}
+            masker = PairwiseMasker(owner, keypairs[owner], cohort, codec=codec)
+            updates.append(masker.mask(weights[owner], 0))
+        total = SecureAggregator(codec).aggregate_sum(updates)
+        assert np.allclose(total, weights["a"] + weights["b"], atol=4.0 / codec.scale)
+
+
+class TestMaskedUpdateValidation:
+    def test_payload_must_be_flat(self):
+        with pytest.raises(ValidationError):
+            MaskedUpdate(owner_id="a", round_number=0, payload=np.zeros((2, 2), dtype=np.uint64))
+
+    def test_aggregator_rejects_empty_set(self):
+        with pytest.raises(MaskingError):
+            SecureAggregator().aggregate_sum([])
+
+    def test_aggregator_rejects_mixed_rounds(self, dh_params):
+        updates, _, codec = _masked_updates(dh_params, ["a", "b"], dimension=5, round_number=0)
+        other, _, _ = _masked_updates(dh_params, ["a", "b"], dimension=5, round_number=1)
+        with pytest.raises(MaskingError):
+            SecureAggregator(codec).aggregate_sum([updates[0], other[1]])
+
+    def test_aggregator_rejects_duplicate_owner(self, dh_params):
+        updates, _, codec = _masked_updates(dh_params, ["a", "b"], dimension=5)
+        with pytest.raises(MaskingError):
+            SecureAggregator(codec).aggregate_sum([updates[0], updates[0]])
+
+    def test_aggregator_rejects_mismatched_lengths(self, dh_params):
+        updates_a, _, codec = _masked_updates(dh_params, ["a", "b"], dimension=5)
+        updates_b, _, _ = _masked_updates(dh_params, ["c", "d"], dimension=7)
+        with pytest.raises(MaskingError):
+            SecureAggregator(codec).aggregate_sum([updates_a[0], updates_b[0]])
+
+
+class TestMaskingProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_property_cancellation_for_any_cohort(self, n_owners, dimension, round_number):
+        dh_params = DHParameters.for_testing(bits=48, seed="mask-prop")
+        owners = [f"owner-{i}" for i in range(n_owners)]
+        codec = FixedPointCodec()
+        keypairs = {o: DHKeyPair.generate(dh_params, o) for o in owners}
+        public_keys = {o: kp.public_key for o, kp in keypairs.items()}
+        rng = np.random.default_rng(round_number)
+        weights = {o: rng.normal(scale=5.0, size=dimension) for o in owners}
+        updates = [
+            PairwiseMasker(o, keypairs[o], public_keys, codec=codec).mask(weights[o], round_number)
+            for o in owners
+        ]
+        total = SecureAggregator(codec).aggregate_sum(updates)
+        expected = np.sum([weights[o] for o in owners], axis=0)
+        assert np.allclose(total, expected, atol=(n_owners + 1) * 2.0 / codec.scale)

@@ -1,0 +1,96 @@
+"""Tests for the HMAC-DRBG and mask expansion (repro.crypto.prng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prng import HmacDrbg, expand_mask
+from repro.exceptions import MaskingError, ValidationError
+
+
+class TestHmacDrbg:
+    def test_deterministic_stream(self):
+        assert HmacDrbg(b"key").generate(64) == HmacDrbg(b"key").generate(64)
+
+    def test_different_keys_different_streams(self):
+        assert HmacDrbg(b"key-a").generate(32) != HmacDrbg(b"key-b").generate(32)
+
+    def test_personalization_changes_stream(self):
+        assert HmacDrbg(b"key", b"round:1").generate(32) != HmacDrbg(b"key", b"round:2").generate(32)
+
+    def test_stream_is_contiguous(self):
+        whole = HmacDrbg(b"key").generate(96)
+        drbg = HmacDrbg(b"key")
+        pieces = drbg.generate(32) + drbg.generate(64)
+        assert whole == pieces
+
+    def test_requested_length_is_exact(self):
+        assert len(HmacDrbg(b"key").generate(17)) == 17
+
+    def test_zero_bytes(self):
+        assert HmacDrbg(b"key").generate(0) == b""
+
+    def test_uint64_array_shape_and_dtype(self):
+        arr = HmacDrbg(b"key").uint64_array(10)
+        assert arr.shape == (10,)
+        assert arr.dtype == np.uint64
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValidationError):
+            HmacDrbg(b"")
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValidationError):
+            HmacDrbg(b"key").generate(-1)
+
+
+class TestExpandMask:
+    def test_deterministic(self):
+        a = expand_mask(b"\x07" * 32, 3, 100, 2**64)
+        b = expand_mask(b"\x07" * 32, 3, 100, 2**64)
+        assert np.array_equal(a, b)
+
+    def test_round_dependence(self):
+        a = expand_mask(b"\x07" * 32, 3, 100, 2**64)
+        b = expand_mask(b"\x07" * 32, 4, 100, 2**64)
+        assert not np.array_equal(a, b)
+
+    def test_secret_dependence(self):
+        a = expand_mask(b"\x07" * 32, 3, 100, 2**64)
+        b = expand_mask(b"\x08" * 32, 3, 100, 2**64)
+        assert not np.array_equal(a, b)
+
+    def test_length_zero(self):
+        assert expand_mask(b"\x07" * 32, 0, 0, 2**64).size == 0
+
+    def test_respects_modulus(self):
+        mask = expand_mask(b"\x07" * 32, 0, 1000, 2**32)
+        assert np.all(mask < 2**32)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(MaskingError):
+            expand_mask(b"\x07" * 32, 0, 10, 1)
+
+    def test_rejects_negative_round(self):
+        with pytest.raises(ValidationError):
+            expand_mask(b"\x07" * 32, -1, 10, 2**64)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValidationError):
+            expand_mask(b"\x07" * 32, 0, -5, 2**64)
+
+    def test_values_look_uniform(self):
+        # Coarse sanity check: the mean of 64-bit uniform values should be near 2**63.
+        mask = expand_mask(b"\x07" * 32, 0, 5000, 2**64).astype(np.float64)
+        assert abs(mask.mean() / 2**63 - 1.0) < 0.05
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=0, max_value=128))
+    def test_property_deterministic_for_any_round_and_length(self, round_number, length):
+        a = expand_mask(b"\x42" * 32, round_number, length, 2**64)
+        b = expand_mask(b"\x42" * 32, round_number, length, 2**64)
+        assert np.array_equal(a, b)
+        assert a.size == length

@@ -1,0 +1,100 @@
+"""Tests for Shamir secret sharing (repro.crypto.secret_sharing)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.secret_sharing import ShamirSecretSharing, Share
+from repro.exceptions import SecretSharingError, ValidationError
+
+
+class TestConstruction:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ValidationError):
+            ShamirSecretSharing(threshold=0, n_shares=3)
+
+    def test_rejects_threshold_above_share_count(self):
+        with pytest.raises(ValidationError):
+            ShamirSecretSharing(threshold=4, n_shares=3)
+
+    def test_share_validation(self):
+        with pytest.raises(ValidationError):
+            Share(x=0, y=1)
+        with pytest.raises(ValidationError):
+            Share(x=1, y=-1)
+
+
+class TestSplitReconstruct:
+    def test_basic_roundtrip(self):
+        scheme = ShamirSecretSharing(threshold=3, n_shares=5)
+        secret = 123456789
+        shares = scheme.split(secret, seed="s")
+        assert scheme.reconstruct(shares[:3]) == secret
+
+    def test_any_subset_of_threshold_size_reconstructs(self):
+        scheme = ShamirSecretSharing(threshold=2, n_shares=4)
+        secret = 987654321
+        shares = scheme.split(secret, seed="t")
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert scheme.reconstruct([shares[i], shares[j]]) == secret
+
+    def test_more_than_threshold_also_works(self):
+        scheme = ShamirSecretSharing(threshold=2, n_shares=5)
+        shares = scheme.split(42, seed="u")
+        assert scheme.reconstruct(shares) == 42
+
+    def test_too_few_shares_rejected(self):
+        scheme = ShamirSecretSharing(threshold=3, n_shares=5)
+        shares = scheme.split(7, seed="v")
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct(shares[:2])
+
+    def test_duplicate_shares_do_not_count_twice(self):
+        scheme = ShamirSecretSharing(threshold=3, n_shares=5)
+        shares = scheme.split(7, seed="w")
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct([shares[0], shares[0], shares[0]])
+
+    def test_threshold_minus_one_shares_do_not_reveal_secret(self):
+        # With t-1 shares the reconstruction of the wrong subset should not
+        # accidentally produce the secret (overwhelmingly unlikely).
+        scheme = ShamirSecretSharing(threshold=2, n_shares=3)
+        secret = 555
+        shares = scheme.split(secret, seed="x")
+        single_point_guess = shares[0].y  # evaluating the polynomial at x=1 is not the secret
+        assert single_point_guess != secret
+
+    def test_bytes_secret_roundtrip(self):
+        scheme = ShamirSecretSharing(threshold=2, n_shares=3)
+        secret = b"\x01\x02" * 16
+        shares = scheme.split(secret, seed="y")
+        assert scheme.reconstruct_bytes(shares[:2], length=32) == secret
+
+    def test_secret_too_large_rejected(self):
+        scheme = ShamirSecretSharing(threshold=2, n_shares=3)
+        with pytest.raises(SecretSharingError):
+            scheme.split((1 << 521) - 1, seed="z")
+
+    def test_deterministic_shares_for_same_seed(self):
+        scheme = ShamirSecretSharing(threshold=2, n_shares=3)
+        assert scheme.split(99, seed="a") == scheme.split(99, seed="a")
+
+    def test_different_seed_different_shares(self):
+        scheme = ShamirSecretSharing(threshold=2, n_shares=3)
+        assert scheme.split(99, seed="a") != scheme.split(99, seed="b")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**256),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_property_roundtrip(self, secret, threshold, extra_shares):
+        n_shares = threshold + extra_shares
+        scheme = ShamirSecretSharing(threshold=threshold, n_shares=n_shares)
+        shares = scheme.split(secret, seed=secret % 1000)
+        assert scheme.reconstruct(shares[:threshold]) == secret
+        assert scheme.reconstruct(list(reversed(shares))[:threshold]) == secret

@@ -1,0 +1,76 @@
+"""Tests for the synthetic digits dataset (repro.datasets.digits)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.digits import DIGITS_N_CLASSES, DIGITS_N_FEATURES, DIGITS_N_SAMPLES, load_digits
+from repro.exceptions import ValidationError
+from repro.fl.logistic_regression import LogisticRegressionModel
+
+
+class TestShapeAndRange:
+    def test_default_shape_matches_optdigits(self):
+        features, labels = load_digits()
+        assert features.shape == (DIGITS_N_SAMPLES, DIGITS_N_FEATURES)
+        assert labels.shape == (DIGITS_N_SAMPLES,)
+
+    def test_ten_classes_present_and_balanced(self):
+        _, labels = load_digits(n_samples=1000)
+        counts = np.bincount(labels, minlength=DIGITS_N_CLASSES)
+        assert len(counts) == DIGITS_N_CLASSES
+        assert counts.min() >= 90
+
+    def test_pixel_range(self):
+        features, _ = load_digits(n_samples=500)
+        assert features.min() >= 0.0
+        assert features.max() <= 16.0
+
+    def test_normalized_variant(self):
+        features, _ = load_digits(n_samples=200, normalized=True)
+        assert features.max() <= 1.0
+
+    def test_custom_sample_count(self):
+        features, labels = load_digits(n_samples=777)
+        assert features.shape[0] == 777 and labels.size == 777
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValidationError):
+            load_digits(n_samples=5)
+
+
+class TestDeterminismAndVariation:
+    def test_same_seed_same_data(self):
+        a_features, a_labels = load_digits(n_samples=300, seed=1)
+        b_features, b_labels = load_digits(n_samples=300, seed=1)
+        assert np.array_equal(a_features, b_features)
+        assert np.array_equal(a_labels, b_labels)
+
+    def test_different_seed_different_data(self):
+        a_features, _ = load_digits(n_samples=300, seed=1)
+        b_features, _ = load_digits(n_samples=300, seed=2)
+        assert not np.array_equal(a_features, b_features)
+
+    def test_samples_within_a_class_vary(self):
+        features, labels = load_digits(n_samples=500, seed=0)
+        class_zero = features[labels == 0]
+        assert not np.allclose(class_zero[0], class_zero[1])
+
+    def test_classes_are_distinguishable(self):
+        # Class means must be pairwise distinct enough for a linear model.
+        features, labels = load_digits(n_samples=1000, seed=0)
+        means = np.stack([features[labels == c].mean(axis=0) for c in range(DIGITS_N_CLASSES)])
+        for i in range(DIGITS_N_CLASSES):
+            for j in range(i + 1, DIGITS_N_CLASSES):
+                assert np.linalg.norm(means[i] - means[j]) > 1.0
+
+
+class TestLearnability:
+    def test_logistic_regression_learns_the_task(self):
+        features, labels = load_digits(n_samples=1200, seed=3, normalized=True)
+        split = 1000
+        model = LogisticRegressionModel(DIGITS_N_FEATURES, DIGITS_N_CLASSES)
+        model.fit(features[:split], labels[:split], epochs=120, learning_rate=2.0)
+        metrics = model.evaluate(features[split:], labels[split:])
+        assert metrics["accuracy"] > 0.85

@@ -1,0 +1,91 @@
+"""Tests for dataset partitioning (repro.fl.partition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PartitionError
+from repro.fl.partition import dirichlet_partition, uniform_partition
+
+
+class TestUniformPartition:
+    def test_covers_all_indices_exactly_once(self):
+        parts = uniform_partition(100, 7, seed=1)
+        combined = np.concatenate(parts)
+        assert sorted(combined.tolist()) == list(range(100))
+
+    def test_sizes_are_balanced(self):
+        parts = uniform_partition(100, 7, seed=1)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_for_seed(self):
+        a = uniform_partition(50, 5, seed=3)
+        b = uniform_partition(50, 5, seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_different_seed_changes_partition(self):
+        a = uniform_partition(50, 5, seed=3)
+        b = uniform_partition(50, 5, seed=4)
+        assert any(not np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_single_owner_gets_everything(self):
+        parts = uniform_partition(10, 1, seed=0)
+        assert len(parts) == 1 and len(parts[0]) == 10
+
+    def test_rejects_more_owners_than_samples(self):
+        with pytest.raises(PartitionError):
+            uniform_partition(3, 5)
+
+    def test_rejects_non_positive_owner_count(self):
+        with pytest.raises(PartitionError):
+            uniform_partition(10, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(10, 200), st.integers(1, 9), st.integers(0, 100))
+    def test_property_partition_is_a_partition(self, n_samples, n_owners, seed):
+        parts = uniform_partition(n_samples, n_owners, seed=seed)
+        combined = np.concatenate(parts)
+        assert len(combined) == n_samples
+        assert len(set(combined.tolist())) == n_samples
+
+
+class TestDirichletPartition:
+    @pytest.fixture(scope="class")
+    def labels(self):
+        rng = np.random.default_rng(0)
+        return rng.integers(0, 5, size=400)
+
+    def test_covers_all_indices_exactly_once(self, labels):
+        parts = dirichlet_partition(labels, 6, alpha=0.5, seed=1)
+        combined = np.concatenate(parts)
+        assert sorted(combined.tolist()) == list(range(len(labels)))
+
+    def test_every_owner_meets_minimum(self, labels):
+        parts = dirichlet_partition(labels, 6, alpha=0.3, seed=1, min_samples_per_owner=5)
+        assert all(len(p) >= 5 for p in parts)
+
+    def test_small_alpha_is_more_skewed_than_large_alpha(self, labels):
+        def skew(parts):
+            sizes = np.array([len(p) for p in parts], dtype=float)
+            return sizes.std() / sizes.mean()
+
+        skew_small = skew(dirichlet_partition(labels, 5, alpha=0.05, seed=2))
+        skew_large = skew(dirichlet_partition(labels, 5, alpha=100.0, seed=2))
+        assert skew_small > skew_large
+
+    def test_deterministic_for_seed(self, labels):
+        a = dirichlet_partition(labels, 4, alpha=0.5, seed=9)
+        b = dirichlet_partition(labels, 4, alpha=0.5, seed=9)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_rejects_bad_alpha(self, labels):
+        with pytest.raises(PartitionError):
+            dirichlet_partition(labels, 4, alpha=0.0)
+
+    def test_rejects_impossible_minimum(self, labels):
+        with pytest.raises(PartitionError):
+            dirichlet_partition(labels, 4, alpha=0.5, min_samples_per_owner=1000)

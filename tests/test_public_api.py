@@ -1,0 +1,44 @@
+"""Tests for the top-level public API surface (repro.__init__)."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_are_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} is declared in __all__ but missing"
+
+    def test_key_entry_points_are_the_real_objects(self):
+        from repro.core.protocol import BlockchainFLProtocol
+        from repro.shapley.native import native_shapley
+
+        assert repro.BlockchainFLProtocol is BlockchainFLProtocol
+        assert repro.native_shapley is native_shapley
+
+    def test_subpackages_import_cleanly(self):
+        import repro.analysis
+        import repro.blockchain
+        import repro.core
+        import repro.crypto
+        import repro.datasets
+        import repro.fl
+        import repro.shapley
+
+        for module in (repro.analysis, repro.blockchain, repro.core, repro.crypto, repro.datasets, repro.fl, repro.shapley):
+            assert module.__doc__, f"{module.__name__} is missing a module docstring"
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.blockchain
+        import repro.crypto
+        import repro.fl
+        import repro.shapley
+
+        for module in (repro.blockchain, repro.crypto, repro.fl, repro.shapley):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"

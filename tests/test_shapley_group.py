@@ -1,0 +1,236 @@
+"""Tests for GroupSV, Algorithm 1 (repro.shapley.group)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GroupingError, ShapleyError
+from repro.fl.model import ModelParameters
+from repro.shapley.group import (
+    accumulate_user_values,
+    aggregate_group_models,
+    compute_group_shapley,
+    group_members,
+    group_shapley_round,
+    make_groups,
+    permute_users,
+)
+from repro.shapley.metrics import cosine_similarity
+from repro.shapley.native import native_shapley
+from repro.shapley.utility import CoalitionModelUtility
+
+
+USERS = [f"u{i}" for i in range(9)]
+
+
+class TestPermutation:
+    def test_deterministic_in_seed_and_round(self):
+        assert permute_users(USERS, 13, 2) == permute_users(USERS, 13, 2)
+
+    def test_round_changes_permutation(self):
+        assert permute_users(USERS, 13, 0) != permute_users(USERS, 13, 1)
+
+    def test_seed_changes_permutation(self):
+        assert permute_users(USERS, 13, 0) != permute_users(USERS, 14, 0)
+
+    def test_independent_of_input_order(self):
+        assert permute_users(USERS, 13, 0) == permute_users(list(reversed(USERS)), 13, 0)
+
+    def test_is_a_permutation(self):
+        assert sorted(permute_users(USERS, 1, 1)) == sorted(USERS)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GroupingError):
+            permute_users([], 1, 1)
+
+
+class TestGrouping:
+    def test_paper_example_shape(self):
+        # 9 users, m = 3 -> three groups of three.
+        groups = make_groups(USERS, 3, seed=7, round_number=0)
+        assert len(groups) == 3
+        assert all(len(group) == 3 for group in groups)
+
+    def test_groups_partition_the_users(self):
+        groups = make_groups(USERS, 4, seed=7, round_number=1)
+        flattened = [user for group in groups for user in group]
+        assert sorted(flattened) == sorted(USERS)
+
+    def test_m_equals_n_gives_singletons(self):
+        groups = make_groups(USERS, len(USERS), seed=7, round_number=0)
+        assert all(len(group) == 1 for group in groups)
+
+    def test_m_equals_one_gives_single_group(self):
+        groups = make_groups(USERS, 1, seed=7, round_number=0)
+        assert len(groups) == 1 and len(groups[0]) == len(USERS)
+
+    def test_uneven_division_never_leaves_empty_groups(self):
+        groups = make_groups(USERS, 4, seed=3, round_number=2)
+        assert all(group for group in groups)
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [2, 2, 2, 3]
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(GroupingError):
+            make_groups(USERS, 0, seed=1, round_number=0)
+        with pytest.raises(GroupingError):
+            make_groups(USERS, len(USERS) + 1, seed=1, round_number=0)
+
+    def test_rejects_duplicate_users(self):
+        with pytest.raises(GroupingError):
+            make_groups(["a", "a", "b"], 2, seed=1, round_number=0)
+
+    def test_group_members_inverts_grouping(self):
+        groups = make_groups(USERS, 3, seed=5, round_number=0)
+        membership = group_members(groups)
+        for index, group in enumerate(groups):
+            for user in group:
+                assert membership[user] == index
+
+    def test_group_members_rejects_duplicates(self):
+        with pytest.raises(GroupingError):
+            group_members([["a"], ["a"]])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 12), st.integers(1, 12), st.integers(0, 50), st.integers(0, 5))
+    def test_property_grouping_is_a_partition(self, n_users, m, seed, round_number):
+        users = [f"user-{i}" for i in range(n_users)]
+        m = min(m, n_users)
+        groups = make_groups(users, m, seed, round_number)
+        flattened = [u for g in groups for u in g]
+        assert sorted(flattened) == sorted(users)
+        assert len(groups) == m
+        assert max(len(g) for g in groups) - min(len(g) for g in groups) <= 1
+
+
+def make_local_models(users, dimension=12, seed=0, quality_gradient=False):
+    """Deterministic synthetic local models; optionally degrade later users."""
+    rng = np.random.default_rng(seed)
+    template = ModelParameters.from_mapping({"w": np.zeros(dimension)})
+    models = {}
+    shared_direction = rng.normal(size=dimension)
+    for rank, user in enumerate(sorted(users)):
+        noise = rng.normal(size=dimension)
+        scale = rank if quality_gradient else 1.0
+        models[user] = template.from_vector(shared_direction + scale * 0.5 * noise)
+    return models
+
+
+class FakeScorer:
+    """A deterministic stand-in for AccuracyUtility: higher mean weight = better."""
+
+    n_classes = 2
+
+    def score(self, parameters):
+        return float(np.tanh(parameters.to_vector().mean()))
+
+    def score_vector(self, vector):
+        return float(np.tanh(np.asarray(vector).mean()))
+
+
+class TestAggregateGroupModels:
+    def test_group_model_is_member_mean(self):
+        users = USERS[:4]
+        models = make_local_models(users)
+        groups = [["u0", "u1"], ["u2", "u3"]]
+        group_models = aggregate_group_models(groups, models)
+        expected = ModelParameters.mean([models["u0"], models["u1"]])
+        assert group_models[0].allclose(expected)
+
+    def test_missing_model_rejected(self):
+        models = make_local_models(USERS[:2])
+        with pytest.raises(ShapleyError):
+            aggregate_group_models([["u0", "u9"]], models)
+
+
+class TestComputeGroupShapley:
+    def test_user_values_split_group_value_equally(self):
+        users = USERS[:6]
+        models = make_local_models(users)
+        result = group_shapley_round(models, m=2, seed=3, round_number=0, scorer=FakeScorer())
+        for group, value in zip(result.groups, result.group_values):
+            for user in group:
+                assert result.user_values[user] == pytest.approx(value / len(group))
+
+    def test_efficiency_over_groups(self):
+        users = USERS[:6]
+        models = make_local_models(users)
+        result = group_shapley_round(models, m=3, seed=3, round_number=0, scorer=FakeScorer())
+        grand_label = tuple(sorted(f"group-{j}" for j in range(3)))
+        grand_utility = result.coalition_utilities[grand_label]
+        assert sum(result.group_values) == pytest.approx(grand_utility, abs=1e-9)
+
+    def test_m_equals_n_matches_native_shapley_over_users(self):
+        users = USERS[:5]
+        models = make_local_models(users, quality_gradient=True)
+        scorer = FakeScorer()
+        result = group_shapley_round(models, m=len(users), seed=9, round_number=0, scorer=scorer)
+
+        utility = CoalitionModelUtility(models, scorer)  # type: ignore[arg-type]
+        native = native_shapley(users, utility)
+        # With singleton groups the group game *is* the user game; values match
+        # up to the group labelling.
+        for group, value in zip(result.groups, result.group_values):
+            assert value == pytest.approx(native[group[0]], abs=1e-9)
+
+    def test_global_model_is_mean_of_group_models(self):
+        users = USERS[:4]
+        models = make_local_models(users)
+        groups = make_groups(users, 2, 5, 0)
+        group_models = aggregate_group_models(groups, models)
+        result = compute_group_shapley(group_models, groups, FakeScorer())
+        assert result.global_model.allclose(ModelParameters.mean(group_models))
+
+    def test_coalition_utilities_cover_the_power_set(self):
+        users = USERS[:6]
+        models = make_local_models(users)
+        result = group_shapley_round(models, m=3, seed=3, round_number=0, scorer=FakeScorer())
+        assert len(result.coalition_utilities) == 2**3 - 1
+
+    def test_mismatched_groups_and_models_rejected(self):
+        users = USERS[:4]
+        models = make_local_models(users)
+        groups = make_groups(users, 2, 5, 0)
+        group_models = aggregate_group_models(groups, models)
+        with pytest.raises(ShapleyError):
+            compute_group_shapley(group_models[:1], groups, FakeScorer())
+
+    def test_accumulate_user_values_sums_rounds(self):
+        users = USERS[:4]
+        models = make_local_models(users)
+        results = [
+            group_shapley_round(models, m=2, seed=3, round_number=r, scorer=FakeScorer()) for r in range(3)
+        ]
+        totals = accumulate_user_values(results)
+        for user in users:
+            assert totals[user] == pytest.approx(sum(r.user_values[user] for r in results))
+
+    def test_group_values_respond_to_model_quality(self, scorer, local_models):
+        # With a real scorer and real local models, the grand coalition utility
+        # must be positive and every group value finite.
+        result = group_shapley_round(local_models, m=2, seed=13, round_number=0, scorer=scorer)
+        assert all(np.isfinite(v) for v in result.group_values)
+        grand = result.coalition_utilities[tuple(sorted(f"group-{j}" for j in range(2)))]
+        assert grand > 0.3
+
+    def test_resolution_increases_with_m(self, scorer, local_models):
+        # More groups -> more distinct user values (higher resolution).
+        few = group_shapley_round(local_models, m=1, seed=13, round_number=0, scorer=scorer)
+        many = group_shapley_round(local_models, m=len(local_models), seed=13, round_number=0, scorer=scorer)
+        assert len(set(np.round(list(few.user_values.values()), 12))) <= len(
+            set(np.round(list(many.user_values.values()), 12))
+        )
+
+    def test_group_sv_approaches_native_sv_in_cosine(self, scorer, local_models):
+        users = sorted(local_models)
+        utility = CoalitionModelUtility(local_models, scorer)
+        native = native_shapley(users, utility)
+        sims = []
+        for m in (1, len(users)):
+            result = group_shapley_round(local_models, m=m, seed=13, round_number=0, scorer=scorer)
+            sims.append(cosine_similarity(result.user_values, native))
+        # Full-resolution grouping reproduces the native values exactly (cosine 1).
+        assert sims[-1] == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,103 @@
+"""Tests for Monte-Carlo Shapley approximations (repro.shapley.montecarlo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ShapleyError
+from repro.shapley.montecarlo import permutation_sampling_shapley, truncated_monte_carlo_shapley
+from repro.shapley.native import native_shapley
+from repro.shapley.utility import CachedUtility
+
+
+def additive_utility(private):
+    return lambda coalition: sum(private[p] for p in coalition)
+
+
+class TestPermutationSampling:
+    def test_exact_for_additive_games(self):
+        # For additive games every permutation gives identical marginals, so the
+        # estimator is exact after a single permutation.
+        private = {"a": 1.0, "b": 2.0, "c": 3.0}
+        estimate = permutation_sampling_shapley(list(private), additive_utility(private), n_permutations=1)
+        for player, value in private.items():
+            assert estimate[player] == pytest.approx(value)
+
+    def test_converges_to_native_values(self):
+        def utility(coalition):
+            value = len(coalition) ** 1.5
+            if {"a", "b"}.issubset(coalition):
+                value += 2.0
+            return value
+
+        players = ["a", "b", "c", "d"]
+        exact = native_shapley(players, utility)
+        estimate = permutation_sampling_shapley(players, utility, n_permutations=2000, seed=3)
+        for player in players:
+            assert estimate[player] == pytest.approx(exact[player], abs=0.15)
+
+    def test_efficiency_holds_per_estimate(self):
+        def utility(coalition):
+            return float(len(coalition)) ** 2
+
+        players = ["a", "b", "c"]
+        estimate = permutation_sampling_shapley(players, utility, n_permutations=50, seed=1)
+        assert sum(estimate.values()) == pytest.approx(utility(tuple(players)))
+
+    def test_deterministic_for_seed(self):
+        def utility(coalition):
+            return float(len(coalition))
+
+        players = ["a", "b", "c"]
+        a = permutation_sampling_shapley(players, utility, n_permutations=20, seed=5)
+        b = permutation_sampling_shapley(players, utility, n_permutations=20, seed=5)
+        assert a == b
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ShapleyError):
+            permutation_sampling_shapley([], lambda s: 0.0)
+        with pytest.raises(ShapleyError):
+            permutation_sampling_shapley(["a"], lambda s: 0.0, n_permutations=0)
+
+
+class TestTruncatedMonteCarlo:
+    def test_matches_plain_sampling_when_tolerance_is_zero(self):
+        def utility(coalition):
+            return float(len(coalition))
+
+        players = ["a", "b", "c", "d"]
+        plain = permutation_sampling_shapley(players, utility, n_permutations=40, seed=7)
+        truncated = truncated_monte_carlo_shapley(players, utility, n_permutations=40, tolerance=0.0, seed=7)
+        for player in players:
+            assert truncated[player] == pytest.approx(plain[player])
+
+    def test_truncation_saves_utility_evaluations(self):
+        # Utility saturates once 2 of 6 players are present, so TMC should stop
+        # scanning permutations early and evaluate far fewer coalitions.
+        players = [f"p{i}" for i in range(6)]
+
+        def utility(coalition):
+            return min(len(coalition), 2) / 2.0
+
+        plain_cache = CachedUtility(utility)
+        permutation_sampling_shapley(players, plain_cache, n_permutations=60, seed=2)
+        tmc_cache = CachedUtility(utility)
+        truncated_monte_carlo_shapley(players, tmc_cache, n_permutations=60, tolerance=0.0, seed=2)
+        assert tmc_cache.evaluations() <= plain_cache.evaluations()
+
+    def test_estimates_remain_close_to_exact_under_truncation(self):
+        private = {"a": 1.0, "b": 2.0, "c": 0.5}
+        exact = native_shapley(list(private), additive_utility(private))
+        estimate = truncated_monte_carlo_shapley(
+            list(private), additive_utility(private), n_permutations=500, tolerance=0.01, seed=4
+        )
+        for player in private:
+            assert estimate[player] == pytest.approx(exact[player], abs=0.15)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ShapleyError):
+            truncated_monte_carlo_shapley(["a"], lambda s: 0.0, tolerance=-1.0)
+
+    def test_rejects_empty_players(self):
+        with pytest.raises(ShapleyError):
+            truncated_monte_carlo_shapley([], lambda s: 0.0)

@@ -1,0 +1,151 @@
+"""Tests for utility functions (repro.shapley.utility)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UtilityError, ValidationError
+from repro.fl.model import ModelParameters
+from repro.shapley.utility import (
+    AccuracyUtility,
+    CachedUtility,
+    CoalitionModelUtility,
+    RetrainUtility,
+)
+
+
+class TestAccuracyUtility:
+    def test_score_of_perfect_model_is_one(self, dataset, scorer):
+        # Train a strong model on the full training data and check the scorer
+        # reports its (high) accuracy consistently with direct evaluation.
+        from repro.fl.logistic_regression import LogisticRegressionModel
+
+        model = LogisticRegressionModel(dataset.n_features, dataset.n_classes)
+        model.fit(dataset.train_features, dataset.train_labels, epochs=40, learning_rate=2.0)
+        direct = model.evaluate(dataset.test_features, dataset.test_labels)["accuracy"]
+        assert scorer.score(model.parameters) == pytest.approx(direct)
+
+    def test_score_vector_matches_score(self, dataset, scorer, local_models):
+        params = next(iter(local_models.values()))
+        assert scorer.score_vector(params.to_vector()) == pytest.approx(scorer.score(params))
+
+    def test_zero_model_scores_near_chance(self, dataset, scorer):
+        from repro.fl.logistic_regression import LogisticRegressionModel
+
+        zero = LogisticRegressionModel(dataset.n_features, dataset.n_classes).parameters
+        assert scorer.score(zero) < 0.35
+
+    def test_macro_f1_metric_variant(self, dataset, local_models):
+        scorer = AccuracyUtility(dataset.test_features, dataset.test_labels, dataset.n_classes, metric="macro_f1")
+        value = scorer.score(next(iter(local_models.values())))
+        assert 0.0 <= value <= 1.0
+
+    def test_unknown_metric_rejected(self, dataset):
+        with pytest.raises(ValidationError):
+            AccuracyUtility(dataset.test_features, dataset.test_labels, dataset.n_classes, metric="auc")
+
+    def test_empty_test_set_rejected(self):
+        with pytest.raises(ValidationError):
+            AccuracyUtility(np.zeros((0, 4)), np.zeros(0), 3)
+
+    def test_direct_coalition_call_is_an_error(self, scorer):
+        with pytest.raises(UtilityError):
+            scorer(("a",))
+
+
+class TestRetrainUtility:
+    @pytest.fixture(scope="class")
+    def retrain(self, dataset, owners, scorer):
+        from repro.fl.server import CentralizedTrainer
+
+        owner_features = {o.owner_id: o.features for o in owners}
+        owner_labels = {o.owner_id: o.labels for o in owners}
+        trainer = CentralizedTrainer(dataset.n_features, dataset.n_classes, epochs=15, learning_rate=2.0)
+        return RetrainUtility(owner_features, owner_labels, scorer, trainer=trainer)
+
+    def test_empty_coalition_is_zero(self, retrain):
+        assert retrain(()) == 0.0
+
+    def test_grand_coalition_beats_single_owner(self, retrain, owners):
+        ids = sorted(o.owner_id for o in owners)
+        assert retrain(tuple(ids)) >= retrain((ids[-1],)) - 0.05
+
+    def test_coalition_order_does_not_matter(self, retrain, owners):
+        ids = sorted(o.owner_id for o in owners)[:2]
+        assert retrain(tuple(ids)) == pytest.approx(retrain(tuple(reversed(ids))))
+
+    def test_unknown_owner_rejected(self, retrain):
+        with pytest.raises(UtilityError):
+            retrain(("ghost",))
+
+    def test_evaluation_counter_increments(self, retrain, owners):
+        before = retrain.evaluations()
+        retrain((sorted(o.owner_id for o in owners)[0],))
+        assert retrain.evaluations() == before + 1
+
+    def test_mismatched_owner_maps_rejected(self, dataset, owners, scorer):
+        owner_features = {o.owner_id: o.features for o in owners}
+        owner_labels = {o.owner_id: o.labels for o in owners[:-1]}
+        with pytest.raises(ValidationError):
+            RetrainUtility(owner_features, owner_labels, scorer)
+
+
+class TestCoalitionModelUtility:
+    def test_singleton_coalition_scores_the_member_model(self, scorer, local_models):
+        utility = CoalitionModelUtility(local_models, scorer)
+        owner = sorted(local_models)[0]
+        assert utility((owner,)) == pytest.approx(scorer.score(local_models[owner]))
+
+    def test_coalition_model_is_plain_average(self, scorer, local_models):
+        utility = CoalitionModelUtility(local_models, scorer)
+        pair = tuple(sorted(local_models)[:2])
+        averaged = ModelParameters.mean([local_models[pair[0]], local_models[pair[1]]])
+        assert utility(pair) == pytest.approx(scorer.score(averaged))
+
+    def test_empty_coalition_is_zero(self, scorer, local_models):
+        assert CoalitionModelUtility(local_models, scorer)(()) == 0.0
+
+    def test_unknown_member_rejected(self, scorer, local_models):
+        with pytest.raises(UtilityError):
+            CoalitionModelUtility(local_models, scorer)(("ghost",))
+
+    def test_empty_member_map_rejected(self, scorer):
+        with pytest.raises(ValidationError):
+            CoalitionModelUtility({}, scorer)
+
+
+class TestCachedUtility:
+    def test_caches_by_sorted_coalition(self):
+        calls = []
+
+        def utility(coalition):
+            calls.append(coalition)
+            return float(len(coalition))
+
+        cached = CachedUtility(utility)
+        assert cached(("b", "a")) == cached(("a", "b"))
+        assert len(calls) == 1
+
+    def test_empty_coalition_uses_empty_value_without_calling_inner(self):
+        calls = []
+        cached = CachedUtility(lambda s: calls.append(s) or 1.0)
+        assert cached(()) == 0.0
+        assert calls == []
+
+    def test_evaluations_counts_distinct_coalitions(self):
+        cached = CachedUtility(lambda s: 1.0)
+        cached(("a",))
+        cached(("a",))
+        cached(("b",))
+        assert cached.evaluations() == 2
+
+    def test_cache_contents_snapshot(self):
+        cached = CachedUtility(lambda s: float(len(s)))
+        cached(("a", "b"))
+        assert cached.cache_contents() == {("a", "b"): 2.0}
+
+    def test_inherits_empty_value_from_utility_function(self, scorer, local_models):
+        inner = CoalitionModelUtility(local_models, scorer)
+        inner.empty_value = 0.25
+        assert CachedUtility(inner)(()) == 0.25

@@ -1,0 +1,131 @@
+"""Tests for canonical serialization (repro.utils.serialization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ValidationError
+from repro.utils.serialization import canonical_dumps, canonical_loads, decode_array, encode_array
+
+
+class TestCanonicalDumps:
+    def test_dict_key_order_does_not_matter(self):
+        assert canonical_dumps({"a": 1, "b": 2}) == canonical_dumps({"b": 2, "a": 1})
+
+    def test_output_is_compact(self):
+        text = canonical_dumps({"a": [1, 2, 3]})
+        assert " " not in text
+
+    def test_none_roundtrip(self):
+        assert canonical_loads(canonical_dumps(None)) is None
+
+    def test_bool_roundtrip(self):
+        assert canonical_loads(canonical_dumps({"flag": True})) == {"flag": True}
+
+    def test_nested_structures_roundtrip(self):
+        obj = {"a": [1, 2, {"b": [3.5, "x"]}], "c": None}
+        assert canonical_loads(canonical_dumps(obj)) == obj
+
+    def test_bytes_roundtrip(self):
+        obj = {"blob": b"\x00\x01\xffhello"}
+        assert canonical_loads(canonical_dumps(obj)) == obj
+
+    def test_big_int_roundtrip(self):
+        value = 2**521 - 1
+        assert canonical_loads(canonical_dumps({"k": value})) == {"k": value}
+
+    def test_small_int_stays_plain_json_number(self):
+        assert canonical_dumps(42) == "42"
+
+    def test_tuple_becomes_list(self):
+        assert canonical_loads(canonical_dumps((1, 2))) == [1, 2]
+
+    def test_numpy_scalar_is_serialized_as_python_number(self):
+        assert canonical_loads(canonical_dumps({"x": np.int64(7)})) == {"x": 7}
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(ValidationError):
+            canonical_dumps({1: "a"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ValidationError):
+            canonical_dumps({"x": object()})
+
+    def test_determinism_across_calls(self):
+        obj = {"z": [1, 2], "a": {"nested": True}}
+        assert canonical_dumps(obj) == canonical_dumps(obj)
+
+
+class TestArrayEncoding:
+    def test_roundtrip_float_array(self):
+        arr = np.array([[1.5, -2.25], [0.0, 1e-30]])
+        assert np.array_equal(decode_array(encode_array(arr)), arr)
+
+    def test_roundtrip_preserves_dtype(self):
+        arr = np.arange(10, dtype=np.uint64)
+        decoded = decode_array(encode_array(arr))
+        assert decoded.dtype == np.uint64
+        assert np.array_equal(decoded, arr)
+
+    def test_roundtrip_preserves_shape(self):
+        arr = np.zeros((3, 4, 5))
+        assert decode_array(encode_array(arr)).shape == (3, 4, 5)
+
+    def test_roundtrip_through_canonical_json(self):
+        arr = np.linspace(-1, 1, 17)
+        restored = canonical_loads(canonical_dumps({"w": arr}))["w"]
+        assert np.array_equal(restored, arr)
+
+    def test_decode_rejects_non_array_payload(self):
+        with pytest.raises(ValidationError):
+            decode_array({"dtype": "float64", "shape": [1]})
+
+    def test_nan_and_inf_roundtrip_bit_exact(self):
+        arr = np.array([np.nan, np.inf, -np.inf, 0.0])
+        decoded = decode_array(encode_array(arr))
+        assert np.array_equal(decoded, arr, equal_nan=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=st.sampled_from([np.float64, np.int64, np.uint64]),
+            shape=hnp.array_shapes(max_dims=3, max_side=6),
+            elements=st.integers(min_value=0, max_value=1000),
+        )
+    )
+    def test_property_roundtrip_any_array(self, arr):
+        decoded = canonical_loads(canonical_dumps({"a": arr}))["a"]
+        assert decoded.dtype == arr.dtype
+        assert np.array_equal(decoded, arr)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-(2**60), max_value=2**60),
+                st.floats(allow_nan=False, allow_infinity=False, width=32).map(float),
+                st.text(max_size=12),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=6), children, max_size=4),
+            ),
+            max_leaves=12,
+        )
+    )
+    def test_property_roundtrip_json_like_objects(self, obj):
+        assert canonical_loads(canonical_dumps(obj)) == obj
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=8), st.integers(-5, 5), min_size=1, max_size=6)
+    )
+    def test_property_hash_stability_under_key_insertion_order(self, mapping):
+        reversed_mapping = dict(reversed(list(mapping.items())))
+        assert canonical_dumps(mapping) == canonical_dumps(reversed_mapping)

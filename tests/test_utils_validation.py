@@ -1,0 +1,95 @@
+"""Tests for validation helpers (repro.utils.validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    ensure_finite,
+    ensure_in_range,
+    ensure_non_negative_int,
+    ensure_positive_int,
+    ensure_probability,
+    ensure_same_shape,
+)
+
+
+class TestEnsurePositiveInt:
+    def test_accepts_positive(self):
+        assert ensure_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert ensure_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            ensure_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            ensure_positive_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            ensure_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            ensure_positive_int(1.5, "x")
+
+
+class TestEnsureNonNegativeInt:
+    def test_accepts_zero(self):
+        assert ensure_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            ensure_non_negative_int(-3, "x")
+
+
+class TestEnsureProbability:
+    def test_accepts_bounds(self):
+        assert ensure_probability(0, "p") == 0.0
+        assert ensure_probability(1, "p") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            ensure_probability(1.2, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            ensure_probability("high", "p")
+
+
+class TestEnsureInRange:
+    def test_accepts_inside(self):
+        assert ensure_in_range(0.5, 0, 1, "x") == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            ensure_in_range(2.0, 0, 1, "x")
+
+
+class TestEnsureFinite:
+    def test_accepts_finite(self):
+        arr = np.array([1.0, -2.0, 0.0])
+        assert np.array_equal(ensure_finite(arr, "w"), arr)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            ensure_finite(np.array([1.0, np.nan]), "w")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            ensure_finite(np.array([np.inf]), "w")
+
+
+class TestEnsureSameShape:
+    def test_accepts_matching(self):
+        ensure_same_shape(np.zeros((2, 3)), np.ones((2, 3)), "pair")
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError):
+            ensure_same_shape(np.zeros(3), np.zeros(4), "pair")
