@@ -27,10 +27,9 @@ from repro.blockchain.contracts.base import Contract, ContractContext, contract_
 from repro.blockchain.contracts.fl_training import read_round_record
 from repro.blockchain.contracts.registry import read_protocol_params
 from repro.exceptions import ContractStateError, ValidationError
-from repro.fl.logistic_regression import LogisticRegressionModel
-from repro.fl.metrics import accuracy
+from repro.shapley.engine import coalition_utility_table
 from repro.shapley.native import exact_shapley_from_utilities
-from repro.shapley.native import all_coalitions
+from repro.shapley.utility import AccuracyUtility
 
 CONTRACT_NAME = "contribution"
 
@@ -61,6 +60,7 @@ class ContributionContract(Contract):
         if self.validation_features.shape[0] == 0:
             raise ValidationError("the contribution contract needs a non-empty validation set")
         self.n_classes = int(n_classes)
+        self._scorer = AccuracyUtility(self.validation_features, self.validation_labels, self.n_classes)
 
     # ------------------------------------------------------------------
     # Utility scoring
@@ -68,10 +68,7 @@ class ContributionContract(Contract):
 
     def _score_vector(self, vector: np.ndarray) -> float:
         """u(.) — accuracy of a flat-parameter model on the public validation set."""
-        model = LogisticRegressionModel(self.validation_features.shape[1], self.n_classes)
-        model.set_vector(np.asarray(vector, dtype=np.float64))
-        predictions = model.predict(self.validation_features)
-        return accuracy(self.validation_labels, predictions)
+        return self._scorer.score_vector(np.asarray(vector, dtype=np.float64))
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -92,19 +89,21 @@ class ContributionContract(Contract):
 
         m = len(groups)
         labels = [f"group-{j}" for j in range(m)]
-        model_by_label = dict(zip(labels, group_models))
 
-        # Line 4: coalition models are plain averages of the member group models.
-        utilities: dict[tuple[str, ...], float] = {(): 0.0}
-        for coalition in all_coalitions(labels):
-            if not coalition:
-                continue
-            coalition_model = np.mean(
-                np.stack([model_by_label[label] for label in coalition], axis=0), axis=0
-            )
-            utilities[coalition] = self._score_vector(coalition_model)
+        # Line 4: coalition models are plain averages of the member group
+        # models.  The bitmask engine builds all 2^m averages with one
+        # subset-sum DP and scores them in a single batched pass (with a
+        # constant-memory scalar fallback past the engine's budgets).
+        utilities: dict[tuple[str, ...], float] = coalition_utility_table(
+            dict(zip(labels, group_models)), self._scorer
+        )
 
-        # Lines 5-6: group-level Shapley values from the utility table.
+        # Lines 5-6: group-level Shapley values from the utility table, using
+        # the scalar reference assembly.  The evaluation is deterministic for
+        # a given software stack (code version + BLAS backend, which the
+        # protocol already assumes is shared), so honest miners compute
+        # identical receipts; regression tests pin the values against the
+        # pre-engine implementation on seeded workloads.
         group_value_map = exact_shapley_from_utilities(labels, utilities)
         group_values = [group_value_map[label] for label in labels]
 

@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.blockchain.chain import Blockchain
 from repro.exceptions import AuditError
-from repro.shapley.native import all_coalitions, exact_shapley_from_utilities
+from repro.shapley.engine import coalition_utility_table
+from repro.shapley.native import exact_shapley_from_utilities
 
 
 @dataclass
@@ -42,18 +43,20 @@ class AuditReport:
         return self.chain_valid and not self.mismatches
 
 
-def _recompute_round(score_vector, round_record: dict, tolerance: float) -> dict[str, float]:
-    """Recompute Algorithm 1 lines 4-7 from a round's published group models."""
+def _recompute_round(scorer, round_record: dict) -> dict[str, float]:
+    """Recompute Algorithm 1 lines 4-7 from a round's published group models.
+
+    The auditor runs the same vectorized bitmask engine as the contract (the
+    subset-sum coalition construction and batched scoring are deterministic),
+    so within one software stack a reported divergence is a genuine
+    discrepancy in the published values; :func:`audit_chain` compares the
+    recomputed contributions under a tolerance that absorbs residual
+    cross-version numeric drift.
+    """
     groups = [list(group) for group in round_record["groups"]]
     group_models = [np.asarray(model, dtype=np.float64) for model in round_record["group_models"]]
     labels = [f"group-{j}" for j in range(len(groups))]
-    model_by_label = dict(zip(labels, group_models))
-    utilities = {(): 0.0}
-    for coalition in all_coalitions(labels):
-        if not coalition:
-            continue
-        stacked = np.stack([model_by_label[label] for label in coalition], axis=0)
-        utilities[coalition] = score_vector(np.mean(stacked, axis=0))
+    utilities = coalition_utility_table(dict(zip(labels, group_models)), scorer)
     group_value_map = exact_shapley_from_utilities(labels, utilities)
     user_values: dict[str, float] = {}
     for label, group in zip(labels, groups):
@@ -82,16 +85,11 @@ def audit_chain(
         raise_on_failure: raise :class:`AuditError` instead of returning a
             failing report.
     """
-    from repro.fl.logistic_regression import LogisticRegressionModel
-    from repro.fl.metrics import accuracy
+    from repro.shapley.utility import AccuracyUtility
 
     validation_features = np.asarray(validation_features, dtype=np.float64)
     validation_labels = np.asarray(validation_labels).ravel().astype(int)
-
-    def score_vector(vector: np.ndarray) -> float:
-        model = LogisticRegressionModel(validation_features.shape[1], n_classes)
-        model.set_vector(vector)
-        return accuracy(validation_labels, model.predict(validation_features))
+    scorer = AccuracyUtility(validation_features, validation_labels, n_classes)
 
     report = AuditReport(chain_valid=True)
 
@@ -121,7 +119,7 @@ def audit_chain(
         if round_record is None or stored is None:
             report.mismatches.append(f"round {round_number}: missing training or evaluation record")
             continue
-        recomputed = _recompute_round(score_vector, round_record, tolerance)
+        recomputed = _recompute_round(scorer, round_record)
         stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
         if set(recomputed) != set(stored_values):
             report.mismatches.append(f"round {round_number}: contribution covers different owners")

@@ -116,6 +116,23 @@ class FixedPointCodec:
         """Decode a single encoded vector (no aggregation)."""
         return self.decode_sum(encoded, n_summands=1)
 
+    def sum_encoded(self, stacked: np.ndarray) -> np.ndarray:
+        """Ring sum of a ``(k, d)`` stack of encoded/masked vectors in one reduction.
+
+        Because the ring modulus divides 2**64, letting the uint64 sum wrap and
+        reducing once at the end is exactly equal to folding :meth:`add` over
+        the rows — but it is a single vectorized pass instead of k Python-level
+        ring additions.
+        """
+        stacked = np.asarray(stacked, dtype=np.uint64)
+        if stacked.ndim != 2:
+            raise ValidationError("sum_encoded expects a (k, d) stack of ring vectors")
+        with np.errstate(over="ignore"):
+            total = stacked.sum(axis=0, dtype=np.uint64)
+        if self.field_bits < 64:
+            total = total & np.uint64(self.modulus - 1)
+        return total
+
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Ring addition of two encoded/masked vectors."""
         a = np.asarray(a, dtype=np.uint64)

@@ -27,25 +27,43 @@ class HmacDrbg:
     """
 
     _BLOCK = 32  # SHA-256 output size in bytes
+    _CHUNK_BLOCKS = 4096  # counter blocks precomputed per generation chunk
 
     def __init__(self, key: bytes, personalization: bytes = b"") -> None:
         if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
             raise ValidationError("HmacDrbg key must be non-empty bytes")
         self._key = hmac.new(bytes(key), b"seed" + bytes(personalization), hashlib.sha256).digest()
+        # The keyed HMAC context is built once; each block clones it instead of
+        # re-running the two-block HMAC key schedule per 32 bytes of output.
+        self._context = hmac.new(self._key, digestmod=hashlib.sha256)
         self._counter = 0
 
     def generate(self, n_bytes: int) -> bytes:
-        """Produce the next ``n_bytes`` of the deterministic stream."""
+        """Produce the next ``n_bytes`` of the deterministic stream.
+
+        Large requests (full mask vectors) are produced in chunks: the 8-byte
+        big-endian counter blocks of a chunk are precomputed with one NumPy
+        ``arange`` and the digests are joined in one pass, instead of the
+        per-32-byte ``to_bytes``/``bytearray.extend`` loop the scalar
+        implementation used.  The byte stream is unchanged.
+        """
         if n_bytes < 0:
             raise ValidationError("n_bytes must be non-negative")
-        out = bytearray()
-        while len(out) < n_bytes:
-            block = hmac.new(
-                self._key, self._counter.to_bytes(8, "big"), hashlib.sha256
-            ).digest()
-            out.extend(block)
-            self._counter += 1
-        return bytes(out[:n_bytes])
+        if n_bytes == 0:
+            return b""
+        n_blocks = -(-n_bytes // self._BLOCK)
+        digests: list[bytes] = []
+        remaining = n_blocks
+        while remaining:
+            chunk = min(remaining, self._CHUNK_BLOCKS)
+            counters = np.arange(self._counter, self._counter + chunk, dtype=">u8").tobytes()
+            for offset in range(0, chunk * 8, 8):
+                context = self._context.copy()
+                context.update(counters[offset : offset + 8])
+                digests.append(context.digest())
+            self._counter += chunk
+            remaining -= chunk
+        return b"".join(digests)[:n_bytes]
 
     def uint64_array(self, length: int) -> np.ndarray:
         """Produce ``length`` uniform 64-bit unsigned integers."""

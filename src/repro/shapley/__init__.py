@@ -1,7 +1,13 @@
 """Shapley-value contribution evaluation.
 
+* :mod:`repro.shapley.engine` — the vectorized bitmask engine: subset-sum
+  coalition-model construction, batched scoring, and single-pass exact-SV
+  assembly over ``(2^n,)`` utility vectors.
 * :mod:`repro.shapley.utility` — utility functions ``u(S)`` over coalitions
   (test accuracy of a coalition model, the paper's choice, plus alternatives).
+  :class:`~repro.shapley.utility.AccuracyUtility` exposes both the scalar
+  ``score_vector`` and the batched ``score_batch`` (one einsum over a whole
+  ``(k, d)`` stack of flat parameter vectors).
 * :mod:`repro.shapley.native` — the exact ("native") Shapley value, Eq. (1).
 * :mod:`repro.shapley.group` — GroupSV, Algorithm 1 of the paper.
 * :mod:`repro.shapley.montecarlo` — permutation-sampling and truncated
@@ -10,6 +16,18 @@
   (cosine similarity used in Fig. 2, plus rank correlation and L2).
 """
 
+from repro.shapley.engine import (
+    BitmaskCoalitionEngine,
+    coalition_mask,
+    coalition_means,
+    coalition_utility_table,
+    exact_shapley_from_utility_vector,
+    mask_coalition,
+    player_bits,
+    shapley_weight_table,
+    subset_sums,
+    utility_table_to_vector,
+)
 from repro.shapley.group import GroupShapleyResult, compute_group_shapley, group_members, make_groups
 from repro.shapley.metrics import cosine_similarity, l2_distance, max_abs_error, spearman_correlation
 from repro.shapley.montecarlo import permutation_sampling_shapley, truncated_monte_carlo_shapley
@@ -23,6 +41,16 @@ from repro.shapley.utility import (
 )
 
 __all__ = [
+    "BitmaskCoalitionEngine",
+    "coalition_mask",
+    "coalition_means",
+    "coalition_utility_table",
+    "exact_shapley_from_utility_vector",
+    "mask_coalition",
+    "player_bits",
+    "shapley_weight_table",
+    "subset_sums",
+    "utility_table_to_vector",
     "GroupShapleyResult",
     "compute_group_shapley",
     "group_members",

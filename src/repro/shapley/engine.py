@@ -1,0 +1,384 @@
+"""Vectorized bitmask Shapley engine.
+
+The legacy Shapley layer is scalar: :func:`repro.shapley.native.exact_shapley_from_utilities`
+re-enumerates every subset per player (O(n·2^n) Python tuple work) and
+:class:`repro.shapley.utility.CoalitionModelUtility` rebuilds a fresh model per
+coalition.  This module replaces all of that with NumPy over an integer-bitmask
+coalition encoding:
+
+* **Bitmask layout** — the n players are sorted; bit ``i`` of a coalition's
+  index marks the presence of the i-th sorted player.  The full utility table
+  is then a flat ``(2^n,)`` float vector indexed by mask, with ``u[0]`` the
+  empty-coalition utility.
+* **Subset-sum DP** — :func:`subset_sums` turns an ``(m, d)`` matrix of member
+  parameter vectors into the ``(2^m, d)`` matrix of coalition sums in m
+  vectorized halving steps.  Bits are processed in ascending order, so each
+  row accumulates its members exactly as the sequential
+  ``ModelParameters.mean`` fold over the sorted coalition does — the results
+  are bit-for-bit identical, not merely close.
+* **Batched scoring** — :meth:`repro.shapley.utility.AccuracyUtility.score_batch`
+  evaluates every coalition model with a single einsum/argmax instead of
+  2^m separate model instantiations and softmax passes.
+* **Single-pass assembly** — :func:`exact_shapley_from_utility_vector` walks
+  the utility vector once with precomputed ``1/(n·C(n-1, s))`` weight tables
+  (O(2^n) vectorized work instead of O(n·2^n) Python loops).
+
+The tuple-keyed APIs in :mod:`repro.shapley.native` and
+:mod:`repro.shapley.group` remain thin adapters over these kernels, so the
+on-chain contribution contract and every existing caller keep working.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+from math import comb
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapleyError, ValidationError
+
+# 2^24 utility slots (128 MB of float64) is the largest game the vectorized
+# tables are allowed to materialize; beyond that exact SV is infeasible anyway.
+MAX_PLAYERS = 24
+
+# The (2^m, d) coalition-model matrix is capped at this many float64 elements
+# (~2 GB); larger games must use the scalar per-coalition path, which is slow
+# but constant-memory.
+MAX_MODEL_MATRIX_ELEMENTS = 1 << 28
+
+# Coalition models are scored in row chunks of this size so the batched
+# scorer's (n_samples, chunk, n_classes) logits tensor stays bounded no
+# matter how many coalitions the game has.
+SCORE_CHUNK_ROWS = 4096
+
+
+def _check_n_players(n: int) -> int:
+    n = int(n)
+    if n < 1:
+        raise ShapleyError("the bitmask engine requires at least one player")
+    if n > MAX_PLAYERS:
+        raise ShapleyError(
+            f"exact SV over {n} players needs 2^{n} coalition slots; "
+            f"the engine caps at {MAX_PLAYERS} players"
+        )
+    return n
+
+
+# ----------------------------------------------------------------------
+# Bitmask <-> tuple adapters
+# ----------------------------------------------------------------------
+
+def player_bits(players: Iterable[str]) -> dict[str, int]:
+    """Map each player id to its bit index (players are sorted first)."""
+    ordered = sorted(players)
+    if len(set(ordered)) != len(ordered):
+        raise ShapleyError("player ids must be unique")
+    _check_n_players(len(ordered))
+    return {player: index for index, player in enumerate(ordered)}
+
+
+def coalition_mask(coalition: Iterable[str], bits: Mapping[str, int]) -> int:
+    """The integer bitmask of a coalition under a ``player_bits`` assignment."""
+    mask = 0
+    for player in coalition:
+        try:
+            mask |= 1 << bits[player]
+        except KeyError:
+            raise ShapleyError(f"coalition names unknown player {player!r}") from None
+    return mask
+
+
+def mask_coalition(mask: int, players: Sequence[str]) -> tuple[str, ...]:
+    """The sorted coalition tuple encoded by ``mask`` over sorted ``players``."""
+    return tuple(players[i] for i in range(len(players)) if mask >> i & 1)
+
+
+# ----------------------------------------------------------------------
+# Precomputed per-n tables
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=8)
+def popcount_table(n: int) -> np.ndarray:
+    """``(2^n,)`` uint8 array: entry ``mask`` is the coalition size |S|."""
+    _check_n_players(n)
+    counts = np.zeros(1, dtype=np.uint8)
+    for _ in range(n):
+        counts = np.concatenate([counts, counts + np.uint8(1)])
+    counts.setflags(write=False)
+    return counts
+
+
+@lru_cache(maxsize=32)
+def shapley_weight_table(n: int) -> np.ndarray:
+    """``(n,)`` array of the exact-SV weights ``w[s] = 1/(n·C(n-1, s))``."""
+    _check_n_players(n)
+    weights = np.array([1.0 / (n * comb(n - 1, s)) for s in range(n)], dtype=np.float64)
+    weights.setflags(write=False)
+    return weights
+
+
+# ----------------------------------------------------------------------
+# Coalition model construction (subset-sum DP)
+# ----------------------------------------------------------------------
+
+def subset_sums(vectors: np.ndarray) -> np.ndarray:
+    """All-subset sums of the rows of an ``(m, d)`` matrix, as a ``(2^m, d)`` array.
+
+    Row ``mask`` holds the sum of the member rows whose bits are set in
+    ``mask``; row 0 is all zeros.  Each doubling step adds one member to every
+    subset that contains it, so the whole table costs O(2^m · m) vector ops.
+    Members are folded in ascending bit order, which makes every row bit-for-bit
+    equal to the sequential left-to-right sum over the sorted coalition (the
+    accumulation order of ``ModelParameters.mean``).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValidationError("subset_sums expects an (m, d) matrix of member vectors")
+    m, d = vectors.shape
+    _check_n_players(m)
+    sums = np.zeros((1 << m, d), dtype=np.float64)
+    for j in range(m):
+        step = 1 << j
+        view = sums.reshape(-1, 2 * step, d)
+        view[:, step:] = view[:, :step] + vectors[j]
+    return sums
+
+
+def fold_mean(rows: np.ndarray) -> np.ndarray:
+    """Sequential left-to-right average of the rows of a ``(k, d)`` matrix.
+
+    This is the scalar counterpart of :func:`coalition_means`: ascending fold
+    then scale by the reciprocal, the exact accumulation order of
+    ``ModelParameters.mean`` over a sorted coalition.  Every scalar fallback
+    shares this one implementation so the bit-for-bit parity with the batched
+    DP cannot drift copy by copy.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[0] == 0:
+        raise ValidationError("fold_mean expects a non-empty (k, d) matrix")
+    total = rows[0].copy()
+    for extra in rows[1:]:
+        total += extra
+    return total * (1.0 / rows.shape[0])
+
+
+def coalition_means(vectors: np.ndarray) -> np.ndarray:
+    """All-coalition model averages: ``(m, d)`` member vectors -> ``(2^m, d)``.
+
+    Row ``mask`` is ``subset_sums(vectors)[mask] * (1 / |S|)`` — the same
+    scale-by-reciprocal the legacy ``ModelParameters.mean`` applies, so rows
+    match the per-coalition averages bit for bit.  Row 0 (the empty coalition)
+    is left at zero and must not be scored.
+    """
+    sums = subset_sums(vectors)
+    m = int(np.log2(sums.shape[0]) + 0.5)
+    counts = popcount_table(m).astype(np.float64)
+    inverse = np.zeros_like(counts)
+    inverse[1:] = 1.0 / counts[1:]
+    # In place: the sums table is freshly owned, and scaling it directly
+    # halves the peak memory of the (2^m, d) construction.
+    sums *= inverse[:, None]
+    return sums
+
+
+# ----------------------------------------------------------------------
+# Exact Shapley assembly from a utility vector
+# ----------------------------------------------------------------------
+
+def exact_shapley_from_utility_vector(utilities: np.ndarray) -> np.ndarray:
+    """Exact Shapley values of all n players from a ``(2^n,)`` utility vector.
+
+    Uses the identity
+
+        v_i = Σ_{T ∋ i} w[|T|−1]·u[T] − Σ_{S ∌ i} w[|S|]·u[S]
+
+    with ``w[s] = 1/(n·C(n−1, s))``: the vector is reweighted once into
+    "member" and "non-member" contribution arrays, and each player's value is
+    one masked reduction — O(2^n) vectorized work in total, versus the legacy
+    O(n·2^n) Python subset enumeration.
+
+    Args:
+        utilities: utility per coalition bitmask; ``utilities[0]`` is u(∅).
+
+    Returns:
+        ``(n,)`` array of Shapley values, ordered by bit index (sorted players).
+    """
+    u = np.asarray(utilities, dtype=np.float64).ravel()
+    if u.size < 2 or u.size & (u.size - 1):
+        raise ShapleyError(
+            f"utility vector must have 2^n entries for n >= 1 players, got {u.size}"
+        )
+    n = u.size.bit_length() - 1
+    _check_n_players(n)
+    sizes = popcount_table(n)
+    weights = shapley_weight_table(n)
+
+    # Per-size coefficient tables: a coalition of size s contributes with
+    # weight w[s-1] to each member's value and -w[s] to each non-member's.
+    member_weight = np.zeros(n + 1, dtype=np.float64)
+    member_weight[1:] = weights
+    outsider_weight = np.zeros(n + 1, dtype=np.float64)
+    outsider_weight[:n] = weights  # the grand coalition excludes nobody
+
+    member_part = u * member_weight[sizes]
+    outsider_part = u * outsider_weight[sizes]
+    # v_i = Σ_{mask ∋ i} (member_part + outsider_part)[mask] − Σ_all outsider_part
+    combined = member_part + outsider_part
+    outsider_total = outsider_part.sum()
+
+    values = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        step = 1 << i
+        values[i] = combined.reshape(-1, 2, step)[:, 1, :].sum() - outsider_total
+    return values
+
+
+def utility_table_to_vector(
+    players: Sequence[str],
+    utilities: Mapping[tuple[str, ...], float],
+    empty_value: float = 0.0,
+) -> np.ndarray:
+    """Pack a tuple-keyed coalition-utility table into a bitmask-indexed vector.
+
+    Every non-empty subset of ``players`` must be present (keys are sorted
+    tuples); the empty coalition falls back to ``empty_value`` when the table
+    has no explicit ``()`` entry.
+    """
+    bits = player_bits(players)
+    n = len(bits)
+    vector = np.empty(1 << n, dtype=np.float64)
+    vector[0] = float(utilities.get((), empty_value))
+    ordered = sorted(bits, key=bits.get)
+    for mask in range(1, 1 << n):
+        coalition = mask_coalition(mask, ordered)
+        try:
+            vector[mask] = float(utilities[coalition])
+        except KeyError:
+            raise ShapleyError(f"utility table is missing coalition {coalition}") from None
+    return vector
+
+
+# ----------------------------------------------------------------------
+# End-to-end coalition-game engine
+# ----------------------------------------------------------------------
+
+class BitmaskCoalitionEngine:
+    """The full GroupSV inner loop over one model-averaging coalition game.
+
+    Given the members' flat parameter vectors and a scorer, the engine builds
+    every coalition model with the subset-sum DP, scores them all in one
+    batched pass, and assembles exact Shapley values from the utility vector.
+    The tuple-keyed views (:meth:`utility_table`, :meth:`shapley_values`) keep
+    the legacy dict-based APIs working on top of the vectorized core.
+    """
+
+    def __init__(
+        self,
+        member_vectors: Mapping[str, np.ndarray],
+        scorer,
+        empty_value: float = 0.0,
+    ) -> None:
+        if not member_vectors:
+            raise ValidationError("at least one member vector is required")
+        self.players: list[str] = sorted(member_vectors)
+        _check_n_players(len(self.players))
+        self.matrix = np.stack(
+            [np.asarray(member_vectors[player], dtype=np.float64).ravel() for player in self.players]
+        )
+        if (1 << len(self.players)) * self.matrix.shape[1] > MAX_MODEL_MATRIX_ELEMENTS:
+            raise ShapleyError(
+                f"the (2^{len(self.players)}, {self.matrix.shape[1]}) coalition-model matrix "
+                f"exceeds the engine's memory budget; use the scalar per-coalition path"
+            )
+        self.scorer = scorer
+        self.empty_value = float(empty_value)
+        self._utilities: np.ndarray | None = None
+
+    @property
+    def n_players(self) -> int:
+        return len(self.players)
+
+    def utility_vector(self) -> np.ndarray:
+        """``(2^n,)`` utilities of every coalition model (computed once)."""
+        if self._utilities is None:
+            means = coalition_means(self.matrix)
+            utilities = np.empty(means.shape[0], dtype=np.float64)
+            utilities[0] = self.empty_value
+            # Chunked scoring keeps the batched scorer's intermediate logits
+            # tensor bounded regardless of 2^n.
+            for start in range(1, means.shape[0], SCORE_CHUNK_ROWS):
+                stop = min(start + SCORE_CHUNK_ROWS, means.shape[0])
+                utilities[start:stop] = score_vectors(self.scorer, means[start:stop])
+            self._utilities = utilities
+        return self._utilities
+
+    def shapley_values(self) -> dict[str, float]:
+        """Exact Shapley value per player id."""
+        values = exact_shapley_from_utility_vector(self.utility_vector())
+        return {player: float(value) for player, value in zip(self.players, values)}
+
+    def utility_table(self, include_empty: bool = False) -> dict[tuple[str, ...], float]:
+        """The tuple-keyed utility table the legacy APIs expect."""
+        utilities = self.utility_vector()
+        table = {
+            mask_coalition(mask, self.players): float(utilities[mask])
+            for mask in range(1, utilities.size)
+        }
+        if include_empty:
+            table[()] = float(utilities[0])
+        return table
+
+
+def coalition_utility_table(
+    member_vectors: Mapping[str, np.ndarray],
+    scorer,
+    empty_value: float = 0.0,
+) -> dict[tuple[str, ...], float]:
+    """Tuple-keyed utilities of every coalition of the members (incl. ``()``).
+
+    Uses the batched :class:`BitmaskCoalitionEngine` whenever the game fits
+    the engine's player and memory budgets, and otherwise falls back to a
+    constant-memory scalar walk (one sequential-fold average and one scoring
+    call per coalition — the pre-engine behavior), so callers never trade a
+    slow-but-feasible evaluation for a hard error.
+    """
+    players = sorted(member_vectors)
+    if not players:
+        raise ValidationError("at least one member vector is required")
+    vectors = {
+        player: np.asarray(member_vectors[player], dtype=np.float64).ravel() for player in players
+    }
+    dimension = next(iter(vectors.values())).size
+    if (
+        len(players) <= MAX_PLAYERS
+        and (1 << len(players)) * dimension <= MAX_MODEL_MATRIX_ELEMENTS
+    ):
+        engine = BitmaskCoalitionEngine(vectors, scorer, empty_value=empty_value)
+        return engine.utility_table(include_empty=True)
+    table: dict[tuple[str, ...], float] = {(): float(empty_value)}
+    for size in range(1, len(players) + 1):
+        for coalition in combinations(players, size):
+            mean = fold_mean(np.stack([vectors[player] for player in coalition]))
+            table[coalition] = float(score_vectors(scorer, mean[None, :])[0])
+    return table
+
+
+def score_vectors(scorer, vectors: np.ndarray) -> np.ndarray:
+    """Score a ``(k, d)`` batch of flat parameter vectors with whatever the scorer offers.
+
+    Prefers the vectorized ``score_batch`` (one einsum for the whole batch),
+    falls back to per-row ``score_vector`` for scorers that only expose the
+    scalar interface (e.g. test doubles).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValidationError("score_vectors expects a (k, d) batch")
+    batch_scorer = getattr(scorer, "score_batch", None)
+    if batch_scorer is not None:
+        return np.asarray(batch_scorer(vectors), dtype=np.float64)
+    row_scorer = getattr(scorer, "score_vector", None)
+    if row_scorer is None:
+        raise ValidationError("scorer offers neither score_batch nor score_vector")
+    return np.array([float(row_scorer(row)) for row in vectors], dtype=np.float64)

@@ -21,12 +21,14 @@ standalone evaluator cannot drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import combinations
 from typing import Callable, Mapping, Sequence
 
 from repro.exceptions import GroupingError, ShapleyError
 from repro.fl.model import ModelParameters
-from repro.shapley.native import native_shapley
-from repro.shapley.utility import AccuracyUtility, CachedUtility, CoalitionModelUtility
+from repro.shapley.engine import coalition_utility_table
+from repro.shapley.native import exact_shapley_from_utilities
+from repro.shapley.utility import AccuracyUtility, CoalitionModelUtility
 from repro.utils.rng import spawn_rng
 
 
@@ -137,12 +139,27 @@ def compute_group_shapley(
         raise ShapleyError("at least one group is required")
     m = len(groups)
     group_labels = [f"group-{j}" for j in range(m)]
-    label_models = dict(zip(group_labels, group_models))
 
     # Lines 4-6: coalition models are plain averages of group models; the
-    # group game's Shapley values come from the native formula over m players.
-    utility = CachedUtility(CoalitionModelUtility(label_models, scorer))
-    group_value_map = native_shapley(group_labels, utility)
+    # bitmask engine builds all 2^m of them with one subset-sum DP and scores
+    # them in a single batched pass (falling back to a constant-memory scalar
+    # walk past the engine's budgets).  Scorers exposing only the legacy
+    # ``score(ModelParameters)`` interface take the per-coalition scalar path.
+    # Either way the group game's Shapley values are assembled with the scalar
+    # reference formula so on-chain receipts stay bit-for-bit identical to the
+    # pre-engine implementation.
+    if hasattr(scorer, "score_batch") or hasattr(scorer, "score_vector"):
+        utilities: dict[tuple[str, ...], float] = coalition_utility_table(
+            {label: model.to_vector() for label, model in zip(group_labels, group_models)},
+            scorer,
+        )
+    else:
+        scalar_utility = CoalitionModelUtility(dict(zip(group_labels, group_models)), scorer)
+        utilities = {(): 0.0}
+        for size in range(1, m + 1):
+            for coalition in combinations(sorted(group_labels), size):
+                utilities[coalition] = scalar_utility(coalition)
+    group_value_map = exact_shapley_from_utilities(group_labels, utilities)
     group_values = tuple(group_value_map[label] for label in group_labels)
 
     # Line 7: each user inherits an equal share of its group's value.
@@ -153,7 +170,7 @@ def compute_group_shapley(
             user_values[user] = share
 
     global_model = ModelParameters.mean(list(group_models))
-    coalition_utilities = {k: v for k, v in utility.cache_contents().items()}
+    coalition_utilities = {k: v for k, v in utilities.items() if k}
     return GroupShapleyResult(
         round_number=round_number,
         n_groups=m,

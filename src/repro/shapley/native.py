@@ -8,6 +8,16 @@ The implementation enumerates all coalitions once, caches their utilities, and
 then assembles every player's value from the cached table — so the cost is
 2^n utility evaluations regardless of n, matching the paper's complexity
 discussion (native SV needs 2^n coalition models).
+
+Two execution paths share this module:
+
+* :func:`native_shapley` routes through :mod:`repro.shapley.engine`: utilities
+  are gathered into a bitmask-indexed vector (in one batched scoring pass when
+  the utility supports it) and the Shapley weighting is applied with
+  vectorized reductions.
+* :func:`exact_shapley_from_utilities` is the legacy scalar assembly, kept as
+  the reference oracle the engine is tested against and as the deterministic
+  assembly the on-chain contract replays.
 """
 
 from __future__ import annotations
@@ -16,7 +26,14 @@ from itertools import combinations
 from math import comb
 from typing import Callable, Iterable, Mapping
 
+import numpy as np
+
 from repro.exceptions import ShapleyError
+from repro.shapley.engine import (
+    coalition_mask,
+    exact_shapley_from_utility_vector,
+    player_bits,
+)
 from repro.shapley.utility import CachedUtility, UtilityFunction
 
 
@@ -38,7 +55,10 @@ def native_shapley(
     Args:
         players: participant identifiers.
         utility: coalition utility ``u(S)``; it is wrapped in a cache so each of
-            the 2^n coalitions is evaluated exactly once.
+            the 2^n coalitions is evaluated exactly once.  Utilities exposing a
+            vectorized power-set evaluation (e.g.
+            :class:`~repro.shapley.utility.CoalitionModelUtility`) are scored
+            in one batched pass instead of 2^n scalar calls.
 
     Returns:
         Mapping of player id to its Shapley value.
@@ -50,23 +70,54 @@ def native_shapley(
     players = sorted(players)
     cached = utility if isinstance(utility, CachedUtility) else CachedUtility(utility)
 
-    utilities = {coalition: cached(coalition) for coalition in all_coalitions(players)}
-    return exact_shapley_from_utilities(players, utilities)
+    vector = None
+    vector_hook = getattr(cached, "coalition_utility_vector", None)
+    if vector_hook is not None:
+        vector = vector_hook(players)
+    if vector is None:
+        bits = player_bits(players)
+        vector = np.empty(1 << len(players), dtype=np.float64)
+        vector[0] = cached(())
+        for coalition in all_coalitions(players):
+            if coalition:
+                vector[coalition_mask(coalition, bits)] = cached(coalition)
+    values = exact_shapley_from_utility_vector(vector)
+    return {player: float(value) for player, value in zip(players, values)}
 
 
 def exact_shapley_from_utilities(
     players: list[str],
     utilities: Mapping[tuple[str, ...], float],
+    empty_value: float | None = None,
 ) -> dict[str, float]:
     """Assemble exact Shapley values from a pre-computed coalition-utility table.
 
-    The table must contain every subset of ``players`` (keys are sorted tuples).
-    Splitting the computation this way lets callers (and the on-chain contract)
-    reuse one utility table for every player, and lets tests check the
-    combinatorial weighting independently of model training.
+    The table must contain every non-empty subset of ``players`` (keys are
+    sorted tuples).  Splitting the computation this way lets callers (and the
+    on-chain contract) reuse one utility table for every player, and lets tests
+    check the combinatorial weighting independently of model training.
+
+    This is the scalar reference implementation; use
+    :func:`repro.shapley.engine.exact_shapley_from_utility_vector` for the
+    vectorized bitmask path.
+
+    Args:
+        players: participant identifiers.
+        utilities: coalition -> utility table.
+        empty_value: utility of the empty coalition when the table has no
+            explicit ``()`` entry.  Defaults to 0.0 — the historical behavior —
+            but callers holding a :class:`~repro.shapley.utility.UtilityFunction`
+            should pass its ``empty_value`` so a non-zero u(∅) is honored
+            consistently instead of being silently replaced.
     """
     players = sorted(players)
     n = len(players)
+    if () in utilities:
+        empty_utility = float(utilities[()])
+    elif empty_value is not None:
+        empty_utility = float(empty_value)
+    else:
+        empty_utility = 0.0
     values: dict[str, float] = {}
     for player in players:
         others = [p for p in players if p != player]
@@ -80,7 +131,7 @@ def exact_shapley_from_utilities(
                     raise ShapleyError(f"utility table is missing coalition {without}")
                 if with_player not in utilities:
                     raise ShapleyError(f"utility table is missing coalition {with_player}")
-                u_without = utilities.get(without, utilities.get((), 0.0))
+                u_without = utilities[without] if without else empty_utility
                 total += weight * (utilities[with_player] - u_without)
         values[player] = total
     return values

@@ -19,7 +19,7 @@ schemes revisit coalitions.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -42,6 +42,19 @@ class UtilityFunction:
     def evaluations(self) -> int:
         """How many (non-empty) coalition evaluations have been performed."""
         return 0
+
+    def coalition_utility_vector(self, players: Sequence[str]) -> np.ndarray | None:
+        """Optionally evaluate *all* 2^n coalitions of ``players`` at once.
+
+        Returns a bitmask-indexed ``(2^n,)`` utility vector (see
+        :mod:`repro.shapley.engine`), or ``None`` when the utility has no
+        vectorized path and callers must fall back to per-coalition calls.
+        """
+        return None
+
+    def evaluate_coalitions(self, coalitions: Sequence[tuple[str, ...]]) -> list[float]:
+        """Evaluate several coalitions, batching model scoring where possible."""
+        return [float(self(coalition)) for coalition in coalitions]
 
 
 class AccuracyUtility(UtilityFunction):
@@ -86,6 +99,73 @@ class AccuracyUtility(UtilityFunction):
         if self.metric == "accuracy":
             return accuracy(self.test_labels, predictions)
         return macro_f1(self.test_labels, predictions, self.n_classes)
+
+    # Two logits closer than this (relative) count as a potential argmax tie:
+    # softmax can only reorder/merge logits within a few float64 ulps
+    # (~2e-16), so the margin is hugely conservative.
+    _TIE_MARGIN = 1e-9
+
+    # Per-chunk budget for the (n_samples, chunk, n_classes) logits tensor.
+    # Chunking keeps the working set cache-sized; one monolithic tensor is
+    # memory-bandwidth-bound and *slower* than the scalar loop at scale.
+    _CHUNK_LOGITS_ELEMENTS = 1 << 21
+
+    def score_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Score a ``(k, d)`` batch of flat parameter vectors in batched passes.
+
+        Each chunk of models is scored with one matrix product against the
+        test set (all weight matrices laid side by side), one argmax, and one
+        vectorized metric reduction — no per-vector model instantiation.
+        Softmax is strictly monotone, so argmax over raw logits gives the
+        same predictions as :meth:`score_vector` except when two logits are
+        within float rounding of each other; any model with such a near-tie
+        anywhere in the test set is detected (top-2 logit gap inside the tie
+        margin) and re-scored through the exact scalar path, keeping the
+        batch bit-for-bit faithful even on adversarial parameters.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        n_features = self.test_features.shape[1]
+        dimension = n_features * self.n_classes + self.n_classes
+        if vectors.ndim != 2 or vectors.shape[1] != dimension:
+            raise ValidationError(
+                f"expected a (k, {dimension}) batch of flat parameter vectors, "
+                f"got shape {vectors.shape}"
+            )
+        n_samples = self.test_features.shape[0]
+        chunk = max(1, self._CHUNK_LOGITS_ELEMENTS // (n_samples * self.n_classes))
+        scores = np.empty(vectors.shape[0], dtype=np.float64)
+        for start in range(0, vectors.shape[0], chunk):
+            stop = min(start + chunk, vectors.shape[0])
+            scores[start:stop] = self._score_chunk(vectors[start:stop])
+        return scores
+
+    def _score_chunk(self, vectors: np.ndarray) -> np.ndarray:
+        """Score one chunk of flat parameter vectors with a single GEMM."""
+        n_features = self.test_features.shape[1]
+        weights = vectors[:, : n_features * self.n_classes].reshape(-1, n_features, self.n_classes)
+        bias = vectors[:, n_features * self.n_classes :]
+        stacked = weights.transpose(1, 0, 2).reshape(n_features, -1)
+        logits = (self.test_features @ stacked).reshape(-1, weights.shape[0], self.n_classes)
+        logits += bias[None, :, :]
+        predictions = logits.argmax(axis=2)
+        # Top-2 logit gap per (sample, model) row: a model is suspect when any
+        # row's gap falls inside the tie margin.
+        top_two = np.partition(logits, self.n_classes - 2, axis=2)[:, :, self.n_classes - 2 :]
+        gap = top_two[:, :, 1] - top_two[:, :, 0]
+        near_tie = gap <= self._TIE_MARGIN * np.maximum(1.0, np.abs(top_two[:, :, 1]))
+        suspect_models = np.flatnonzero(near_tie.any(axis=0))
+        if self.metric == "accuracy":
+            scores = (predictions == self.test_labels[:, None]).mean(axis=0)
+        else:
+            scores = np.array(
+                [macro_f1(self.test_labels, column, self.n_classes) for column in predictions.T],
+                dtype=np.float64,
+            )
+        for model_index in suspect_models:
+            scores[model_index] = self.score_vector(vectors[model_index])
+        return scores
 
     def __call__(self, coalition: tuple[str, ...]) -> float:  # pragma: no cover - guidance only
         raise UtilityError(
@@ -163,6 +243,76 @@ class CoalitionModelUtility(UtilityFunction):
     def evaluations(self) -> int:
         return self._evaluations
 
+    # ------------------------------------------------------------------
+    # Vectorized paths (repro.shapley.engine)
+    # ------------------------------------------------------------------
+
+    def _member_matrix(self, players: Sequence[str]) -> np.ndarray:
+        """Member parameter vectors stacked in sorted-player (bit) order."""
+        unknown = [player for player in players if player not in self.member_models]
+        if unknown:
+            raise UtilityError(f"coalition names unknown members: {unknown}")
+        return np.stack([self.member_models[player].to_vector() for player in sorted(players)])
+
+    def _vector_scorable(self) -> bool:
+        return hasattr(self.scorer, "score_batch") or hasattr(self.scorer, "score_vector")
+
+    def coalition_utility_vector(self, players: Sequence[str]) -> np.ndarray | None:
+        """All 2^n coalition utilities in one batched pass (None if not scorable).
+
+        Returns ``None`` — so callers fall back to the constant-memory scalar
+        path — when the scorer has no vector interface or the game's
+        ``(2^n, d)`` coalition-model matrix would blow the engine's memory
+        budget.
+        """
+        from repro.shapley.engine import (
+            MAX_MODEL_MATRIX_ELEMENTS,
+            MAX_PLAYERS,
+            BitmaskCoalitionEngine,
+        )
+
+        players = sorted(set(players))
+        if not players or len(players) > MAX_PLAYERS or not self._vector_scorable():
+            return None
+        unknown = [player for player in players if player not in self.member_models]
+        if unknown:
+            raise UtilityError(f"coalition names unknown members: {unknown}")
+        vectors = {player: self.member_models[player].to_vector() for player in players}
+        dimension = next(iter(vectors.values())).size
+        if (1 << len(players)) * dimension > MAX_MODEL_MATRIX_ELEMENTS:
+            return None
+        engine = BitmaskCoalitionEngine(vectors, self.scorer, empty_value=self.empty_value)
+        utilities = engine.utility_vector()
+        self._evaluations += utilities.size - 1
+        return utilities
+
+    def evaluate_coalitions(self, coalitions: Sequence[tuple[str, ...]]) -> list[float]:
+        """Evaluate several coalitions with one batched scoring call.
+
+        The coalition models are averaged with the same sorted left-to-right
+        fold as :meth:`__call__` (so values are identical), but all of them are
+        scored together — one batched pass instead of ``len(coalitions)``
+        model instantiations.  Empty coalitions map to ``empty_value``.
+        """
+        from repro.shapley.engine import fold_mean, score_vectors
+
+        if not coalitions:
+            return []
+        if not self._vector_scorable():
+            return [float(self(coalition)) for coalition in coalitions]
+        non_empty = [coalition for coalition in coalitions if coalition]
+        if not non_empty:
+            return [self.empty_value] * len(coalitions)
+        members = sorted({member for coalition in non_empty for member in coalition})
+        matrix = self._member_matrix(members)
+        index = {member: i for i, member in enumerate(members)}
+        rows = np.empty((len(non_empty), matrix.shape[1]), dtype=np.float64)
+        for slot, coalition in enumerate(non_empty):
+            rows[slot] = fold_mean(matrix[sorted(index[member] for member in coalition)])
+        self._evaluations += len(non_empty)
+        scores = iter(score_vectors(self.scorer, rows))
+        return [float(next(scores)) if coalition else self.empty_value for coalition in coalitions]
+
 
 class CachedUtility(UtilityFunction):
     """Memoizing wrapper around any utility function."""
@@ -170,6 +320,7 @@ class CachedUtility(UtilityFunction):
     def __init__(self, inner: UtilityFunction | Callable[[tuple[str, ...]], float]) -> None:
         self.inner = inner
         self._cache: dict[tuple[str, ...], float] = {}
+        self._evaluation_offset = 0
         if isinstance(inner, UtilityFunction):
             self.empty_value = inner.empty_value
 
@@ -183,8 +334,94 @@ class CachedUtility(UtilityFunction):
 
     def evaluations(self) -> int:
         """Number of distinct coalitions evaluated (cache size)."""
-        return len(self._cache)
+        return len(self._cache) + self._evaluation_offset
 
     def cache_contents(self) -> dict[tuple[str, ...], float]:
         """A copy of the memo table (useful for audits and tests)."""
         return dict(self._cache)
+
+    def preload(self, utilities: Mapping[tuple[str, ...], float]) -> None:
+        """Seed the memo table with precomputed values (empty coalition excluded)."""
+        for coalition, value in utilities.items():
+            key = tuple(sorted(coalition))
+            if key:
+                self._cache[key] = float(value)
+
+    # Seeding the memo with every coalition tuple is O(2^n) Python work; past
+    # this game size the vector is returned unseeded (the evaluation *count*
+    # stays truthful via an offset, but cache_contents() stays sparse).
+    _CACHE_SEED_MAX_PLAYERS = 16
+
+    def coalition_utility_vector(self, players: Sequence[str]) -> np.ndarray | None:
+        """Delegate to the inner utility's vectorized path, seeding the cache.
+
+        When the inner utility can evaluate the whole power set at once (see
+        :meth:`UtilityFunction.coalition_utility_vector`), the resulting table
+        is recorded in the memo so ``evaluations()``/``cache_contents()`` report
+        the same coverage as the scalar path would.  For games larger than
+        ``_CACHE_SEED_MAX_PLAYERS`` the tuple-keyed seeding is skipped (it
+        would dwarf the vectorized evaluation itself); ``evaluations()`` still
+        counts the batch.
+        """
+        vector_hook = getattr(self.inner, "coalition_utility_vector", None)
+        if vector_hook is None:
+            return None
+        ordered = sorted(set(players))
+        utilities = vector_hook(ordered)
+        if utilities is None:
+            return None
+        if len(ordered) <= self._CACHE_SEED_MAX_PLAYERS:
+            from repro.shapley.engine import mask_coalition
+
+            for mask in range(1, utilities.size):
+                self._cache[mask_coalition(mask, ordered)] = float(utilities[mask])
+        else:
+            self._evaluation_offset += utilities.size - 1
+        if utilities[0] != self.empty_value:
+            utilities = utilities.copy()
+            utilities[0] = self.empty_value
+        return utilities
+
+    def cached_values(self, coalitions: Sequence[tuple[str, ...]]) -> np.ndarray | None:
+        """Utilities for ``coalitions`` as one lookup, or None if any is uncached.
+
+        Lets callers (the Monte-Carlo estimators) collapse a permutation's
+        marginals into a single vector operation when every prefix coalition
+        has already been evaluated.
+        """
+        values = np.empty(len(coalitions), dtype=np.float64)
+        for slot, coalition in enumerate(coalitions):
+            key = tuple(sorted(coalition))
+            if not key:
+                values[slot] = self.empty_value
+                continue
+            value = self._cache.get(key)
+            if value is None:
+                return None
+            values[slot] = value
+        return values
+
+    def evaluate_batch(self, coalitions: Sequence[tuple[str, ...]]) -> np.ndarray:
+        """Utilities for several coalitions, batch-evaluating the uncached ones.
+
+        Cached coalitions are plain lookups; the rest go through the inner
+        utility's :meth:`~UtilityFunction.evaluate_coalitions` (one batched
+        scoring pass when it supports it) and are memoized exactly as scalar
+        calls would be.
+        """
+        keys = [tuple(sorted(coalition)) for coalition in coalitions]
+        missing: list[tuple[str, ...]] = []
+        for key in keys:
+            if key and key not in self._cache and key not in missing:
+                missing.append(key)
+        if missing:
+            batch_hook = getattr(self.inner, "evaluate_coalitions", None)
+            if batch_hook is not None:
+                values = batch_hook(missing)
+            else:
+                values = [float(self.inner(key)) for key in missing]
+            for key, value in zip(missing, values):
+                self._cache[key] = float(value)
+        return np.array(
+            [self._cache[key] if key else self.empty_value for key in keys], dtype=np.float64
+        )

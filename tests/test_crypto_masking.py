@@ -151,3 +151,54 @@ class TestMaskingProperties:
         total = SecureAggregator(codec).aggregate_sum(updates)
         expected = np.sum([weights[o] for o in owners], axis=0)
         assert np.allclose(total, expected, atol=(n_owners + 1) * 2.0 / codec.scale)
+
+
+class TestVectorizedParity:
+    """The batched mask/aggregate paths must equal the scalar ring folds exactly."""
+
+    def test_mask_payload_matches_sequential_reference(self, dh_params):
+        # Reference: the pre-vectorization per-peer loop, folded one codec op
+        # at a time in canonical peer order.
+        owners = ["a", "b", "c", "d"]
+        codec = FixedPointCodec()
+        keypairs, public_keys, weights = _build_cohort(dh_params, owners, dimension=33)
+        for owner in owners:
+            masker = PairwiseMasker(owner, keypairs[owner], public_keys, codec=codec)
+            expected = codec.encode(np.asarray(weights[owner]).ravel())
+            for peer in masker.peers:
+                pair_mask = masker._pair_mask(peer, 3, weights[owner].size)
+                if peer > owner:
+                    expected = codec.add(expected, pair_mask)
+                else:
+                    expected = codec.subtract(expected, pair_mask)
+            payload = masker.mask(weights[owner], round_number=3).payload
+            assert np.array_equal(payload, expected)
+
+    def test_mask_without_peers_is_plain_encoding(self, dh_params):
+        codec = FixedPointCodec()
+        keypairs, _, weights = _build_cohort(dh_params, ["a"], dimension=9)
+        masker = PairwiseMasker("a", keypairs["a"], {}, codec=codec)
+        payload = masker.mask(weights["a"], round_number=0).payload
+        assert np.array_equal(payload, codec.encode(weights["a"]))
+
+    def test_aggregate_sum_matches_sequential_codec_add(self, dh_params):
+        owners = ["a", "b", "c", "d", "e"]
+        updates, _, codec = _masked_updates(dh_params, owners, dimension=21)
+        total = np.zeros(21, dtype=np.uint64)
+        for update in updates:
+            total = codec.add(total, update.payload)
+        expected = codec.decode_sum(total, n_summands=len(updates))
+        assert np.array_equal(SecureAggregator(codec).aggregate_sum(updates), expected)
+
+    def test_sum_encoded_matches_fold_in_narrow_field(self):
+        codec = FixedPointCodec(precision_bits=16, field_bits=32)
+        rng = np.random.default_rng(8)
+        stack = rng.integers(0, codec.modulus, size=(7, 15), dtype=np.uint64)
+        expected = np.zeros(15, dtype=np.uint64)
+        for row in stack:
+            expected = codec.add(expected, row)
+        assert np.array_equal(codec.sum_encoded(stack), expected)
+
+    def test_sum_encoded_rejects_non_stack(self):
+        with pytest.raises(ValidationError):
+            FixedPointCodec().sum_encoded(np.zeros(4, dtype=np.uint64))

@@ -94,3 +94,51 @@ class TestExpandMask:
         b = expand_mask(b"\x42" * 32, round_number, length, 2**64)
         assert np.array_equal(a, b)
         assert a.size == length
+
+
+class TestChunkedGenerationParity:
+    """The chunked generator must reproduce the scalar HMAC counter stream exactly."""
+
+    @staticmethod
+    def _reference_stream(key, personalization, n_bytes):
+        # The pre-chunking implementation: one hmac.new per 32-byte block,
+        # appended with bytearray.extend.  Kept verbatim as the parity oracle.
+        import hashlib
+        import hmac
+
+        derived = hmac.new(bytes(key), b"seed" + bytes(personalization), hashlib.sha256).digest()
+        out = bytearray()
+        counter = 0
+        while len(out) < n_bytes:
+            out.extend(hmac.new(derived, counter.to_bytes(8, "big"), hashlib.sha256).digest())
+            counter += 1
+        return bytes(out[:n_bytes])
+
+    @pytest.mark.parametrize("n_bytes", [0, 1, 31, 32, 33, 1024, 4096 * 32, 4096 * 32 + 17])
+    def test_stream_matches_reference(self, n_bytes):
+        assert HmacDrbg(b"key", b"round:9").generate(n_bytes) == self._reference_stream(
+            b"key", b"round:9", n_bytes
+        )
+
+    def test_interleaved_requests_match_stateful_reference(self):
+        # Partial blocks discard their tail (in both implementations), so the
+        # comparison replays the same call sequence against a scalar reference.
+        import hashlib
+        import hmac
+
+        derived = hmac.new(b"key", b"seed", hashlib.sha256).digest()
+        counter = 0
+        drbg = HmacDrbg(b"key")
+        for n_bytes in (5, 64, 4096 * 32 + 3, 7, 32):
+            out = bytearray()
+            while len(out) < n_bytes:
+                out.extend(hmac.new(derived, counter.to_bytes(8, "big"), hashlib.sha256).digest())
+                counter += 1
+            assert drbg.generate(n_bytes) == bytes(out[:n_bytes])
+
+    def test_counter_advances_per_block_not_per_byte(self):
+        drbg = HmacDrbg(b"key")
+        drbg.generate(17)  # consumes one whole 32-byte block
+        assert drbg._counter == 1
+        drbg.generate(33)  # consumes two more
+        assert drbg._counter == 3
