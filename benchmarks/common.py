@@ -67,8 +67,14 @@ def build_workload(sigma: float, n_owners: int = N_OWNERS, n_samples: int = N_SA
     return PaperWorkload(sigma=sigma, dataset=dataset, owners=owners, scorer=scorer)
 
 
-def ground_truth_shapley(workload: PaperWorkload, epochs: int = RETRAIN_EPOCHS) -> dict[str, float]:
-    """Fig. 1 ground truth: native SV over 2^n retrained data-coalition models."""
+def ground_truth_shapley(
+    workload: PaperWorkload, epochs: int = RETRAIN_EPOCHS, n_workers: int | None = None
+) -> dict[str, float]:
+    """Fig. 1 ground truth: native SV over 2^n retrained data-coalition models.
+
+    ``n_workers > 1`` retrains the coalitions on a process pool (identical
+    values — the parallel backend is parity-pinned to the serial path).
+    """
     trainer = CentralizedTrainer(
         workload.dataset.n_features,
         workload.dataset.n_classes,
@@ -76,7 +82,10 @@ def ground_truth_shapley(workload: PaperWorkload, epochs: int = RETRAIN_EPOCHS) 
         learning_rate=LEARNING_RATE,
     )
     utility = CachedUtility(
-        RetrainUtility(workload.owner_features(), workload.owner_labels(), workload.scorer, trainer=trainer)
+        RetrainUtility(
+            workload.owner_features(), workload.owner_labels(), workload.scorer,
+            trainer=trainer, n_workers=n_workers,
+        )
     )
     return native_shapley(workload.owner_ids, utility)
 

@@ -10,21 +10,31 @@ times on identical data:
 
 It then compares the adversary's evaluated contribution and token payout with
 its honest counterfactual, and shows the collateral effect on the global model.
-It also demonstrates the consensus-layer defence: a Byzantine *miner* that
-votes to reject every block cannot stall the protocol while it is a minority.
+It also demonstrates two defence layers:
+
+* the *pipeline* defence — a submission that lies about its group assignment
+  is rejected at gossip-level validation before it can occupy a block slot
+  (scenario API: :class:`~repro.core.pipeline.AdversarialSubmissionScenario`);
+* the *consensus* defence — a Byzantine miner that votes to reject every
+  block cannot stall the protocol while it is a minority.
 
 Run with:  python examples/adversarial_participants.py
 """
 
 from __future__ import annotations
 
-from repro.core import BlockchainFLProtocol, ProtocolConfig
+from repro.core import (
+    AdversarialSubmissionScenario,
+    BlockchainFLProtocol,
+    ProtocolConfig,
+    RoundScheduler,
+)
 from repro.core.adversary import AdversaryBehavior
 from repro.datasets import make_owner_datasets
 
 
-def run_protocol(owners, dataset, adversaries=None, byzantine=()):
-    """One protocol run with optional update-level adversaries and Byzantine miners."""
+def run_protocol(owners, dataset, adversaries=None, byzantine=(), scenario=None):
+    """One pipeline run with optional adversaries, Byzantine miners, or a scenario."""
     config = ProtocolConfig(
         n_owners=len(owners),
         n_groups=len(owners),  # singleton groups: per-owner resolution, worst case for an attacker
@@ -38,7 +48,8 @@ def run_protocol(owners, dataset, adversaries=None, byzantine=()):
         owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config,
         adversaries=adversaries,
     )
-    return protocol.run()
+    scheduler = RoundScheduler(protocol, scenario)
+    return scheduler.run(), scheduler
 
 
 def main() -> None:
@@ -46,11 +57,11 @@ def main() -> None:
     attacker = owners[1].owner_id
     print(f"owners: {[o.owner_id for o in owners]}; the adversary in tampered runs is {attacker}\n")
 
-    honest = run_protocol(owners, dataset)
-    free_rider = run_protocol(
+    honest, _ = run_protocol(owners, dataset)
+    free_rider, _ = run_protocol(
         owners, dataset, adversaries={attacker: AdversaryBehavior(kind="noise", magnitude=3.0, seed=5)}
     )
-    booster = run_protocol(
+    booster, _ = run_protocol(
         owners, dataset, adversaries={attacker: AdversaryBehavior(kind="scale", magnitude=20.0)}
     )
 
@@ -76,8 +87,23 @@ def main() -> None:
     print(f"  free-rider   : {free_rider.rounds[-1].global_utility:.4f}")
     print(f"  booster      : {booster.rounds[-1].global_utility:.4f}")
 
+    # Pipeline-layer defence: a submission claiming the wrong group is dropped
+    # by gossip validation before it reaches a block; the attacker, unable to
+    # place the lie, falls back to an honest submission — the chain ends up
+    # identical to an all-honest run and the rejection is recorded off chain.
+    claim_run, scheduler = run_protocol(
+        owners, dataset, scenario=AdversarialSubmissionScenario(attacker)
+    )
+    rejections = [r for ctx in scheduler.contexts for r in ctx.rejections]
+    print("\ngroup-claim attack: "
+          f"{len(rejections)} tampered submission(s) rejected at gossip validation")
+    for rejection in rejections:
+        print(f"  round {rejection.round_number}: {rejection.reason}")
+    same = claim_run.total_contributions == honest.total_contributions
+    print(f"  contributions identical to the all-honest run: {same}")
+
     # Consensus-layer defence: a minority Byzantine miner cannot stall the chain.
-    byzantine_run = run_protocol(owners, dataset, byzantine=[owners[-1].owner_id])
+    byzantine_run, _ = run_protocol(owners, dataset, byzantine=[owners[-1].owner_id])
     verdicts = [record.consensus.accepted for record in byzantine_run.rounds]
     rejections = [record.consensus.reject_count for record in byzantine_run.rounds]
     print("\nByzantine miner run: blocks accepted per round "

@@ -4,8 +4,12 @@ This walks through the paper's pipeline end to end on a small instance:
 
 1. build the handwritten-digits setup with 5 data owners of decreasing data
    quality (owner-0 clean, owner-4 noisiest);
-2. run the blockchain protocol — secure-aggregated FedAvg rounds with on-chain
-   GroupSV contribution evaluation and a final reward distribution;
+2. run the blockchain protocol through the staged round pipeline — a
+   :class:`~repro.core.pipeline.RoundScheduler` drives
+   Setup -> LocalTraining -> Masking/Submission -> SecureAggregation ->
+   Evaluation -> BlockProposal per round and a final Settlement, with
+   secure-aggregated FedAvg rounds, on-chain GroupSV contribution evaluation,
+   and a reward distribution;
 3. audit the chain: independently recompute every published contribution from
    raw chain data, which is the transparency guarantee of the framework.
 
@@ -14,7 +18,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.core import BlockchainFLProtocol, ProtocolConfig, audit_chain
+from repro.core import BlockchainFLProtocol, ProtocolConfig, RoundScheduler, audit_chain
 from repro.datasets import make_owner_datasets
 
 
@@ -42,7 +46,12 @@ def main() -> None:
         n_classes=dataset.n_classes,
         config=config,
     )
-    result = protocol.run()
+    # protocol.run() would do the same; the explicit scheduler keeps the
+    # per-round contexts around and accepts Scenario hooks (dropout,
+    # stragglers, adversary injection, late joins — see repro.core.pipeline).
+    scheduler = RoundScheduler(protocol)
+    result = scheduler.run()
+    print(f"\npipeline stages per round: {[stage.name for stage in scheduler.round_stages]}")
 
     print("\n--- per-round global model utility (test accuracy) ---")
     for record in result.rounds:

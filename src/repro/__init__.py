@@ -17,15 +17,18 @@ Shapley valuation::
 
     from repro.shapley import native_shapley, group_shapley_round, cosine_similarity
 
-The full on-chain protocol::
+The full on-chain protocol (staged round pipeline + scenario hooks)::
 
     from repro.core import BlockchainFLProtocol, ProtocolConfig, audit_chain
+    from repro.core import RoundScheduler, Scenario, DropoutScenario
 
-See ``examples/quickstart.py`` for an end-to-end walk-through and DESIGN.md for
+See ``examples/quickstart.py`` for an end-to-end walk-through,
+``docs/architecture.md`` for the pipeline/backend design, and DESIGN.md for
 the module inventory and the experiment index.
 """
 
 from repro.core.config import ProtocolConfig
+from repro.core.pipeline import RoundContext, RoundScheduler, Scenario
 from repro.core.protocol import BlockchainFLProtocol, ProtocolResult
 from repro.datasets.loader import Dataset, OwnerDataset, make_owner_datasets
 from repro.fl.logistic_regression import LogisticRegressionModel
@@ -41,6 +44,9 @@ __all__ = [
     "ProtocolConfig",
     "BlockchainFLProtocol",
     "ProtocolResult",
+    "RoundContext",
+    "RoundScheduler",
+    "Scenario",
     "Dataset",
     "OwnerDataset",
     "make_owner_datasets",

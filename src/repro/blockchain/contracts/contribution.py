@@ -28,7 +28,7 @@ from repro.blockchain.contracts.fl_training import read_round_record
 from repro.blockchain.contracts.registry import read_protocol_params
 from repro.exceptions import ContractStateError, ValidationError
 from repro.shapley.engine import coalition_utility_table
-from repro.shapley.native import exact_shapley_from_utilities
+from repro.shapley.group import assemble_group_values
 from repro.shapley.utility import AccuracyUtility
 
 CONTRACT_NAME = "contribution"
@@ -80,7 +80,7 @@ class ContributionContract(Contract):
         round_number = int(round_number)
         if ctx.contains(f"evaluated/{round_number}"):
             raise ContractStateError(f"round {round_number} has already been evaluated")
-        read_protocol_params(ctx)  # fails early if setup never completed
+        params = read_protocol_params(ctx)  # fails early if setup never completed
         record = read_round_record(ctx, round_number)
         groups: list[list[str]] = [list(group) for group in record["groups"]]
         group_models = [np.asarray(model, dtype=np.float64) for model in record["group_models"]]
@@ -99,12 +99,15 @@ class ContributionContract(Contract):
         )
 
         # Lines 5-6: group-level Shapley values from the utility table, using
-        # the scalar reference assembly.  The evaluation is deterministic for
-        # a given software stack (code version + BLAS backend, which the
-        # protocol already assumes is shared), so honest miners compute
-        # identical receipts; regression tests pin the values against the
-        # pre-engine implementation on seeded workloads.
-        group_value_map = exact_shapley_from_utilities(labels, utilities)
+        # the assembly version pinned on the registry at setup (v1 = scalar
+        # reference formula, bit-for-bit the historical receipts; v2 = the
+        # vectorized bitmask assembly for large m).  The evaluation is
+        # deterministic for a given software stack (code version + BLAS
+        # backend, which the protocol already assumes is shared), so honest
+        # miners compute identical receipts; regression tests pin the values
+        # against the pre-engine implementation on seeded workloads.
+        sv_assembly_version = int(params.get("sv_assembly_version", 1))
+        group_value_map = assemble_group_values(labels, utilities, sv_assembly_version)
         group_values = [group_value_map[label] for label in labels]
 
         # Line 7: split each group's value equally among its members.
@@ -113,6 +116,10 @@ class ContributionContract(Contract):
             share = value / len(group)
             for owner in group:
                 user_values[owner] = share
+
+        # Coalition keys are sorted tuples; tuple(labels) is numeric order,
+        # which stops matching once "group-10" sorts before "group-2".
+        grand_coalition = tuple(sorted(labels))
 
         totals = ctx.get("totals", {})
         for owner, value in user_values.items():
@@ -130,7 +137,7 @@ class ContributionContract(Contract):
                     for coalition, value in utilities.items()
                     if coalition
                 },
-                "global_utility": float(utilities[tuple(labels)]),
+                "global_utility": float(utilities[grand_coalition]),
             },
         )
         ctx.set("totals", totals)
@@ -139,7 +146,7 @@ class ContributionContract(Contract):
             "RoundEvaluated",
             round=round_number,
             by=ctx.sender,
-            global_utility=float(utilities[tuple(labels)]),
+            global_utility=float(utilities[grand_coalition]),
         )
         return {"status": "evaluated", "round": round_number, "user_values": user_values}
 

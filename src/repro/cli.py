@@ -3,11 +3,14 @@
 Provides runnable entry points for the common workflows so the system can be
 exercised without writing Python:
 
-* ``python -m repro run`` — run the full blockchain FL + GroupSV protocol and
-  print contributions, rewards, and the audit verdict;
+* ``python -m repro run`` — run the full blockchain FL + GroupSV protocol
+  through the staged round pipeline (optionally under a ``--scenario``:
+  dropout, straggler, adversarial group claim, late join) and print
+  contributions, rewards, and the audit verdict;
 * ``python -m repro sweep-groups`` — the privacy/resolution/cost sweep over m;
 * ``python -m repro ground-truth`` — native SV over retrained data coalitions
-  (the Fig. 1 computation) for one σ;
+  (the Fig. 1 computation) for one σ; ``--workers N`` retrains coalitions on
+  a process pool;
 * ``python -m repro info`` — version and configuration defaults.
 
 All commands are deterministic given ``--seed`` and print plain text (tables
@@ -25,6 +28,14 @@ from repro.analysis.reporting import render_bar_chart, render_table
 from repro.analysis.tradeoff import sweep_group_counts
 from repro.core.audit import audit_chain
 from repro.core.config import ProtocolConfig
+from repro.core.pipeline import (
+    AdversarialSubmissionScenario,
+    DropoutScenario,
+    LateJoinScenario,
+    RoundScheduler,
+    Scenario,
+    StragglerScenario,
+)
 from repro.core.protocol import BlockchainFLProtocol
 from repro.datasets.loader import make_owner_datasets
 from repro.fl.client import DataOwner
@@ -54,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--reward-pool", type=float, default=1000.0, help="tokens to distribute at the end")
     run.add_argument("--seed", type=int, default=7, help="master seed")
     run.add_argument("--skip-audit", action="store_true", help="skip the transparency audit")
+    run.add_argument(
+        "--scenario",
+        choices=("none", "dropout", "straggler", "adversarial-claim", "late-join"),
+        default="none",
+        help="pipeline scenario to run (dropout recovery, straggler delay, "
+        "rejected adversarial group claim, late join)",
+    )
+    run.add_argument(
+        "--scenario-owner", type=str, default=None,
+        help="owner targeted by the scenario (default: the second owner)",
+    )
+    run.add_argument(
+        "--sv-assembly-version", type=int, choices=(1, 2), default=1,
+        help="exact-SV assembly pinned on chain (1 = scalar reference, 2 = vectorized)",
+    )
 
     sweep = subparsers.add_parser("sweep-groups", help="privacy/resolution trade-off over the group count")
     sweep.add_argument("--owners", type=int, default=9)
@@ -68,9 +94,26 @@ def build_parser() -> argparse.ArgumentParser:
     truth.add_argument("--samples", type=int, default=1200)
     truth.add_argument("--epochs", type=int, default=30, help="epochs per coalition retraining")
     truth.add_argument("--seed", type=int, default=7)
+    truth.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for coalition retraining (1 = serial reference path)",
+    )
 
     subparsers.add_parser("info", help="print version and default configuration")
     return parser
+
+
+def _build_scenario(kind: str, owner_id: str) -> Scenario | None:
+    """Construct the pipeline scenario requested on the command line."""
+    if kind == "dropout":
+        return DropoutScenario(owner_id, round_number=0, offline_ticks=2)
+    if kind == "straggler":
+        return StragglerScenario(owner_id, delay_ticks=1)
+    if kind == "adversarial-claim":
+        return AdversarialSubmissionScenario(owner_id)
+    if kind == "late-join":
+        return LateJoinScenario(owner_id, join_round=1)
+    return None
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -85,14 +128,30 @@ def _command_run(args: argparse.Namespace) -> int:
         learning_rate=args.learning_rate,
         reward_pool=args.reward_pool,
         permutation_seed=args.seed,
+        sv_assembly_version=args.sv_assembly_version,
     )
     protocol = BlockchainFLProtocol(
         owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
     )
-    result = protocol.run()
+    owner_ids = sorted(o.owner_id for o in owners)
+    target = args.scenario_owner or owner_ids[1]
+    if args.scenario != "none" and target not in owner_ids:
+        print(f"error: --scenario-owner {target!r} is not one of the generated owners "
+              f"({', '.join(owner_ids)})")
+        return 2
+    scenario = _build_scenario(args.scenario, target)
+    scheduler = RoundScheduler(protocol, scenario)
+    result = scheduler.run()
 
     print(f"protocol finished: {len(result.rounds)} rounds, {result.chain_height} blocks, "
           f"{result.total_transactions} transactions")
+    if scenario is not None:
+        print(f"scenario: {args.scenario} targeting {target}")
+        for ctx in scheduler.contexts:
+            if ctx.ticks_waited or ctx.rejections:
+                rejected = "; ".join(r.reason for r in ctx.rejections) or "none"
+                print(f"  round {ctx.round_number}: waited {ctx.ticks_waited} tick(s), "
+                      f"rejections: {rejected}")
     rows = [
         [record.round_number, f"{record.global_utility:.4f}", len(record.groups)]
         for record in result.rounds
@@ -153,17 +212,18 @@ def _command_ground_truth(args: argparse.Namespace) -> int:
     )
     scorer = AccuracyUtility(dataset.test_features, dataset.test_labels, dataset.n_classes)
     trainer = CentralizedTrainer(dataset.n_features, dataset.n_classes, epochs=args.epochs, learning_rate=2.0)
-    utility = CachedUtility(
-        RetrainUtility(
-            {o.owner_id: o.features for o in owners},
-            {o.owner_id: o.labels for o in owners},
-            scorer,
-            trainer=trainer,
-        )
+    retrain = RetrainUtility(
+        {o.owner_id: o.features for o in owners},
+        {o.owner_id: o.labels for o in owners},
+        scorer,
+        trainer=trainer,
+        n_workers=args.workers,
     )
+    utility = CachedUtility(retrain)
     values = native_shapley([o.owner_id for o in owners], utility)
     print(f"native SV over {2 ** len(owners)} retrained coalitions "
-          f"({utility.evaluations()} distinct trainings):")
+          f"({utility.evaluations()} distinct trainings, "
+          f"{retrain.backend.name} backend x{retrain.backend.n_workers}):")
     print(render_bar_chart(dict(sorted(values.items()))))
     return 0
 
@@ -174,6 +234,7 @@ def _command_info(_args: argparse.Namespace) -> int:
     rows = [[field, getattr(defaults, field)] for field in (
         "n_owners", "n_groups", "n_rounds", "permutation_seed", "local_epochs",
         "learning_rate", "precision_bits", "field_bits", "reward_pool",
+        "sv_assembly_version",
     )]
     print(render_table(["protocol default", "value"], rows))
     return 0

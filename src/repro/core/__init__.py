@@ -3,8 +3,13 @@
 * :mod:`repro.core.config` — the protocol configuration agreed at setup.
 * :mod:`repro.core.participant` — a data owner acting as both FL trainer and
   blockchain miner.
-* :mod:`repro.core.protocol` — :class:`BlockchainFLProtocol`, the orchestration
-  of setup → masked training rounds → on-chain GroupSV evaluation → reward.
+* :mod:`repro.core.protocol` — :class:`BlockchainFLProtocol`, the wiring of
+  participants, network, and contracts.
+* :mod:`repro.core.pipeline` — the staged round pipeline (Setup →
+  LocalTraining → Masking/Submission → SecureAggregation → Evaluation →
+  BlockProposal → Settlement) with :class:`RoundScheduler`,
+  :class:`RoundContext`, and the :class:`Scenario` hook interface (dropout,
+  stragglers, adversary injection, late joins).
 * :mod:`repro.core.audit` — transparency audits that re-derive every published
   result from raw chain data.
 * :mod:`repro.core.adversary` — adversarial participant behaviours (future-work
@@ -15,7 +20,21 @@ from repro.core.adversary import AdversaryBehavior, apply_adversary
 from repro.core.audit import AuditReport, audit_chain
 from repro.core.config import ProtocolConfig
 from repro.core.participant import Participant
-from repro.core.protocol import BlockchainFLProtocol, ProtocolResult
+from repro.core.pipeline import (
+    AdversarialSubmissionScenario,
+    AdversaryInjectionScenario,
+    ComposedScenario,
+    DropoutScenario,
+    LateJoinScenario,
+    ProtocolResult,
+    RoundContext,
+    RoundResult,
+    RoundScheduler,
+    Scenario,
+    StragglerScenario,
+    SubmissionRejection,
+)
+from repro.core.protocol import BlockchainFLProtocol
 
 __all__ = [
     "AdversaryBehavior",
@@ -26,4 +45,15 @@ __all__ = [
     "Participant",
     "BlockchainFLProtocol",
     "ProtocolResult",
+    "RoundResult",
+    "RoundContext",
+    "RoundScheduler",
+    "Scenario",
+    "ComposedScenario",
+    "DropoutScenario",
+    "StragglerScenario",
+    "LateJoinScenario",
+    "AdversarialSubmissionScenario",
+    "AdversaryInjectionScenario",
+    "SubmissionRejection",
 ]

@@ -18,7 +18,7 @@ import numpy as np
 from repro.blockchain.chain import Blockchain
 from repro.exceptions import AuditError
 from repro.shapley.engine import coalition_utility_table
-from repro.shapley.native import exact_shapley_from_utilities
+from repro.shapley.group import assemble_group_values
 
 
 @dataclass
@@ -43,12 +43,13 @@ class AuditReport:
         return self.chain_valid and not self.mismatches
 
 
-def _recompute_round(scorer, round_record: dict) -> dict[str, float]:
+def _recompute_round(scorer, round_record: dict, sv_assembly_version: int = 1) -> dict[str, float]:
     """Recompute Algorithm 1 lines 4-7 from a round's published group models.
 
     The auditor runs the same vectorized bitmask engine as the contract (the
-    subset-sum coalition construction and batched scoring are deterministic),
-    so within one software stack a reported divergence is a genuine
+    subset-sum coalition construction and batched scoring are deterministic)
+    and the same exact-SV assembly version the chain pinned at setup, so
+    within one software stack a reported divergence is a genuine
     discrepancy in the published values; :func:`audit_chain` compares the
     recomputed contributions under a tolerance that absorbs residual
     cross-version numeric drift.
@@ -57,7 +58,7 @@ def _recompute_round(scorer, round_record: dict) -> dict[str, float]:
     group_models = [np.asarray(model, dtype=np.float64) for model in round_record["group_models"]]
     labels = [f"group-{j}" for j in range(len(groups))]
     utilities = coalition_utility_table(dict(zip(labels, group_models)), scorer)
-    group_value_map = exact_shapley_from_utilities(labels, utilities)
+    group_value_map = assemble_group_values(labels, utilities, sv_assembly_version)
     user_values: dict[str, float] = {}
     for label, group in zip(labels, groups):
         share = group_value_map[label] / len(group)
@@ -106,8 +107,11 @@ def audit_chain(
             raise AuditError("; ".join(report.mismatches)) from exc
         return report
 
-    # 2. Recompute every evaluated round from the published group models.
+    # 2. Recompute every evaluated round from the published group models,
+    #    honouring the exact-SV assembly version pinned on the registry.
     state = replayed.state
+    pinned_params = state.get("registry", "protocol_params") or {}
+    sv_assembly_version = int(pinned_params.get("sv_assembly_version", 1))
     evaluated_rounds = sorted(
         int(key.split("/", 1)[1])
         for key in state.keys("contribution")
@@ -119,7 +123,7 @@ def audit_chain(
         if round_record is None or stored is None:
             report.mismatches.append(f"round {round_number}: missing training or evaluation record")
             continue
-        recomputed = _recompute_round(scorer, round_record)
+        recomputed = _recompute_round(scorer, round_record, sv_assembly_version)
         stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
         if set(recomputed) != set(stored_values):
             report.mismatches.append(f"round {round_number}: contribution covers different owners")

@@ -26,6 +26,15 @@ class ProtocolConfig:
             safe-prime groups keep tests fast; use >= 2048 in production).
         reward_pool: tokens distributed proportionally to contributions at the end.
         byzantine_miners: node ids that vote dishonestly during verification.
+        sv_assembly_version: which exact-SV assembly the contribution contract
+            (and auditors) run over the group game's utility table.  Version 1
+            is the scalar reference formula — bit-for-bit identical to the
+            historical receipts.  Version 2 is the vectorized bitmask assembly
+            (:func:`repro.shapley.engine.exact_shapley_from_utility_vector`),
+            mathematically identical and much faster for large ``m`` but with
+            a different floating-point summation order, so receipts may differ
+            in the last ulps.  Pinned on chain at setup: every miner and every
+            auditor replays the same assembly.
     """
 
     n_owners: int = 9
@@ -41,6 +50,7 @@ class ProtocolConfig:
     dh_bits: int = 64
     reward_pool: float = 1000.0
     byzantine_miners: tuple[str, ...] = field(default_factory=tuple)
+    sv_assembly_version: int = 1
 
     def __post_init__(self) -> None:
         if self.n_owners < 2:
@@ -55,6 +65,8 @@ class ProtocolConfig:
             raise ConfigurationError("learning_rate must be positive")
         if self.reward_pool < 0:
             raise ConfigurationError("reward_pool must be non-negative")
+        if self.sv_assembly_version not in (1, 2):
+            raise ConfigurationError("sv_assembly_version must be 1 (scalar) or 2 (vectorized)")
 
     def on_chain_params(self, model_dimension: int) -> dict[str, Any]:
         """The parameter dict pinned on the registry contract."""
@@ -70,4 +82,5 @@ class ProtocolConfig:
             "local_epochs": self.local_epochs,
             "learning_rate": self.learning_rate,
             "l2": self.l2,
+            "sv_assembly_version": self.sv_assembly_version,
         }

@@ -1,0 +1,722 @@
+"""The staged round pipeline: Section IV.B as composable stages.
+
+The protocol of the paper used to live in one monolithic ``run`` loop.  This
+module decomposes it into explicit stages driven by a :class:`RoundScheduler`:
+
+    Setup -> LocalTraining -> Masking/Submission -> SecureAggregation
+          -> Evaluation -> BlockProposal -> Settlement
+
+Every stage reads and writes one :class:`RoundContext` — the complete state of
+a round in flight (grouping, local models, staged transactions, withheld
+submissions, rejections, consensus verdict).  Scenario behaviour (dropout,
+stragglers, adversary injection, late joins) plugs in through the
+:class:`Scenario` hook interface instead of bespoke orchestration loops, so
+``examples/``, the CLI, and the benchmarks all drive the very same runtime.
+
+Two design rules keep scenario runs receipt-compatible with plain runs:
+
+* **Staged submission barrier** — submission transactions are *built* during
+  the Masking/Submission stage but only gossiped to the mempool at the
+  BlockProposal stage, in canonical (sorted-owner) order.  A dropout that
+  recovers or a straggler that arrives late therefore produces byte-identical
+  blocks: arrival order in the mempool never depends on scenario timing.
+* **Gossip-level validation** — a tampered submission (wrong group claim,
+  wrong dimension) is rejected *before* it reaches the mempool, exactly as a
+  real chain's nodes drop invalid transactions at admission.  The rejected
+  owner's nonce is not consumed, so an honest re-submission slots into the
+  block exactly where the original would have been.
+
+The on-chain halves of SecureAggregation (``finalize_round``) and Evaluation
+(``evaluate_round``) are deterministic contract calls; their stages *stage*
+the transactions and the BlockProposal stage executes them inside the round's
+single block, preserving the one-block-per-round chain layout of the paper's
+protocol (and of every pre-pipeline chain receipt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.blockchain.consensus import VerificationResult
+from repro.blockchain.transaction import Transaction
+from repro.core.adversary import AdversaryBehavior, apply_adversary
+from repro.exceptions import ProtocolError, RoundError
+from repro.fl.model import ModelParameters
+from repro.shapley.group import group_members, make_groups
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import BlockchainFLProtocol
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+@dataclass
+class RoundResult:
+    """What one on-chain round produced."""
+
+    round_number: int
+    groups: tuple[tuple[str, ...], ...]
+    user_values: dict[str, float]
+    group_values: tuple[float, ...]
+    global_utility: float
+    global_parameters: ModelParameters
+    consensus: VerificationResult | None = None
+
+
+@dataclass
+class ProtocolResult:
+    """The outcome of a full protocol run."""
+
+    rounds: list[RoundResult] = field(default_factory=list)
+    total_contributions: dict[str, float] = field(default_factory=dict)
+    reward_balances: dict[str, float] = field(default_factory=dict)
+    final_parameters: ModelParameters | None = None
+    chain_height: int = 0
+    total_transactions: int = 0
+    total_gas: int = 0
+    network_stats: dict = field(default_factory=dict)
+
+    def contributions_per_round(self) -> dict[str, list[float]]:
+        """Per-owner time series of round contributions."""
+        series: dict[str, list[float]] = {}
+        for record in self.rounds:
+            for owner, value in record.user_values.items():
+                series.setdefault(owner, []).append(value)
+        return series
+
+
+# ----------------------------------------------------------------------
+# Round context
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SubmissionRejection:
+    """A submission dropped by gossip-level validation before the mempool."""
+
+    owner_id: str
+    round_number: int
+    reason: str
+
+
+@dataclass
+class RoundContext:
+    """Everything one round in flight carries between stages.
+
+    Stages mutate the context in sequence; scenario hooks observe and steer it
+    (withholding submissions, releasing them on later ticks, tampering with
+    transaction arguments).  After the BlockProposal stage, :attr:`result`
+    holds the round's :class:`RoundResult`.
+    """
+
+    round_number: int
+    global_parameters: ModelParameters
+    owner_ids: list[str]
+    groups: tuple[tuple[str, ...], ...]
+    membership: dict[str, int]
+    max_wait_ticks: int = 8
+    local_models: dict[str, ModelParameters] = field(default_factory=dict)
+    submissions: dict[str, Transaction] = field(default_factory=dict)
+    withheld: dict[str, str] = field(default_factory=dict)
+    rejections: list[SubmissionRejection] = field(default_factory=list)
+    closing_transactions: list[Transaction] = field(default_factory=list)
+    ticks_waited: int = 0
+    consensus: VerificationResult | None = None
+    result: RoundResult | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def missing_owners(self) -> list[str]:
+        """Owners whose submission has not been built or is still withheld."""
+        return sorted(
+            owner
+            for owner in self.owner_ids
+            if owner not in self.submissions or owner in self.withheld
+        )
+
+    def deliver(self, owner_id: str) -> None:
+        """Release a withheld submission (the owner came back online)."""
+        self.withheld.pop(owner_id, None)
+
+
+# ----------------------------------------------------------------------
+# Scenario hooks
+# ----------------------------------------------------------------------
+
+class Scenario:
+    """Hook interface for steering a protocol run without a bespoke loop.
+
+    Every hook is a no-op in the base class; concrete scenarios override the
+    ones they need.  Hooks run at well-defined points of the stage pipeline:
+
+    * :meth:`on_setup` — after the setup block commits.
+    * :meth:`on_round_start` — once the :class:`RoundContext` exists (grouping
+      known, nothing trained yet).
+    * :meth:`transform_update` — per owner, after local training; may replace
+      the local model (adversary injection, late-join placeholders).
+    * :meth:`tamper_submission` — per owner, may rewrite the submission
+      transaction's arguments (modelling a lying client); tampered args that
+      fail gossip validation are rejected off-chain.
+    * :meth:`withhold_submission` — per owner, return a reason string to keep
+      a built submission out of the round for now (dropout, straggler).
+    * :meth:`on_tick` — each simulated tick while submissions are missing;
+      call :meth:`RoundContext.deliver` to bring owners back.
+    * :meth:`on_rejection` — when gossip validation drops a submission.
+    * :meth:`on_round_end` — after the round's block committed.
+    * :meth:`on_settlement` — after the final reward distribution.
+    """
+
+    def on_setup(self, protocol: "BlockchainFLProtocol") -> None:
+        """Called once after the setup block commits."""
+
+    def on_round_start(self, ctx: RoundContext) -> None:
+        """Called when a round's context has been created."""
+
+    def transform_update(
+        self, ctx: RoundContext, owner_id: str, parameters: ModelParameters
+    ) -> ModelParameters:
+        """Optionally replace an owner's freshly trained local model."""
+        return parameters
+
+    def tamper_submission(
+        self, ctx: RoundContext, owner_id: str, args: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Optionally rewrite the submission transaction arguments."""
+        return args
+
+    def withhold_submission(self, ctx: RoundContext, owner_id: str) -> str | None:
+        """Return a reason to keep this owner's submission back, or None."""
+        return None
+
+    def on_tick(self, ctx: RoundContext) -> None:
+        """Called once per simulated tick while submissions are missing."""
+
+    def on_rejection(self, ctx: RoundContext, rejection: SubmissionRejection) -> None:
+        """Called when gossip-level validation rejects a submission."""
+
+    def on_round_end(self, ctx: RoundContext) -> None:
+        """Called after the round's block has committed."""
+
+    def on_settlement(self, result: ProtocolResult) -> None:
+        """Called after the final reward distribution."""
+
+
+class ComposedScenario(Scenario):
+    """Run several scenarios side by side (hooks fire in list order)."""
+
+    def __init__(self, scenarios: Sequence[Scenario]) -> None:
+        self.scenarios = list(scenarios)
+
+    def on_setup(self, protocol) -> None:
+        for scenario in self.scenarios:
+            scenario.on_setup(protocol)
+
+    def on_round_start(self, ctx) -> None:
+        for scenario in self.scenarios:
+            scenario.on_round_start(ctx)
+
+    def transform_update(self, ctx, owner_id, parameters):
+        for scenario in self.scenarios:
+            parameters = scenario.transform_update(ctx, owner_id, parameters)
+        return parameters
+
+    def tamper_submission(self, ctx, owner_id, args):
+        for scenario in self.scenarios:
+            args = scenario.tamper_submission(ctx, owner_id, args)
+        return args
+
+    def withhold_submission(self, ctx, owner_id):
+        for scenario in self.scenarios:
+            reason = scenario.withhold_submission(ctx, owner_id)
+            if reason is not None:
+                return reason
+        return None
+
+    def on_tick(self, ctx) -> None:
+        for scenario in self.scenarios:
+            scenario.on_tick(ctx)
+
+    def on_rejection(self, ctx, rejection) -> None:
+        for scenario in self.scenarios:
+            scenario.on_rejection(ctx, rejection)
+
+    def on_round_end(self, ctx) -> None:
+        for scenario in self.scenarios:
+            scenario.on_round_end(ctx)
+
+    def on_settlement(self, result) -> None:
+        for scenario in self.scenarios:
+            scenario.on_settlement(result)
+
+
+class DropoutScenario(Scenario):
+    """An owner drops offline mid-round (after training, before submission).
+
+    The owner's submission is withheld for ``offline_ticks`` simulated ticks,
+    then delivered — modelling a transient disconnect with recovery.  Because
+    submissions only reach the mempool at the BlockProposal barrier, the
+    recovered round commits a block byte-identical to an undisturbed run.
+
+    Delivery is reason-scoped: the scenario only releases a submission *it*
+    withheld, so composing it with another scenario that holds the same owner
+    back for different reasons cannot end the other outage early.
+    """
+
+    reason = "dropout"
+
+    def __init__(self, owner_id: str, round_number: int = 0, offline_ticks: int = 2) -> None:
+        if offline_ticks < 1:
+            raise ProtocolError("offline_ticks must be at least 1")
+        self.owner_id = owner_id
+        self.round_number = int(round_number)
+        self.offline_ticks = int(offline_ticks)
+
+    def withhold_submission(self, ctx: RoundContext, owner_id: str) -> str | None:
+        if owner_id == self.owner_id and ctx.round_number == self.round_number:
+            return self.reason
+        return None
+
+    def on_tick(self, ctx: RoundContext) -> None:
+        if (
+            ctx.round_number == self.round_number
+            and ctx.ticks_waited >= self.offline_ticks
+            and ctx.withheld.get(self.owner_id) == self.reason
+        ):
+            ctx.deliver(self.owner_id)
+
+
+class StragglerScenario(Scenario):
+    """An owner is consistently slow: its submission arrives ``delay_ticks`` late.
+
+    With ``delay_ticks`` below the context's ``max_wait_ticks`` the scheduler
+    absorbs the delay and the chain is unchanged; above it the round aborts
+    with a straggler timeout *before anything reaches the chain*.
+
+    Like :class:`DropoutScenario`, delivery is reason-scoped: only a
+    submission this scenario withheld is released on its schedule.
+    """
+
+    reason = "straggler"
+
+    def __init__(self, owner_id: str, delay_ticks: int = 1, rounds: Sequence[int] | None = None) -> None:
+        if delay_ticks < 1:
+            raise ProtocolError("delay_ticks must be at least 1")
+        self.owner_id = owner_id
+        self.delay_ticks = int(delay_ticks)
+        self.rounds = None if rounds is None else {int(r) for r in rounds}
+
+    def _applies(self, round_number: int) -> bool:
+        return self.rounds is None or round_number in self.rounds
+
+    def withhold_submission(self, ctx: RoundContext, owner_id: str) -> str | None:
+        if owner_id == self.owner_id and self._applies(ctx.round_number):
+            return self.reason
+        return None
+
+    def on_tick(self, ctx: RoundContext) -> None:
+        if (
+            self._applies(ctx.round_number)
+            and ctx.ticks_waited >= self.delay_ticks
+            and ctx.withheld.get(self.owner_id) == self.reason
+        ):
+            ctx.deliver(self.owner_id)
+
+
+class AdversarialSubmissionScenario(Scenario):
+    """An owner lies about its group assignment in the submission transaction.
+
+    Gossip-level validation rejects the tampered transaction before it can
+    occupy a block slot (a real network's nodes drop invalid transactions at
+    mempool admission), and the owner — unable to get the lie included —
+    falls back to an honest submission with the same nonce.  The resulting
+    chain is therefore identical to an all-honest run, while the rejection
+    itself is recorded on the :class:`RoundContext` for reporting.
+    """
+
+    def __init__(self, owner_id: str, claimed_group: int | None = None, rounds: Sequence[int] | None = None) -> None:
+        self.owner_id = owner_id
+        self.claimed_group = claimed_group
+        self.rounds = None if rounds is None else {int(r) for r in rounds}
+
+    def tamper_submission(self, ctx: RoundContext, owner_id: str, args: dict[str, Any]) -> dict[str, Any]:
+        if owner_id != self.owner_id:
+            return args
+        if self.rounds is not None and ctx.round_number not in self.rounds:
+            return args
+        honest_group = int(args["group_id"])
+        claimed = self.claimed_group
+        if claimed is None:
+            claimed = (honest_group + 1) % len(ctx.groups)
+        if claimed == honest_group:
+            return args
+        tampered = dict(args)
+        tampered["group_id"] = int(claimed)
+        return tampered
+
+
+class LateJoinScenario(Scenario):
+    """An owner joins the training effort only from ``join_round`` onwards.
+
+    Before joining, the owner is registered (the contract requires a full
+    cohort) but contributes no learning: it submits the unchanged global
+    model instead of a trained update.  GroupSV then prices the missing
+    signal — the late joiner's accumulated contribution trails its fully
+    participating counterfactual.
+    """
+
+    def __init__(self, owner_id: str, join_round: int) -> None:
+        self.owner_id = owner_id
+        self.join_round = int(join_round)
+
+    def transform_update(
+        self, ctx: RoundContext, owner_id: str, parameters: ModelParameters
+    ) -> ModelParameters:
+        if owner_id == self.owner_id and ctx.round_number < self.join_round:
+            return ctx.global_parameters
+        return parameters
+
+
+class AdversaryInjectionScenario(Scenario):
+    """Apply :class:`~repro.core.adversary.AdversaryBehavior` tampering per round.
+
+    Unlike the participant-level ``adversaries`` mapping (which tampers every
+    round), a scenario can scope the attack to a window of rounds — e.g. an
+    owner that turns malicious halfway through training.
+    """
+
+    def __init__(
+        self,
+        behaviors: Mapping[str, AdversaryBehavior],
+        start_round: int = 0,
+        end_round: int | None = None,
+    ) -> None:
+        self.behaviors = dict(behaviors)
+        self.start_round = int(start_round)
+        self.end_round = None if end_round is None else int(end_round)
+
+    def transform_update(
+        self, ctx: RoundContext, owner_id: str, parameters: ModelParameters
+    ) -> ModelParameters:
+        behavior = self.behaviors.get(owner_id)
+        if behavior is None or ctx.round_number < self.start_round:
+            return parameters
+        if self.end_round is not None and ctx.round_number > self.end_round:
+            return parameters
+        return apply_adversary(parameters, behavior)
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+
+class RoundStage:
+    """One step of the round pipeline; stages are stateless and reusable."""
+
+    name = "stage"
+
+    def run(self, protocol: "BlockchainFLProtocol", ctx: RoundContext, scenario: Scenario) -> None:
+        raise NotImplementedError
+
+
+class LocalTrainingStage(RoundStage):
+    """Every owner trains locally from the current global model."""
+
+    name = "local-training"
+
+    def run(self, protocol, ctx, scenario) -> None:
+        for owner_id in ctx.owner_ids:
+            participant = protocol.participants[owner_id]
+            local = participant.train_local(ctx.global_parameters, ctx.round_number)
+            local = scenario.transform_update(ctx, owner_id, local)
+            ctx.local_models[owner_id] = local
+
+
+def validate_submission(ctx: RoundContext, tx: Transaction, model_dimension: int) -> str | None:
+    """Gossip-level validation of a submission transaction.
+
+    Mirrors the deterministic checks the training contract would make, so an
+    invalid submission is dropped before it can occupy a block slot.  Returns
+    a human-readable rejection reason, or None for a valid submission.
+    """
+    if tx.contract != "fl_training" or tx.method != "submit_masked_update":
+        return f"unexpected call {tx.contract}.{tx.method} in the submission stage"
+    claimed_group = int(tx.args.get("group_id", -1))
+    expected_group = ctx.membership.get(tx.sender)
+    if expected_group is None:
+        return f"{tx.sender} is not part of the round-{ctx.round_number} cohort"
+    if claimed_group != expected_group:
+        return (
+            f"{tx.sender} claims group {claimed_group} but the round-{ctx.round_number} "
+            f"permutation assigns it to group {expected_group}"
+        )
+    if int(tx.args.get("round_number", -1)) != ctx.round_number:
+        return f"{tx.sender} submitted for the wrong round"
+    payload = np.asarray(tx.args.get("payload"))
+    if payload.size != model_dimension:
+        return f"payload has dimension {payload.size}, expected {model_dimension}"
+    return None
+
+
+class MaskingSubmissionStage(RoundStage):
+    """Owners mask their updates and stage submission transactions.
+
+    The stage builds one submission per owner (letting the scenario tamper
+    with or withhold it), validates every transaction at the gossip level,
+    and then waits — up to ``ctx.max_wait_ticks`` simulated ticks — for
+    withheld submissions to arrive.  Nothing reaches the mempool here; the
+    BlockProposal stage flushes the completed set in canonical order.
+    """
+
+    name = "masking-submission"
+
+    def run(self, protocol, ctx, scenario) -> None:
+        # Snapshot the off-chain nonce counters: a timed-out round gossips
+        # nothing, so the counters must rewind with it or the protocol object
+        # would be permanently ahead of its own chain.
+        nonce_snapshot = dict(protocol._nonces)
+        for owner_id in ctx.owner_ids:
+            participant = protocol.participants[owner_id]
+            group_id = ctx.membership[owner_id]
+            nonce = protocol._next_nonce(owner_id)
+            honest = participant.masked_update_transaction(
+                ctx.local_models[owner_id],
+                ctx.round_number,
+                group=list(ctx.groups[group_id]),
+                group_id=group_id,
+                nonce=nonce,
+            )
+            tampered_args = scenario.tamper_submission(ctx, owner_id, dict(honest.args))
+            # Rebuilding from the (possibly tampered) args is exact: identical
+            # args reproduce the honest transaction bit for bit, signature
+            # included, so no array-valued dict comparison is needed.
+            tx = Transaction(
+                sender=owner_id,
+                contract=honest.contract,
+                method=honest.method,
+                args=tampered_args,
+                nonce=nonce,
+            )
+            reason = validate_submission(ctx, tx, protocol.model_dimension)
+            if reason is not None:
+                rejection = SubmissionRejection(owner_id, ctx.round_number, reason)
+                ctx.rejections.append(rejection)
+                scenario.on_rejection(ctx, rejection)
+                # The rejected transaction never consumed its nonce on chain,
+                # so the honest fallback slots in exactly where it would have.
+                tx = honest
+            ctx.submissions[owner_id] = tx
+            reason = scenario.withhold_submission(ctx, owner_id)
+            if reason is not None:
+                ctx.withheld[owner_id] = reason
+
+        while ctx.missing_owners() and ctx.ticks_waited < ctx.max_wait_ticks:
+            ctx.ticks_waited += 1
+            scenario.on_tick(ctx)
+        missing = ctx.missing_owners()
+        if missing:
+            protocol._nonces = nonce_snapshot
+            raise RoundError(
+                f"round {ctx.round_number}: no submission from {missing} after "
+                f"{ctx.ticks_waited} ticks (straggler timeout); nothing was committed"
+            )
+
+
+class SecureAggregationStage(RoundStage):
+    """Stage the ``finalize_round`` call that aggregates the masked updates.
+
+    The aggregation itself (mask cancellation, fixed-point decoding, group and
+    global model publication) is a deterministic contract execution; staging
+    it here keeps the call inside the round's single block.
+    """
+
+    name = "secure-aggregation"
+
+    def run(self, protocol, ctx, scenario) -> None:
+        closer = ctx.owner_ids[ctx.round_number % len(ctx.owner_ids)]
+        ctx.closing_transactions.append(
+            Transaction(
+                sender=closer,
+                contract="fl_training",
+                method="finalize_round",
+                args={"round_number": ctx.round_number},
+                nonce=protocol._next_nonce(closer),
+            )
+        )
+
+
+class EvaluationStage(RoundStage):
+    """Stage the ``evaluate_round`` call (Algorithm 1 on chain)."""
+
+    name = "evaluation"
+
+    def run(self, protocol, ctx, scenario) -> None:
+        closer = ctx.owner_ids[ctx.round_number % len(ctx.owner_ids)]
+        ctx.closing_transactions.append(
+            Transaction(
+                sender=closer,
+                contract="contribution",
+                method="evaluate_round",
+                args={"round_number": ctx.round_number},
+                nonce=protocol._next_nonce(closer),
+            )
+        )
+
+
+class BlockProposalStage(RoundStage):
+    """Flush the staged transactions, run consensus, and read the round back.
+
+    Submissions are gossiped in canonical sorted-owner order followed by the
+    closing calls, so the proposed block's transaction list — and therefore
+    its Merkle root and hash — does not depend on scenario timing.
+    """
+
+    name = "block-proposal"
+
+    def run(self, protocol, ctx, scenario) -> None:
+        for owner_id in sorted(ctx.submissions):
+            protocol._submit(ctx.submissions[owner_id])
+        for tx in ctx.closing_transactions:
+            protocol._submit(tx)
+        ctx.consensus = protocol._commit_block()
+
+        chain = protocol._reference_chain()
+        round_record = chain.state.get("fl_training", f"round/{ctx.round_number}")
+        evaluation = chain.state.get("contribution", f"evaluation/{ctx.round_number}")
+        if round_record is None or evaluation is None:
+            raise RoundError(f"round {ctx.round_number} did not finalize or evaluate on chain")
+        global_vector = np.asarray(round_record["global_model"], dtype=np.float64)
+        new_global = protocol._template_parameters.from_vector(global_vector)
+        ctx.result = RoundResult(
+            round_number=ctx.round_number,
+            groups=tuple(tuple(group) for group in round_record["groups"]),
+            user_values=dict(evaluation["user_values"]),
+            group_values=tuple(evaluation["group_values"]),
+            global_utility=float(evaluation["global_utility"]),
+            global_parameters=new_global,
+            consensus=ctx.consensus,
+        )
+        scenario.on_round_end(ctx)
+
+
+DEFAULT_ROUND_STAGES: tuple[RoundStage, ...] = (
+    LocalTrainingStage(),
+    MaskingSubmissionStage(),
+    SecureAggregationStage(),
+    EvaluationStage(),
+    BlockProposalStage(),
+)
+
+
+class SetupStage:
+    """Pin protocol parameters and register every participant on chain."""
+
+    name = "setup"
+
+    def run(self, protocol: "BlockchainFLProtocol", scenario: Scenario) -> VerificationResult | None:
+        if protocol._setup_done:
+            return None
+        result = protocol.setup()
+        scenario.on_setup(protocol)
+        return result
+
+
+class SettlementStage:
+    """Distribute the reward pool and collect the run's final statistics."""
+
+    name = "settlement"
+
+    def run(
+        self, protocol: "BlockchainFLProtocol", result: ProtocolResult, scenario: Scenario
+    ) -> ProtocolResult:
+        closer = protocol.owner_ids[0]
+        reward_tx = Transaction(
+            sender=closer,
+            contract="reward",
+            method="distribute",
+            args={"reward_pool": protocol.config.reward_pool, "label": "final"},
+            nonce=protocol._next_nonce(closer),
+        )
+        protocol._submit(reward_tx)
+        protocol._commit_block()
+
+        chain = protocol._reference_chain()
+        result.total_contributions = dict(chain.state.get("contribution", "totals", {}))
+        result.reward_balances = dict(chain.state.get("reward", "balances", {}))
+        result.chain_height = chain.height
+        result.total_transactions = chain.total_transactions()
+        result.total_gas = chain.total_gas()
+        result.network_stats = protocol.network.stats.as_dict()
+        scenario.on_settlement(result)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+class RoundScheduler:
+    """Drives the stage pipeline over all configured rounds.
+
+    The scheduler owns the stage list (swap stages to customize the runtime),
+    the scenario, and the per-round contexts it produced — the contexts stay
+    available on :attr:`contexts` for reporting and tests.
+    """
+
+    def __init__(
+        self,
+        protocol: "BlockchainFLProtocol",
+        scenario: Scenario | None = None,
+        round_stages: Sequence[RoundStage] | None = None,
+        max_wait_ticks: int = 8,
+    ) -> None:
+        self.protocol = protocol
+        self.scenario = scenario or Scenario()
+        self.round_stages = tuple(round_stages) if round_stages is not None else DEFAULT_ROUND_STAGES
+        self.max_wait_ticks = int(max_wait_ticks)
+        self.contexts: list[RoundContext] = []
+
+    def build_context(self, round_number: int, global_parameters: ModelParameters) -> RoundContext:
+        """Create the context for a round: grouping resolved, nothing trained."""
+        protocol = self.protocol
+        groups = make_groups(
+            protocol.owner_ids,
+            protocol.config.n_groups,
+            protocol.config.permutation_seed,
+            round_number,
+        )
+        return RoundContext(
+            round_number=round_number,
+            global_parameters=global_parameters,
+            owner_ids=list(protocol.owner_ids),
+            groups=tuple(tuple(group) for group in groups),
+            membership=group_members(groups),
+            max_wait_ticks=self.max_wait_ticks,
+        )
+
+    def run_round(self, round_number: int, global_parameters: ModelParameters) -> RoundResult:
+        """Execute one full on-chain round through the stage pipeline."""
+        if not self.protocol._setup_done:
+            raise ProtocolError("setup() must run before training rounds")
+        ctx = self.build_context(round_number, global_parameters)
+        self.contexts.append(ctx)
+        self.scenario.on_round_start(ctx)
+        for stage in self.round_stages:
+            stage.run(self.protocol, ctx, self.scenario)
+        if ctx.result is None:
+            raise RoundError(f"round {round_number}: pipeline finished without a result")
+        return ctx.result
+
+    def run(self) -> ProtocolResult:
+        """Run setup, every training round, and the final settlement."""
+        SetupStage().run(self.protocol, self.scenario)
+        result = ProtocolResult()
+        global_parameters = self.protocol._template_parameters
+        for round_number in range(self.protocol.config.n_rounds):
+            round_result = self.run_round(round_number, global_parameters)
+            global_parameters = round_result.global_parameters
+            result.rounds.append(round_result)
+        result.final_parameters = global_parameters
+        return SettlementStage().run(self.protocol, result, self.scenario)

@@ -14,6 +14,15 @@ procedure of Section IV.B:
 3. **Completion** — per-round contributions accumulate on chain
    (``v_i = Σ_r v_i^r``) and the reward contract converts them into payouts.
 
+The round orchestration itself lives in :mod:`repro.core.pipeline`: a
+:class:`~repro.core.pipeline.RoundScheduler` drives the staged pipeline
+(Setup → LocalTraining → Masking/Submission → SecureAggregation → Evaluation
+→ BlockProposal → Settlement) over a :class:`~repro.core.pipeline.RoundContext`
+per round, with :class:`~repro.core.pipeline.Scenario` hooks for dropout,
+stragglers, adversary injection, and late joins.  This class holds the wiring
+(participants, network, contracts, nonces) and delegates every run to the
+scheduler, so the CLI, examples, and benchmarks all share one scenario API.
+
 The result object exposes everything the experiments need: per-round
 contributions, totals, the global model, chain statistics, and the chain itself
 for transparency audits.
@@ -21,7 +30,6 @@ for transparency audits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -37,48 +45,17 @@ from repro.blockchain.transaction import Transaction
 from repro.core.adversary import AdversaryBehavior
 from repro.core.config import ProtocolConfig
 from repro.core.participant import Participant
+from repro.core.pipeline import (  # noqa: F401 - re-exported for compatibility
+    ProtocolResult,
+    RoundResult,
+    RoundScheduler,
+    Scenario,
+)
 from repro.crypto.dh import DHParameters
 from repro.crypto.fixed_point import FixedPointCodec
 from repro.datasets.loader import OwnerDataset
-from repro.exceptions import ProtocolError, RoundError, SetupError
+from repro.exceptions import ProtocolError, SetupError
 from repro.fl.logistic_regression import LogisticRegressionModel
-from repro.fl.model import ModelParameters
-from repro.shapley.group import group_members, make_groups
-
-
-@dataclass
-class RoundResult:
-    """What one on-chain round produced."""
-
-    round_number: int
-    groups: tuple[tuple[str, ...], ...]
-    user_values: dict[str, float]
-    group_values: tuple[float, ...]
-    global_utility: float
-    global_parameters: ModelParameters
-    consensus: VerificationResult | None = None
-
-
-@dataclass
-class ProtocolResult:
-    """The outcome of a full protocol run."""
-
-    rounds: list[RoundResult] = field(default_factory=list)
-    total_contributions: dict[str, float] = field(default_factory=dict)
-    reward_balances: dict[str, float] = field(default_factory=dict)
-    final_parameters: ModelParameters | None = None
-    chain_height: int = 0
-    total_transactions: int = 0
-    total_gas: int = 0
-    network_stats: dict = field(default_factory=dict)
-
-    def contributions_per_round(self) -> dict[str, list[float]]:
-        """Per-owner time series of round contributions."""
-        series: dict[str, list[float]] = {}
-        for record in self.rounds:
-            for owner, value in record.user_values.items():
-                series.setdefault(owner, []).append(value)
-        return series
 
 
 class BlockchainFLProtocol:
@@ -215,103 +192,23 @@ class BlockchainFLProtocol:
         return result
 
     # ------------------------------------------------------------------
-    # Phase 2: training + evaluation rounds
+    # Phase 2 + 3: rounds and the full run (via the stage pipeline)
     # ------------------------------------------------------------------
 
-    def run_round(self, round_number: int, global_parameters: ModelParameters) -> RoundResult:
-        """Execute one full on-chain round (train, mask, aggregate, evaluate)."""
-        if not self._setup_done:
-            raise ProtocolError("setup() must run before training rounds")
-        groups = make_groups(
-            self.owner_ids, self.config.n_groups, self.config.permutation_seed, round_number
-        )
-        membership = group_members(groups)
+    def run_round(
+        self,
+        round_number: int,
+        global_parameters,
+        scenario: Scenario | None = None,
+    ) -> RoundResult:
+        """Execute one full on-chain round through the stage pipeline."""
+        return RoundScheduler(self, scenario).run_round(round_number, global_parameters)
 
-        # Local training and masked submissions (one transaction per owner).
-        for owner_id in self.owner_ids:
-            participant = self.participants[owner_id]
-            local_parameters = participant.train_local(global_parameters, round_number)
-            group_id = membership[owner_id]
-            tx = participant.masked_update_transaction(
-                local_parameters,
-                round_number,
-                group=list(groups[group_id]),
-                group_id=group_id,
-                nonce=self._next_nonce(owner_id),
-            )
-            self._submit(tx)
+    def run(self, scenario: Scenario | None = None) -> ProtocolResult:
+        """Run setup, every training round, and the final reward distribution.
 
-        # The round's closing calls are submitted by the first owner; which owner
-        # sends them does not matter because every miner re-executes them.
-        closer = self.owner_ids[round_number % len(self.owner_ids)]
-        finalize_tx = Transaction(
-            sender=closer,
-            contract="fl_training",
-            method="finalize_round",
-            args={"round_number": round_number},
-            nonce=self._next_nonce(closer),
-        )
-        evaluate_tx = Transaction(
-            sender=closer,
-            contract="contribution",
-            method="evaluate_round",
-            args={"round_number": round_number},
-            nonce=self._next_nonce(closer),
-        )
-        self._submit(finalize_tx)
-        self._submit(evaluate_tx)
-        consensus_result = self._commit_block()
-
-        chain = self._reference_chain()
-        round_record = chain.state.get("fl_training", f"round/{round_number}")
-        evaluation = chain.state.get("contribution", f"evaluation/{round_number}")
-        if round_record is None or evaluation is None:
-            raise RoundError(f"round {round_number} did not finalize or evaluate on chain")
-        global_vector = np.asarray(round_record["global_model"], dtype=np.float64)
-        new_global = self._template_parameters.from_vector(global_vector)
-        return RoundResult(
-            round_number=round_number,
-            groups=tuple(tuple(group) for group in round_record["groups"]),
-            user_values=dict(evaluation["user_values"]),
-            group_values=tuple(evaluation["group_values"]),
-            global_utility=float(evaluation["global_utility"]),
-            global_parameters=new_global,
-            consensus=consensus_result,
-        )
-
-    # ------------------------------------------------------------------
-    # Phase 3: the full run
-    # ------------------------------------------------------------------
-
-    def run(self) -> ProtocolResult:
-        """Run setup, every training round, and the final reward distribution."""
-        result = ProtocolResult()
-        if not self._setup_done:
-            self.setup()
-        global_parameters = self._template_parameters
-        for round_number in range(self.config.n_rounds):
-            round_result = self.run_round(round_number, global_parameters)
-            global_parameters = round_result.global_parameters
-            result.rounds.append(round_result)
-
-        # Final reward distribution.
-        closer = self.owner_ids[0]
-        reward_tx = Transaction(
-            sender=closer,
-            contract="reward",
-            method="distribute",
-            args={"reward_pool": self.config.reward_pool, "label": "final"},
-            nonce=self._next_nonce(closer),
-        )
-        self._submit(reward_tx)
-        self._commit_block()
-
-        chain = self._reference_chain()
-        result.total_contributions = dict(chain.state.get("contribution", "totals", {}))
-        result.reward_balances = dict(chain.state.get("reward", "balances", {}))
-        result.final_parameters = global_parameters
-        result.chain_height = chain.height
-        result.total_transactions = chain.total_transactions()
-        result.total_gas = chain.total_gas()
-        result.network_stats = self.network.stats.as_dict()
-        return result
+        Args:
+            scenario: optional :class:`~repro.core.pipeline.Scenario` steering
+                the run (dropout, stragglers, adversary injection, late joins).
+        """
+        return RoundScheduler(self, scenario).run()

@@ -8,6 +8,9 @@
   :class:`~repro.shapley.utility.AccuracyUtility` exposes both the scalar
   ``score_vector`` and the batched ``score_batch`` (one einsum over a whole
   ``(k, d)`` stack of flat parameter vectors).
+* :mod:`repro.shapley.backend` — evaluation backends: the common batched
+  interface behind every utility family, including the process-pool parallel
+  coalition-retraining path for :class:`~repro.shapley.utility.RetrainUtility`.
 * :mod:`repro.shapley.native` — the exact ("native") Shapley value, Eq. (1).
 * :mod:`repro.shapley.group` — GroupSV, Algorithm 1 of the paper.
 * :mod:`repro.shapley.montecarlo` — permutation-sampling and truncated
@@ -16,6 +19,13 @@
   (cosine similarity used in Fig. 2, plus rank correlation and L2).
 """
 
+from repro.shapley.backend import (
+    EvaluationBackend,
+    ProcessPoolEvaluationBackend,
+    SerialEvaluationBackend,
+    default_backend,
+    make_backend,
+)
 from repro.shapley.engine import (
     BitmaskCoalitionEngine,
     coalition_mask,
@@ -28,7 +38,13 @@ from repro.shapley.engine import (
     subset_sums,
     utility_table_to_vector,
 )
-from repro.shapley.group import GroupShapleyResult, compute_group_shapley, group_members, make_groups
+from repro.shapley.group import (
+    GroupShapleyResult,
+    assemble_group_values,
+    compute_group_shapley,
+    group_members,
+    make_groups,
+)
 from repro.shapley.metrics import cosine_similarity, l2_distance, max_abs_error, spearman_correlation
 from repro.shapley.montecarlo import permutation_sampling_shapley, truncated_monte_carlo_shapley
 from repro.shapley.native import exact_shapley_from_utilities, native_shapley
@@ -41,6 +57,12 @@ from repro.shapley.utility import (
 )
 
 __all__ = [
+    "EvaluationBackend",
+    "SerialEvaluationBackend",
+    "ProcessPoolEvaluationBackend",
+    "default_backend",
+    "make_backend",
+    "assemble_group_values",
     "BitmaskCoalitionEngine",
     "coalition_mask",
     "coalition_means",

@@ -26,7 +26,11 @@ from typing import Callable, Mapping, Sequence
 
 from repro.exceptions import GroupingError, ShapleyError
 from repro.fl.model import ModelParameters
-from repro.shapley.engine import coalition_utility_table
+from repro.shapley.engine import (
+    coalition_utility_table,
+    exact_shapley_from_utility_vector,
+    utility_table_to_vector,
+)
 from repro.shapley.native import exact_shapley_from_utilities
 from repro.shapley.utility import AccuracyUtility, CoalitionModelUtility
 from repro.utils.rng import spawn_rng
@@ -119,11 +123,36 @@ class GroupShapleyResult:
     coalition_utilities: dict[tuple[str, ...], float] = field(default_factory=dict)
 
 
+def assemble_group_values(
+    group_labels: Sequence[str],
+    utilities: Mapping[tuple[str, ...], float],
+    sv_assembly_version: int = 1,
+) -> dict[str, float]:
+    """Assemble the group game's exact Shapley values from its utility table.
+
+    ``sv_assembly_version`` selects the protocol-versioned assembly (see
+    :attr:`repro.core.config.ProtocolConfig.sv_assembly_version`): version 1
+    is the scalar reference formula whose receipts are bit-for-bit identical
+    to the historical implementation; version 2 is the vectorized bitmask
+    assembly — mathematically identical, O(2^m) vectorized work instead of
+    O(m·2^m) Python loops, with a different floating-point summation order.
+    """
+    version = int(sv_assembly_version)
+    if version == 1:
+        return exact_shapley_from_utilities(list(group_labels), utilities)
+    if version == 2:
+        vector = utility_table_to_vector(group_labels, utilities)
+        values = exact_shapley_from_utility_vector(vector)
+        return {label: float(value) for label, value in zip(sorted(group_labels), values)}
+    raise ShapleyError(f"unknown sv_assembly_version {sv_assembly_version!r} (supported: 1, 2)")
+
+
 def compute_group_shapley(
     group_models: Sequence[ModelParameters],
     groups: Sequence[Sequence[str]],
     scorer: AccuracyUtility,
     round_number: int = 0,
+    sv_assembly_version: int = 1,
 ) -> GroupShapleyResult:
     """Algorithm 1 lines 4-7: group-level SV from per-group models.
 
@@ -132,6 +161,8 @@ def compute_group_shapley(
         groups: the user grouping (same order as ``group_models``).
         scorer: the utility scorer u(.) applied to coalition models.
         round_number: recorded in the result for bookkeeping.
+        sv_assembly_version: 1 for the scalar reference assembly (historical
+            receipts), 2 for the vectorized bitmask assembly.
     """
     if len(group_models) != len(groups):
         raise ShapleyError("one group model per group is required")
@@ -145,9 +176,9 @@ def compute_group_shapley(
     # them in a single batched pass (falling back to a constant-memory scalar
     # walk past the engine's budgets).  Scorers exposing only the legacy
     # ``score(ModelParameters)`` interface take the per-coalition scalar path.
-    # Either way the group game's Shapley values are assembled with the scalar
-    # reference formula so on-chain receipts stay bit-for-bit identical to the
-    # pre-engine implementation.
+    # The group game's Shapley values are then assembled with the
+    # protocol-versioned assembly: version 1 (default) keeps on-chain receipts
+    # bit-for-bit identical to the pre-engine implementation.
     if hasattr(scorer, "score_batch") or hasattr(scorer, "score_vector"):
         utilities: dict[tuple[str, ...], float] = coalition_utility_table(
             {label: model.to_vector() for label, model in zip(group_labels, group_models)},
@@ -159,7 +190,7 @@ def compute_group_shapley(
         for size in range(1, m + 1):
             for coalition in combinations(sorted(group_labels), size):
                 utilities[coalition] = scalar_utility(coalition)
-    group_value_map = exact_shapley_from_utilities(group_labels, utilities)
+    group_value_map = assemble_group_values(group_labels, utilities, sv_assembly_version)
     group_values = tuple(group_value_map[label] for label in group_labels)
 
     # Line 7: each user inherits an equal share of its group's value.
@@ -188,6 +219,7 @@ def group_shapley_round(
     seed: int,
     round_number: int,
     scorer: AccuracyUtility,
+    sv_assembly_version: int = 1,
 ) -> GroupShapleyResult:
     """Run the full Algorithm 1 for one round on *plain* local models.
 
@@ -197,7 +229,10 @@ def group_shapley_round(
     users = sorted(local_models)
     groups = make_groups(users, m, seed, round_number)
     group_models = aggregate_group_models(groups, local_models)
-    return compute_group_shapley(group_models, groups, scorer, round_number=round_number)
+    return compute_group_shapley(
+        group_models, groups, scorer, round_number=round_number,
+        sv_assembly_version=sv_assembly_version,
+    )
 
 
 def accumulate_user_values(results: Sequence[GroupShapleyResult]) -> dict[str, float]:

@@ -12,14 +12,23 @@ them on accuracy and runtime:
 
 Both estimators batch their work through the bitmask engine's utility plumbing:
 all marginals of a permutation reduce to one utility-vector lookup over the
-permutation's prefix coalitions.  Uncached prefixes are evaluated with a single
-batched scoring call when the utility supports it
-(:meth:`~repro.shapley.utility.UtilityFunction.evaluate_coalitions`), and
-cached prefixes never touch Python-level model code at all.  The sampled
+permutation's prefix coalitions.  The permutation-sampling estimator batches
+*across* permutations as well: the prefix coalitions of a whole round of
+``permutation_batch`` permutations are stacked into one
+:meth:`~repro.shapley.utility.CachedUtility.evaluate_batch` call (and thus one
+``score_batch`` pass over every distinct uncached prefix), cutting the
+remaining per-permutation Python overhead for large ``n_permutations``.
+Cached prefixes never touch Python-level model code at all.  The sampled
 values match the historical scalar loops (regression-tested bit-for-bit on
-the seeded workloads): the same utilities are combined by the same
-per-player accumulation order, and the batched scorer resolves argmax ties
-exactly as the scalar one does.
+the seeded workloads): permutations are drawn in the same RNG sequence, the
+same utilities are combined by the same per-player accumulation order, and
+the batched scorer resolves argmax ties exactly as the scalar one does —
+``permutation_batch=1`` *is* the historical evaluation pattern.
+
+TMC is deliberately not batched across permutations: which prefixes it
+evaluates depends on where each permutation truncates, so stacking rounds of
+permutations would evaluate coalitions past the truncation point and defeat
+the estimator's purpose.
 """
 
 from __future__ import annotations
@@ -48,23 +57,46 @@ def permutation_sampling_shapley(
     utility: UtilityFunction | Callable[[tuple[str, ...]], float],
     n_permutations: int = 100,
     seed: int = 0,
+    permutation_batch: int | None = 64,
 ) -> dict[str, float]:
-    """Estimate Shapley values by averaging marginal contributions over permutations."""
+    """Estimate Shapley values by averaging marginal contributions over permutations.
+
+    Args:
+        players: participant identifiers.
+        utility: coalition utility ``u(S)`` (wrapped in a cache if needed).
+        n_permutations: number of sampled permutations.
+        seed: RNG seed; the permutation sequence is independent of batching.
+        permutation_batch: how many permutations' prefix coalitions are
+            stacked into one batched utility evaluation.  ``None`` stacks all
+            of them; ``1`` reproduces the historical one-permutation-at-a-time
+            evaluation pattern.  The estimate itself is identical for every
+            batch size — only the evaluation grouping changes.
+    """
     if not players:
         raise ShapleyError("at least one player is required")
     if n_permutations < 1:
         raise ShapleyError("n_permutations must be positive")
+    if permutation_batch is not None and permutation_batch < 1:
+        raise ShapleyError("permutation_batch must be positive (or None for one batch)")
     players = sorted(players)
     cached = utility if isinstance(utility, CachedUtility) else CachedUtility(utility)
     rng = spawn_rng("permutation-shapley", seed, len(players), n_permutations)
     index = {player: position for position, player in enumerate(players)}
     totals = np.zeros(len(players), dtype=np.float64)
     empty_value = cached.empty_value
-    for _ in range(n_permutations):
-        order = [players[i] for i in rng.permutation(len(players))]
-        prefix_utilities = cached.evaluate_batch(_prefix_coalitions(order))
-        marginals = np.diff(prefix_utilities, prepend=empty_value)
-        totals[[index[player] for player in order]] += marginals
+    # All permutations are drawn upfront (same RNG sequence as drawing one per
+    # loop iteration) so rounds of them can share one batched evaluation.
+    orders = [[players[i] for i in rng.permutation(len(players))] for _ in range(n_permutations)]
+    batch = n_permutations if permutation_batch is None else int(permutation_batch)
+    for start in range(0, n_permutations, batch):
+        round_orders = orders[start : start + batch]
+        stacked = [prefix for order in round_orders for prefix in _prefix_coalitions(order)]
+        prefix_utilities = cached.evaluate_batch(stacked).reshape(len(round_orders), len(players))
+        marginals = np.diff(prefix_utilities, axis=1, prepend=empty_value)
+        # Per-permutation accumulation in draw order keeps every player's
+        # floating-point summation order identical to the unbatched loop.
+        for row, order in enumerate(round_orders):
+            totals[[index[player] for player in order]] += marginals[row]
     return {player: float(totals[index[player]] / n_permutations) for player in players}
 
 

@@ -175,7 +175,22 @@ class AccuracyUtility(UtilityFunction):
 
 
 class RetrainUtility(UtilityFunction):
-    """u(S) = test accuracy of a model retrained from scratch on S's pooled data."""
+    """u(S) = test accuracy of a model retrained from scratch on S's pooled data.
+
+    Retraining 2^n coalition models is the cost that motivates GroupSV, but it
+    is also embarrassingly parallel: every coalition is an independent
+    ``fit``.  The utility therefore routes all multi-coalition work through an
+    :class:`~repro.shapley.backend.EvaluationBackend` — pass ``n_workers > 1``
+    (or an explicit ``backend``) to retrain coalitions on a process pool with
+    the owners' training matrices shared read-only; the default stays the
+    serial reference path.  Both paths call the same
+    :meth:`train_and_score` with the same :meth:`coalition_seed`, so parallel
+    scores match serial ones exactly regardless of scheduling.
+    """
+
+    # Above this game size the full-power-set vector path (2^n retrainings)
+    # is refused so callers fall back to sampling estimators.
+    VECTOR_MAX_PLAYERS = 20
 
     def __init__(
         self,
@@ -184,6 +199,8 @@ class RetrainUtility(UtilityFunction):
         scorer: AccuracyUtility,
         trainer: CentralizedTrainer | None = None,
         seed: int = 0,
+        backend=None,
+        n_workers: int | None = None,
     ) -> None:
         if set(owner_features) != set(owner_labels):
             raise ValidationError("owner_features and owner_labels must cover the same owners")
@@ -195,23 +212,87 @@ class RetrainUtility(UtilityFunction):
         n_features = next(iter(self.owner_features.values())).shape[1]
         self.trainer = trainer or CentralizedTrainer(n_features, scorer.n_classes)
         self.seed = seed
+        if backend is None:
+            from repro.shapley.backend import make_backend
+
+            backend = make_backend(n_workers)
+        self.backend = backend
         self._evaluations = 0
 
-    def __call__(self, coalition: tuple[str, ...]) -> float:
+    def _check_coalition(self, coalition: tuple[str, ...]) -> tuple[str, ...]:
         coalition = tuple(sorted(coalition))
-        if not coalition:
-            return self.empty_value
         unknown = [owner for owner in coalition if owner not in self.owner_features]
         if unknown:
             raise UtilityError(f"coalition names unknown owners: {unknown}")
-        self._evaluations += 1
+        return coalition
+
+    def coalition_seed(self, coalition: tuple[str, ...]) -> int:
+        """The training seed for one coalition's retraining.
+
+        A pure function of the utility's seed and the coalition (currently the
+        shared seed itself, matching the historical serial behaviour), so a
+        coalition's model never depends on evaluation order, chunking, or
+        which worker process trained it.
+        """
+        return self.seed
+
+    def train_and_score(self, coalition: tuple[str, ...]) -> float:
+        """Train one coalition model and score it (the pure compute kernel).
+
+        This is the unit of work both the serial loop and the process-pool
+        backend execute; it performs no bookkeeping so it can run in worker
+        processes.
+        """
+        coalition = self._check_coalition(coalition)
         parameters = self.trainer.train_on_coalition(
-            self.owner_features, self.owner_labels, coalition, seed=self.seed
+            self.owner_features, self.owner_labels, coalition, seed=self.coalition_seed(coalition)
         )
-        return self.scorer.score(parameters)
+        return float(self.scorer.score(parameters))
+
+    def __call__(self, coalition: tuple[str, ...]) -> float:
+        coalition = self._check_coalition(coalition)
+        if not coalition:
+            return self.empty_value
+        self._evaluations += 1
+        return self.train_and_score(coalition)
 
     def evaluations(self) -> int:
         return self._evaluations
+
+    # ------------------------------------------------------------------
+    # Batched paths (routed through the evaluation backend)
+    # ------------------------------------------------------------------
+
+    def coalition_utility_vector(self, players: Sequence[str]) -> np.ndarray | None:
+        """All 2^n retrained-coalition utilities as a bitmask-indexed vector.
+
+        Coalitions are enumerated in bitmask order over the sorted players and
+        retrained through the configured backend — in parallel when it is a
+        process pool.  Returns ``None`` for games too large to retrain
+        exhaustively (callers fall back to per-coalition or sampled paths).
+        """
+        from repro.shapley.engine import mask_coalition
+
+        ordered = sorted(set(players))
+        if not ordered or len(ordered) > self.VECTOR_MAX_PLAYERS:
+            return None
+        for player in ordered:
+            if player not in self.owner_features:
+                raise UtilityError(f"coalition names unknown owners: [{player!r}]")
+        coalitions = [mask_coalition(mask, ordered) for mask in range(1, 1 << len(ordered))]
+        utilities = np.empty(1 << len(ordered), dtype=np.float64)
+        utilities[0] = self.empty_value
+        utilities[1:] = self.backend.retrain_scores(self, coalitions)
+        self._evaluations += len(coalitions)
+        return utilities
+
+    def evaluate_coalitions(self, coalitions: Sequence[tuple[str, ...]]) -> list[float]:
+        """Evaluate several coalitions, retraining them through the backend."""
+        keys = [self._check_coalition(coalition) for coalition in coalitions]
+        non_empty = [key for key in keys if key]
+        scores = iter(self.backend.retrain_scores(self, non_empty)) if non_empty else iter(())
+        self._evaluations += len(non_empty)
+        return [float(next(scores)) if key else self.empty_value for key in keys]
 
 
 class CoalitionModelUtility(UtilityFunction):
@@ -367,6 +448,9 @@ class CachedUtility(UtilityFunction):
         if vector_hook is None:
             return None
         ordered = sorted(set(players))
+        warm = self._vector_from_cache(ordered)
+        if warm is not None:
+            return warm
         utilities = vector_hook(ordered)
         if utilities is None:
             return None
@@ -381,6 +465,27 @@ class CachedUtility(UtilityFunction):
             utilities = utilities.copy()
             utilities[0] = self.empty_value
         return utilities
+
+    def _vector_from_cache(self, ordered: Sequence[str]) -> np.ndarray | None:
+        """Assemble the game's utility vector from the memo alone, or None.
+
+        A fully warmed cache (e.g. a second ``native_shapley`` call over the
+        same game) must not trigger another 2^n sweep through the inner
+        utility; the size guard keeps the cold case O(1).
+        """
+        from repro.shapley.engine import mask_coalition
+
+        size = 1 << len(ordered)
+        if not ordered or len(self._cache) < size - 1:
+            return None
+        vector = np.empty(size, dtype=np.float64)
+        vector[0] = self.empty_value
+        for mask in range(1, size):
+            value = self._cache.get(mask_coalition(mask, ordered))
+            if value is None:
+                return None
+            vector[mask] = value
+        return vector
 
     def cached_values(self, coalitions: Sequence[tuple[str, ...]]) -> np.ndarray | None:
         """Utilities for ``coalitions`` as one lookup, or None if any is uncached.

@@ -101,3 +101,52 @@ class TestTruncatedMonteCarlo:
     def test_rejects_empty_players(self):
         with pytest.raises(ShapleyError):
             truncated_monte_carlo_shapley([], lambda s: 0.0)
+
+
+class TestCrossPermutationBatching:
+    """Batching rounds of permutations must not change the estimate at all."""
+
+    @staticmethod
+    def _lumpy_utility(coalition):
+        value = len(coalition) ** 1.3
+        if {"a", "c"}.issubset(coalition):
+            value += 1.5
+        if {"b", "d", "e"}.issubset(coalition):
+            value -= 0.75
+        return value
+
+    def test_batched_equals_the_historical_per_permutation_pattern(self):
+        players = ["a", "b", "c", "d", "e"]
+        historical = permutation_sampling_shapley(
+            players, self._lumpy_utility, n_permutations=120, seed=9, permutation_batch=1
+        )
+        for batch in (7, 64, None):
+            batched = permutation_sampling_shapley(
+                players, self._lumpy_utility, n_permutations=120, seed=9, permutation_batch=batch
+            )
+            assert batched == historical  # bit-for-bit, not approx
+
+    def test_batched_run_uses_one_batched_evaluation_per_round(self):
+        players = ["a", "b", "c", "d"]
+        calls = []
+
+        class RecordingCache(CachedUtility):
+            def evaluate_batch(self, coalitions):
+                calls.append(len(coalitions))
+                return super().evaluate_batch(coalitions)
+
+        cache = RecordingCache(self._lumpy_utility)
+        permutation_sampling_shapley(players, cache, n_permutations=32, seed=1, permutation_batch=None)
+        assert calls == [32 * len(players)]
+
+    def test_batch_size_does_not_change_evaluation_coverage(self):
+        players = ["a", "b", "c", "d"]
+        unbatched = CachedUtility(self._lumpy_utility)
+        permutation_sampling_shapley(players, unbatched, n_permutations=50, seed=3, permutation_batch=1)
+        batched = CachedUtility(self._lumpy_utility)
+        permutation_sampling_shapley(players, batched, n_permutations=50, seed=3, permutation_batch=None)
+        assert batched.cache_contents() == unbatched.cache_contents()
+
+    def test_rejects_non_positive_batch(self):
+        with pytest.raises(ShapleyError):
+            permutation_sampling_shapley(["a", "b"], lambda s: 0.0, permutation_batch=0)
