@@ -20,6 +20,7 @@ to 1e-9.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -33,8 +34,13 @@ from repro.shapley.engine import (
 from repro.shapley.native import exact_shapley_from_utilities
 from repro.shapley.utility import AccuracyUtility
 
-ASSEMBLY_SIZES = (12, 13, 14)
-SCORING_GROUPS = 10
+# CI smoke runs shrink the workload through the environment (see the
+# benchmark-artifacts job in .github/workflows/ci.yml); defaults are the
+# full measurement sizes reported in docs/performance.md.
+ASSEMBLY_SIZES = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_ASSEMBLY_SIZES", "12,13,14").split(",")
+)
+SCORING_GROUPS = int(os.environ.get("REPRO_BENCH_SCORING_GROUPS", "10"))
 N_FEATURES = 32
 N_CLASSES = 6
 N_TEST_SAMPLES = 400
@@ -150,11 +156,16 @@ def bench_shapley_engine_vs_legacy(benchmark):
     }
 
     # Acceptance floor: the engine is at least 5x faster than the legacy
-    # assembly at n = 12 while agreeing to 1e-9 everywhere.
-    assert assembly[12]["speedup"] >= 5.0
+    # assembly at n = 12 while agreeing to 1e-9 everywhere.  Reduced-size
+    # runs (env override) skip the speedup floor — tiny games sit inside
+    # timer noise — but never the agreement bar.
+    if 12 in assembly:
+        assert assembly[12]["speedup"] >= 5.0
     for entry in assembly.values():
         assert entry["max_abs_error"] <= 1e-9
-    # Batched scoring must beat the per-coalition model loop and match it
-    # prediction for prediction.
-    assert scoring["speedup"] > 1.0
+    # Batched scoring must match the per-coalition model loop prediction for
+    # prediction; the speedup floor only holds at the full measurement size —
+    # reduced CI runs sit inside timer noise on shared runners.
+    if SCORING_GROUPS >= 10:
+        assert scoring["speedup"] > 1.0
     assert scoring["identical"]

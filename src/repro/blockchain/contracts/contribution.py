@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
 from repro.blockchain.contracts.fl_training import read_round_record
-from repro.blockchain.contracts.registry import read_protocol_params
+from repro.blockchain.contracts.registry import read_epochs, read_protocol_params
 from repro.exceptions import ContractStateError, ValidationError
 from repro.shapley.engine import coalition_utility_table
 from repro.shapley.group import assemble_group_values
@@ -164,6 +164,16 @@ class ContributionContract(Contract):
         """Accumulated contributions v_i = Σ_r v_i^r for every owner."""
         return ctx.get("totals", {})
 
+    @contract_method
+    def get_epoch_contributions(self, ctx: ContractContext, epoch: int) -> dict[str, float]:
+        """Accumulated contributions over one cohort epoch's rounds.
+
+        Derived on the fly from the per-round evaluation records and the
+        registry's epoch view, so it is a pure function of chain state no
+        matter when (or whether) membership events were recorded.
+        """
+        return read_epoch_contributions(ctx, epoch)
+
 
 def read_total_contributions(ctx: ContractContext) -> dict[str, float]:
     """Helper for the reward contract: read accumulated contributions."""
@@ -171,3 +181,31 @@ def read_total_contributions(ctx: ContractContext) -> dict[str, float]:
     if totals is None:
         raise ContractStateError("no contributions have been recorded yet")
     return dict(totals)
+
+
+def epoch_contributions_for(ctx: ContractContext, epoch_record: dict[str, Any]) -> dict[str, float]:
+    """Sum one epoch record's evaluated rounds into per-owner totals.
+
+    Only owners grouped in the epoch's rounds appear — an owner that joined
+    later or left earlier has no entry, which is exactly what per-epoch
+    settlement pays against.  Callers that already hold the epoch table (see
+    ``RewardContract.distribute_by_epoch``) use this directly instead of
+    re-deriving it per epoch through :func:`read_epoch_contributions`.
+    """
+    totals: dict[str, float] = {}
+    for round_number in range(int(epoch_record["start"]), int(epoch_record["end"])):
+        evaluation = ctx.read_external(CONTRACT_NAME, f"evaluation/{round_number}")
+        if evaluation is None:
+            continue
+        for owner, value in evaluation["user_values"].items():
+            totals[owner] = totals.get(owner, 0.0) + float(value)
+    return totals
+
+
+def read_epoch_contributions(ctx: ContractContext, epoch: int) -> dict[str, float]:
+    """One epoch's accumulated contributions, derived purely from chain state."""
+    params = read_protocol_params(ctx)
+    for record in read_epochs(ctx, int(params["n_rounds"])):
+        if int(record["epoch"]) == int(epoch):
+            return epoch_contributions_for(ctx, record)
+    raise ContractStateError(f"epoch {epoch} does not exist on this chain")

@@ -21,7 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
-from repro.blockchain.contracts.registry import read_participants, read_protocol_params
+from repro.blockchain.contracts.registry import read_active_cohort, read_protocol_params
 from repro.crypto.fixed_point import FixedPointCodec
 from repro.exceptions import ContractStateError
 from repro.shapley.group import group_members, make_groups
@@ -60,20 +60,22 @@ class FLTrainingContract(Contract):
 
         The payload is the fixed-point encoded, pairwise-masked flat weight
         vector.  The claimed ``group_id`` must match the canonical grouping for
-        this round (derived from the pinned permutation seed), and double
-        submissions are rejected.
+        this round (derived from the pinned permutation seed over the round's
+        *active cohort* — the registry's epoch view), and double submissions
+        are rejected.  Owners outside the round's cohort cannot submit.
         """
         params = read_protocol_params(ctx)
-        participants = read_participants(ctx)
-        if ctx.sender not in participants:
-            raise ContractStateError(f"{ctx.sender} is not a registered participant")
         round_number = int(round_number)
         if round_number < 0 or round_number >= int(params["n_rounds"]):
             raise ContractStateError(f"round {round_number} is outside the configured schedule")
         if ctx.contains(f"finalized/{round_number}"):
             raise ContractStateError(f"round {round_number} is already finalized")
 
-        owners = sorted(participants)
+        owners = read_active_cohort(ctx, round_number)
+        if ctx.sender not in owners:
+            raise ContractStateError(
+                f"{ctx.sender} is not in the round-{round_number} cohort"
+            )
         groups = make_groups(owners, int(params["n_groups"]), int(params["permutation_seed"]), round_number)
         expected_group = group_members(groups)[ctx.sender]
         if int(group_id) != expected_group:
@@ -112,19 +114,20 @@ class FLTrainingContract(Contract):
 
     @contract_method
     def finalize_round(self, ctx: ContractContext, round_number: int) -> dict[str, Any]:
-        """Aggregate a round once every registered owner has submitted.
+        """Aggregate a round once every owner in the round's cohort has submitted.
 
         Publishes, per group, the decoded group-average model ``W_j`` and the
         global model ``W_G`` (the unweighted mean of the group models, matching
         Algorithm 1), plus the grouping used — everything the contribution
-        contract needs.
+        contract needs.  The required submitter set is the registry's active
+        cohort for the round, so owners that left (or have not yet joined) are
+        neither awaited nor aggregated.
         """
         params = read_protocol_params(ctx)
-        participants = read_participants(ctx)
         round_number = int(round_number)
         if ctx.contains(f"finalized/{round_number}"):
             raise ContractStateError(f"round {round_number} is already finalized")
-        owners = sorted(participants)
+        owners = read_active_cohort(ctx, round_number)
         submitted = ctx.get(f"submitted/{round_number}", [])
         missing = sorted(set(owners) - set(submitted))
         if missing:

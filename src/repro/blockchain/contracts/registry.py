@@ -1,4 +1,4 @@
-"""Participant registry and protocol-parameter contract.
+"""Participant registry, protocol parameters, and cohort epochs.
 
 The off-chain setup stage of the paper has the owners agree on FL parameters,
 secure-aggregation parameters, and contribution-evaluation parameters (the
@@ -7,11 +7,30 @@ submit them to the blockchain.  This contract pins those parameters on chain
 and records every participant's Diffie–Hellman public key, after which the
 training and contribution contracts treat the registry as read-only ground
 truth.
+
+Beyond the genesis cohort, the registry models **dynamic membership** as
+cohort *epochs*: a `request_join` / `request_leave` transaction schedules a
+membership change that takes effect at a future round boundary, and
+``active_cohort(round)`` is a pure function of chain state — any miner
+re-executing the chain derives the same per-round cohort, which is what the
+training and contribution contracts group and settle against.
+
+Membership state layout:
+
+* ``participant/{owner}``   — public key, role, registration height
+  (unchanged from the genesis path, so chains without membership events are
+  byte-identical to the fixed-cohort protocol).
+* ``membership/{owner}``    — a list of half-open round intervals
+  ``[{"from": r0, "until": r1-or-None}, ...]``; written only by
+  `request_join` / `request_leave`.  An owner with *no* membership record is
+  a genesis member, active for every round.
+* ``membership_index``      — sorted owner ids that have membership records;
+  lets contracts and auditors detect dynamic-membership chains in O(1).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
 from repro.exceptions import ContractStateError
@@ -28,9 +47,13 @@ _REQUIRED_PARAM_KEYS = (
     "field_bits",
 )
 
+# The training contract's namespace, read (never written) to reject membership
+# changes scheduled at or before an already-finalized round.
+_TRAINING_CONTRACT = "fl_training"
+
 
 class ParticipantRegistryContract(Contract):
-    """On-chain registry of participants and agreed protocol parameters."""
+    """On-chain registry of participants, agreed parameters, and cohort epochs."""
 
     name = CONTRACT_NAME
 
@@ -60,23 +83,172 @@ class ParticipantRegistryContract(Contract):
 
         Re-registration with the same key is idempotent; changing the key after
         registration is rejected (it would break already-derived pairwise masks).
+        Only ``role == "owner"`` registrations consume one of the ``n_owners``
+        genesis slots — auxiliary roles (auditors, observers) register freely.
         """
-        if public_key <= 1:
-            raise ContractStateError("public key must be a group element greater than 1")
         record_key = f"participant/{ctx.sender}"
         existing = ctx.get(record_key)
         if existing is not None:
             if int(existing["public_key"]) != int(public_key):
                 raise ContractStateError(f"participant {ctx.sender} already registered with a different key")
             return {"status": "already-registered"}
-        index = ctx.get("participant_index", [])
         params = ctx.get("protocol_params")
-        if params is not None and len(index) >= int(params["n_owners"]):
-            raise ContractStateError("registry is full: all owner slots are taken")
-        ctx.set(record_key, {"public_key": int(public_key), "role": role, "registered_at": ctx.block_height})
-        ctx.set("participant_index", sorted(index + [ctx.sender]))
-        ctx.emit("ParticipantRegistered", owner=ctx.sender, role=role)
+        if params is not None and role == "owner":
+            if _genesis_owner_count(ctx.get) >= int(params["n_owners"]):
+                raise ContractStateError("registry is full: all owner slots are taken")
+        self._store_participant(ctx, public_key, role)
         return {"status": "registered"}
+
+    def _store_participant(self, ctx: ContractContext, public_key: int, role: str) -> None:
+        """Write the sender's participant record, index entry, and event."""
+        if public_key <= 1:
+            raise ContractStateError("public key must be a group element greater than 1")
+        ctx.set(
+            f"participant/{ctx.sender}",
+            {"public_key": int(public_key), "role": role, "registered_at": ctx.block_height},
+        )
+        ctx.set("participant_index", sorted(ctx.get("participant_index", []) + [ctx.sender]))
+        ctx.emit("ParticipantRegistered", owner=ctx.sender, role=role)
+
+    # ------------------------------------------------------------------
+    # Dynamic membership: cohort epochs
+    # ------------------------------------------------------------------
+
+    def _validate_effective_round(self, ctx: ContractContext, effective_round: int) -> int:
+        """Common checks for a membership change scheduled at ``effective_round``."""
+        params = ctx.get("protocol_params")
+        if params is None:
+            raise ContractStateError("protocol parameters must be pinned before membership changes")
+        effective_round = int(effective_round)
+        n_rounds = int(params["n_rounds"])
+        if not 1 <= effective_round < n_rounds:
+            raise ContractStateError(
+                f"membership changes must take effect at a round boundary in [1, {n_rounds - 1}]; "
+                f"got {effective_round} (the genesis cohort covers round 0)"
+            )
+        latest = ctx.read_external(_TRAINING_CONTRACT, "latest_round", default=-1)
+        if effective_round <= int(latest):
+            raise ContractStateError(
+                f"round {effective_round} is already finalized (latest finalized round is {latest}); "
+                "membership can only change at a future round boundary"
+            )
+        return effective_round
+
+    def _record_membership(self, ctx: ContractContext, owner_id: str, intervals: list[dict[str, Any]]) -> None:
+        ctx.set(f"membership/{owner_id}", intervals)
+        index = ctx.get("membership_index", [])
+        if owner_id not in index:
+            ctx.set("membership_index", sorted(index + [owner_id]))
+
+    @contract_method
+    def request_join(
+        self,
+        ctx: ContractContext,
+        public_key: int,
+        effective_round: int,
+        role: str = "owner",
+    ) -> dict[str, Any]:
+        """Schedule the sender to join the training cohort at a round boundary.
+
+        A brand-new participant registers its Diffie–Hellman public key in the
+        same transaction (so every peer can derive pairwise masks against it
+        before its first active round); a previously departed owner re-joins
+        with its original key.  The join takes effect at ``effective_round`` —
+        necessarily in the future, enforced against the training contract's
+        latest finalized round — so the cohort of any in-flight round is never
+        mutated mid-round.
+
+        Joins are not bounded by the genesis ``n_owners`` slot count: the whole
+        point of dynamic membership is growing the cohort past the setup-time
+        agreement, and the epoch record keeps the change auditable.
+        """
+        if role != "owner":
+            raise ContractStateError("only owner-role participants can join the training cohort")
+        effective_round = self._validate_effective_round(ctx, effective_round)
+        record_key = f"participant/{ctx.sender}"
+        existing = ctx.get(record_key)
+        if existing is None:
+            self._store_participant(ctx, public_key, role)
+            self._record_membership(ctx, ctx.sender, [{"from": effective_round, "until": None}])
+        else:
+            if existing.get("role", "owner") != "owner":
+                raise ContractStateError(
+                    f"{ctx.sender} is registered with role {existing.get('role')!r} "
+                    "and cannot join the training cohort"
+                )
+            if int(existing["public_key"]) != int(public_key):
+                raise ContractStateError(f"participant {ctx.sender} already registered with a different key")
+            intervals = ctx.get(f"membership/{ctx.sender}")
+            if intervals is None or intervals[-1]["until"] is None:
+                raise ContractStateError(f"{ctx.sender} is already an active cohort member")
+            last = intervals[-1]
+            if effective_round < int(last["until"]):
+                raise ContractStateError(
+                    f"{ctx.sender} cannot re-join at round {effective_round}: "
+                    f"its membership only ends at round {last['until']}"
+                )
+            if effective_round == int(last["until"]):
+                # Re-joining exactly at the scheduled leave boundary cancels
+                # the leave: coalesce instead of recording two contiguous
+                # intervals, which would split one cohort into two
+                # identical-cohort epochs and skew per-epoch settlement.
+                merged = intervals[:-1] + [{"from": last["from"], "until": None}]
+            else:
+                merged = intervals + [{"from": effective_round, "until": None}]
+            self._record_membership(ctx, ctx.sender, merged)
+        ctx.emit("JoinRequested", owner=ctx.sender, effective_round=effective_round)
+        return {"status": "join-scheduled", "effective_round": effective_round}
+
+    @contract_method
+    def request_leave(self, ctx: ContractContext, effective_round: int) -> dict[str, Any]:
+        """Schedule the sender to leave the training cohort at a round boundary.
+
+        The owner stays a miner (it keeps verifying blocks) but is excluded
+        from grouping, submission, and settlement from ``effective_round`` on.
+        The request is rejected if it would shrink the cohort below the pinned
+        group count ``m`` — grouping every remaining round must stay feasible.
+        """
+        effective_round = self._validate_effective_round(ctx, effective_round)
+        params = ctx.get("protocol_params")
+        record = ctx.get(f"participant/{ctx.sender}")
+        if record is None or record.get("role", "owner") != "owner":
+            raise ContractStateError(f"{ctx.sender} is not a registered owner")
+        intervals = ctx.get(f"membership/{ctx.sender}")
+        if intervals is None:
+            # Genesis member: materialize its implicit full-run interval.
+            intervals = [{"from": 0, "until": None}]
+        last = intervals[-1]
+        if last["until"] is not None:
+            raise ContractStateError(f"{ctx.sender} has already left (or scheduled its leave)")
+        if effective_round <= int(last["from"]):
+            raise ContractStateError(
+                f"{ctx.sender} cannot leave at round {effective_round}: "
+                f"it only becomes active at round {last['from']}"
+            )
+        # The sender's open interval covers every remaining round, so its exit
+        # shrinks every cohort from effective_round on — all of them must stay
+        # groupable, otherwise an earlier-boundary leave scheduled *after* a
+        # later-boundary one could strand a future round below m owners.  The
+        # cohort only changes at epoch boundaries, so one check per remaining
+        # epoch covers every round.
+        for epoch in _epochs_from_reader(ctx.get, int(params["n_rounds"])):
+            if int(epoch["end"]) <= effective_round:
+                continue
+            remaining = [owner for owner in epoch["cohort"] if owner != ctx.sender]
+            if len(remaining) < int(params["n_groups"]):
+                boundary = max(int(epoch["start"]), effective_round)
+                raise ContractStateError(
+                    f"leave rejected: round {boundary} would keep only {len(remaining)} "
+                    f"owners for {params['n_groups']} groups"
+                )
+        closed = intervals[:-1] + [{"from": last["from"], "until": effective_round}]
+        self._record_membership(ctx, ctx.sender, closed)
+        ctx.emit("LeaveRequested", owner=ctx.sender, effective_round=effective_round)
+        return {"status": "leave-scheduled", "effective_round": effective_round}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
 
     @contract_method
     def get_protocol_params(self, ctx: ContractContext) -> dict[str, Any] | None:
@@ -92,12 +264,97 @@ class ParticipantRegistryContract(Contract):
         return participants
 
     @contract_method
+    def get_active_cohort(self, ctx: ContractContext, round_number: int) -> list[str]:
+        """The sorted owner cohort active for ``round_number`` (pure chain state)."""
+        return _cohort_from_reader(ctx.get, int(round_number))
+
+    @contract_method
+    def get_epochs(self, ctx: ContractContext) -> list[dict[str, Any]]:
+        """The cohort epochs of the run: maximal round ranges with a fixed cohort."""
+        params = ctx.get("protocol_params")
+        if params is None:
+            raise ContractStateError("protocol parameters have not been pinned on the registry")
+        return _epochs_from_reader(ctx.get, int(params["n_rounds"]))
+
+    @contract_method
     def is_setup_complete(self, ctx: ContractContext) -> bool:
-        """True once parameters are pinned and every owner slot has registered."""
+        """True once parameters are pinned and every genesis owner slot has registered."""
         params = ctx.get("protocol_params")
         if params is None:
             return False
-        return len(ctx.get("participant_index", [])) >= int(params["n_owners"])
+        return _genesis_owner_count(ctx.get) >= int(params["n_owners"])
+
+
+# ----------------------------------------------------------------------
+# Pure cohort/epoch derivation (shared by contracts, auditors, and the runtime)
+# ----------------------------------------------------------------------
+
+def _genesis_owner_count(read: Callable[..., Any]) -> int:
+    """How many of the ``n_owners`` genesis slots are taken.
+
+    A genesis owner registered through ``register_participant`` and has no
+    membership record (or one opening at round 0, for a genesis member that
+    later left).  Owners brought in by ``request_join`` open their first
+    interval at a later round and deliberately do not consume a slot — dynamic
+    joins grow the cohort past the setup-time agreement.
+    """
+    count = 0
+    for owner_id in read("participant_index", []) or []:
+        record = read(f"participant/{owner_id}", None)
+        if record is None or record.get("role", "owner") != "owner":
+            continue
+        intervals = read(f"membership/{owner_id}", None)
+        if intervals is None or int(intervals[0]["from"]) == 0:
+            count += 1
+    return count
+
+
+def _cohort_from_reader(read: Callable[..., Any], round_number: int) -> list[str]:
+    """Derive the active owner cohort for a round from registry state.
+
+    ``read(key, default)`` is any reader over the registry namespace — a
+    contract context's ``get``, a ``read_external`` closure, or a world-state
+    getter.  An owner with no membership record is a genesis member, active
+    for every round; otherwise it is active iff some recorded interval covers
+    the round.
+    """
+    cohort = []
+    for owner_id in read("participant_index", []) or []:
+        record = read(f"participant/{owner_id}", None)
+        if record is None or record.get("role", "owner") != "owner":
+            continue
+        intervals = read(f"membership/{owner_id}", None)
+        if intervals is None:
+            cohort.append(owner_id)
+        elif any(
+            int(iv["from"]) <= round_number and (iv["until"] is None or round_number < int(iv["until"]))
+            for iv in intervals
+        ):
+            cohort.append(owner_id)
+    return sorted(cohort)
+
+
+def _epochs_from_reader(read: Callable[..., Any], n_rounds: int) -> list[dict[str, Any]]:
+    """Derive the run's cohort epochs: ``[{epoch, start, end, cohort}, ...]``.
+
+    Epoch boundaries are the distinct effective rounds of every membership
+    interval (clipped to the round schedule); epoch ``i`` covers rounds
+    ``[start, end)`` with one fixed cohort.
+    """
+    boundaries = {0}
+    for owner_id in read("membership_index", []) or []:
+        for interval in read(f"membership/{owner_id}", None) or []:
+            for edge in (interval["from"], interval["until"]):
+                if edge is not None and 0 < int(edge) < n_rounds:
+                    boundaries.add(int(edge))
+    starts = sorted(boundaries)
+    epochs = []
+    for i, start in enumerate(starts):
+        end = starts[i + 1] if i + 1 < len(starts) else n_rounds
+        epochs.append(
+            {"epoch": i, "start": start, "end": end, "cohort": _cohort_from_reader(read, start)}
+        )
+    return epochs
 
 
 def read_protocol_params(ctx: ContractContext) -> dict[str, Any]:
@@ -108,16 +365,37 @@ def read_protocol_params(ctx: ContractContext) -> dict[str, Any]:
     return params
 
 
-def read_participants(ctx: ContractContext) -> dict[str, dict[str, Any]]:
-    """Helper for other contracts: read all registered participants.
+def _external_reader(ctx: ContractContext) -> Callable[..., Any]:
+    return lambda key, default=None: ctx.read_external(CONTRACT_NAME, key, default=default)
 
-    Other contracts cannot enumerate a foreign namespace through the context,
-    so the registry maintains an index of owner ids under a single key.
-    """
-    participants = {}
-    index = ctx.read_external(CONTRACT_NAME, "participant_index", default=[])
-    for owner_id in index:
-        record = ctx.read_external(CONTRACT_NAME, f"participant/{owner_id}")
-        if record is not None:
-            participants[owner_id] = record
-    return participants
+
+def read_active_cohort(ctx: ContractContext, round_number: int) -> list[str]:
+    """Helper for other contracts: the owner cohort active for a round."""
+    cohort = _cohort_from_reader(_external_reader(ctx), int(round_number))
+    if not cohort:
+        raise ContractStateError(f"no owners are active for round {round_number}")
+    return cohort
+
+
+def read_epochs(ctx: ContractContext, n_rounds: int) -> list[dict[str, Any]]:
+    """Helper for other contracts: the run's cohort epochs."""
+    return _epochs_from_reader(_external_reader(ctx), int(n_rounds))
+
+
+def has_membership_events(state) -> bool:
+    """Whether any join/leave has been recorded (False on fixed-cohort chains)."""
+    return bool(state.get(CONTRACT_NAME, "membership_index", []))
+
+
+def cohort_for_round_from_state(state, round_number: int) -> list[str]:
+    """Derive the active cohort straight from a world state (runtime/auditor path)."""
+    return _cohort_from_reader(
+        lambda key, default=None: state.get(CONTRACT_NAME, key, default), int(round_number)
+    )
+
+
+def epochs_from_state(state, n_rounds: int) -> list[dict[str, Any]]:
+    """Derive the cohort epochs straight from a world state (runtime/auditor path)."""
+    return _epochs_from_reader(
+        lambda key, default=None: state.get(CONTRACT_NAME, key, default), int(n_rounds)
+    )

@@ -28,10 +28,15 @@ from repro.analysis.reporting import render_bar_chart, render_table
 from repro.analysis.tradeoff import sweep_group_counts
 from repro.core.audit import audit_chain
 from repro.core.config import ProtocolConfig
+from repro.core.adversary import AdversaryBehavior
 from repro.core.pipeline import (
     AdversarialSubmissionScenario,
+    AdversaryInjectionScenario,
+    ChurnScenario,
     DropoutScenario,
+    JoinScenario,
     LateJoinScenario,
+    LeaveScenario,
     RoundScheduler,
     Scenario,
     StragglerScenario,
@@ -67,10 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--skip-audit", action="store_true", help="skip the transparency audit")
     run.add_argument(
         "--scenario",
-        choices=("none", "dropout", "straggler", "adversarial-claim", "late-join"),
+        choices=(
+            "none", "dropout", "straggler", "adversarial-claim", "late-join",
+            "adversary-window", "join", "leave", "churn",
+        ),
         default="none",
         help="pipeline scenario to run (dropout recovery, straggler delay, "
-        "rejected adversarial group claim, late join)",
+        "rejected adversarial group claim, orchestration-level late join, "
+        "round-windowed adversary injection, or on-chain cohort join/leave/churn)",
     )
     run.add_argument(
         "--scenario-owner", type=str, default=None,
@@ -103,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_scenario(kind: str, owner_id: str) -> Scenario | None:
+def _build_scenario(kind: str, owner_id: str, n_rounds: int, joiner_dataset=None) -> Scenario | None:
     """Construct the pipeline scenario requested on the command line."""
     if kind == "dropout":
         return DropoutScenario(owner_id, round_number=0, offline_ticks=2)
@@ -113,13 +122,45 @@ def _build_scenario(kind: str, owner_id: str) -> Scenario | None:
         return AdversarialSubmissionScenario(owner_id)
     if kind == "late-join":
         return LateJoinScenario(owner_id, join_round=1)
+    if kind == "adversary-window":
+        behavior = AdversaryBehavior(kind="noise", magnitude=3.0, seed=5)
+        return AdversaryInjectionScenario(
+            {owner_id: behavior}, start_round=max(1, n_rounds - 2), end_round=n_rounds - 1
+        )
+    if kind == "join":
+        return JoinScenario(joiner_dataset, join_round=max(1, min(2, n_rounds - 1)))
+    if kind == "leave":
+        return LeaveScenario(owner_id, leave_round=n_rounds - 1)
+    if kind == "churn":
+        return ChurnScenario(
+            joins=[(joiner_dataset, max(1, min(2, n_rounds - 1)))],
+            leaves=[(owner_id, n_rounds - 1)],
+        )
     return None
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    dataset, owners = make_owner_datasets(
-        n_owners=args.owners, sigma=args.sigma, n_samples=args.samples, seed=args.seed
+    if args.scenario in ("join", "leave", "churn", "adversary-window") and args.rounds < 2:
+        # Membership changes take effect at a later round boundary, and the
+        # adversary window opens at round 1 — a single-round run would
+        # silently degenerate to a plain run while reporting the scenario.
+        print(f"error: --scenario {args.scenario} needs at least 2 rounds")
+        return 2
+    # Churn is exempt: its joiner enters at or before the leave boundary, so
+    # the cohort at the leave round is back to --owners, which ProtocolConfig
+    # already guarantees is >= --groups.
+    if args.scenario == "leave" and args.owners - 1 < args.groups:
+        print(f"error: --scenario {args.scenario} would leave fewer than "
+              f"--groups {args.groups} owners in the cohort")
+        return 2
+    # Membership scenarios that add an owner generate one extra dataset shard:
+    # the genesis cohort stays at --owners and the extra owner joins mid-run.
+    extra = 1 if args.scenario in ("join", "churn") else 0
+    dataset, all_owners = make_owner_datasets(
+        n_owners=args.owners + extra, sigma=args.sigma, n_samples=args.samples, seed=args.seed
     )
+    owners = all_owners[: args.owners]
+    joiner_dataset = all_owners[args.owners] if extra else None
     config = ProtocolConfig(
         n_owners=args.owners,
         n_groups=args.groups,
@@ -134,29 +175,46 @@ def _command_run(args: argparse.Namespace) -> int:
         owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
     )
     owner_ids = sorted(o.owner_id for o in owners)
-    target = args.scenario_owner or owner_ids[1]
+    target = args.scenario_owner or owner_ids[min(1, len(owner_ids) - 1)]
     if args.scenario != "none" and target not in owner_ids:
         print(f"error: --scenario-owner {target!r} is not one of the generated owners "
               f"({', '.join(owner_ids)})")
         return 2
-    scenario = _build_scenario(args.scenario, target)
+    scenario = _build_scenario(args.scenario, target, args.rounds, joiner_dataset)
     scheduler = RoundScheduler(protocol, scenario)
     result = scheduler.run()
 
     print(f"protocol finished: {len(result.rounds)} rounds, {result.chain_height} blocks, "
           f"{result.total_transactions} transactions")
     if scenario is not None:
-        print(f"scenario: {args.scenario} targeting {target}")
+        if args.scenario == "join":
+            print(f"scenario: join — {joiner_dataset.owner_id} enters the cohort on chain")
+        elif args.scenario == "leave":
+            print(f"scenario: leave — {target} exits the cohort on chain")
+        elif args.scenario == "churn":
+            print(f"scenario: churn — {joiner_dataset.owner_id} joins, {target} leaves")
+        else:
+            print(f"scenario: {args.scenario} targeting {target}")
         for ctx in scheduler.contexts:
             if ctx.ticks_waited or ctx.rejections:
                 rejected = "; ".join(r.reason for r in ctx.rejections) or "none"
                 print(f"  round {ctx.round_number}: waited {ctx.ticks_waited} tick(s), "
                       f"rejections: {rejected}")
     rows = [
-        [record.round_number, f"{record.global_utility:.4f}", len(record.groups)]
+        [record.round_number, f"{record.global_utility:.4f}", len(record.groups),
+         sum(len(group) for group in record.groups)]
         for record in result.rounds
     ]
-    print(render_table(["round", "global utility", "groups"], rows))
+    print(render_table(["round", "global utility", "groups", "cohort"], rows))
+
+    if result.epoch_settlements:
+        print("\ncohort epochs (per-epoch settlement):")
+        rows = [
+            [e["epoch"], f"{e['start']}..{e['end'] - 1}", len(e["cohort"]),
+             f"{e['sv_mass']:.4f}", f"{e['reward_pool']:.2f}"]
+            for e in result.epoch_settlements
+        ]
+        print(render_table(["epoch", "rounds", "cohort", "SV mass", "pool"], rows))
 
     print("\naccumulated contributions (GroupSV):")
     ordered = dict(sorted(result.total_contributions.items(), key=lambda kv: kv[1], reverse=True))

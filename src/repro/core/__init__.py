@@ -7,9 +7,9 @@
   participants, network, and contracts.
 * :mod:`repro.core.pipeline` — the staged round pipeline (Setup →
   LocalTraining → Masking/Submission → SecureAggregation → Evaluation →
-  BlockProposal → Settlement) with :class:`RoundScheduler`,
+  Membership → BlockProposal → Settlement) with :class:`RoundScheduler`,
   :class:`RoundContext`, and the :class:`Scenario` hook interface (dropout,
-  stragglers, adversary injection, late joins).
+  stragglers, adversary injection, and on-chain cohort joins/leaves/churn).
 * :mod:`repro.core.audit` — transparency audits that re-derive every published
   result from raw chain data.
 * :mod:`repro.core.adversary` — adversarial participant behaviours (future-work
@@ -23,9 +23,12 @@ from repro.core.participant import Participant
 from repro.core.pipeline import (
     AdversarialSubmissionScenario,
     AdversaryInjectionScenario,
+    ChurnScenario,
     ComposedScenario,
     DropoutScenario,
+    JoinScenario,
     LateJoinScenario,
+    LeaveScenario,
     ProtocolResult,
     RoundContext,
     RoundResult,
@@ -53,6 +56,9 @@ __all__ = [
     "DropoutScenario",
     "StragglerScenario",
     "LateJoinScenario",
+    "JoinScenario",
+    "LeaveScenario",
+    "ChurnScenario",
     "AdversarialSubmissionScenario",
     "AdversaryInjectionScenario",
     "SubmissionRejection",

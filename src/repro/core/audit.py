@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.blockchain.chain import Blockchain
+from repro.blockchain.contracts.registry import cohort_for_round_from_state, epochs_from_state
+from repro.blockchain.contracts.reward import mass_proportional_pools, proportional_payouts
 from repro.exceptions import AuditError
 from repro.shapley.engine import coalition_utility_table
 from repro.shapley.group import assemble_group_values
@@ -28,14 +30,19 @@ class AuditReport:
     Attributes:
         chain_valid: structural validation and full replay succeeded.
         rounds_checked: round numbers whose evaluation was independently recomputed.
+        epochs_checked: cohort epochs whose membership and totals were verified.
         mismatches: human-readable descriptions of any discrepancy found.
         recomputed_totals: the auditor's own accumulated per-owner contributions.
+        recomputed_epoch_totals: the auditor's per-epoch accumulated contributions
+            (epoch index -> owner -> value), derived from the registry's epochs.
     """
 
     chain_valid: bool
     rounds_checked: list[int] = field(default_factory=list)
+    epochs_checked: list[int] = field(default_factory=list)
     mismatches: list[str] = field(default_factory=list)
     recomputed_totals: dict[str, float] = field(default_factory=dict)
+    recomputed_epoch_totals: dict[int, dict[str, float]] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -117,13 +124,25 @@ def audit_chain(
         for key in state.keys("contribution")
         if key.startswith("evaluation/")
     )
+    round_values: dict[int, dict[str, float]] = {}
     for round_number in evaluated_rounds:
         round_record = state.get("fl_training", f"round/{round_number}")
         stored = state.get("contribution", f"evaluation/{round_number}")
         if round_record is None or stored is None:
             report.mismatches.append(f"round {round_number}: missing training or evaluation record")
             continue
+        # The published grouping must cover exactly the cohort the registry's
+        # epoch view derives for this round — a proposer can neither smuggle a
+        # not-yet-joined owner into a round nor keep settling a departed one.
+        cohort = cohort_for_round_from_state(state, round_number)
+        grouped = sorted(owner for group in round_record["groups"] for owner in group)
+        if grouped != cohort:
+            report.mismatches.append(
+                f"round {round_number}: published groups cover {grouped} but the "
+                f"registry's active cohort is {cohort}"
+            )
         recomputed = _recompute_round(scorer, round_record, sv_assembly_version)
+        round_values[round_number] = recomputed
         stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
         if set(recomputed) != set(stored_values):
             report.mismatches.append(f"round {round_number}: contribution covers different owners")
@@ -147,6 +166,127 @@ def audit_chain(
                 f"but recomputation gives {value:.6f}"
             )
 
+    # 4. Verify the cohort epochs: recompute each epoch's per-owner totals
+    #    from the independently recomputed rounds, and — when the chain
+    #    settled rewards per epoch — check the published SV masses and payout
+    #    cohorts against them.  Fixed-cohort chains have exactly one epoch and
+    #    the check degenerates to the totals comparison above.
+    n_rounds = int(pinned_params.get("n_rounds", 0) or 0)
+    if n_rounds:
+        _audit_epochs(state, report, round_values, n_rounds, tolerance)
+
     if raise_on_failure and not report.passed:
         raise AuditError("; ".join(report.mismatches))
     return report
+
+
+def _audit_epochs(
+    state,
+    report: AuditReport,
+    round_values: dict[int, dict[str, float]],
+    n_rounds: int,
+    tolerance: float,
+) -> None:
+    """Epoch-by-epoch verification of cohorts, SV mass, and settlement records."""
+    for epoch in epochs_from_state(state, n_rounds):
+        index = int(epoch["epoch"])
+        totals: dict[str, float] = {}
+        for round_number in range(int(epoch["start"]), int(epoch["end"])):
+            for owner, value in round_values.get(round_number, {}).items():
+                totals[owner] = totals.get(owner, 0.0) + value
+        report.recomputed_epoch_totals[index] = totals
+        extra = sorted(set(totals) - set(epoch["cohort"]))
+        if extra:
+            report.mismatches.append(
+                f"epoch {index}: rounds settled value to {extra}, owners outside the epoch cohort"
+            )
+        report.epochs_checked.append(index)
+
+    # Every recorded settlement — distribute_by_epoch under any label, and
+    # single-epoch distribute_epoch calls — is checked against the auditor's
+    # own per-epoch totals; a fixed label would let a proposer settle under a
+    # different one and dodge the check entirely.  Payout *amounts* are
+    # recomputed with the contract's own proportional rule, and for a by-epoch
+    # settlement the mass-proportional pool split itself is re-derived.
+    tol = max(tolerance * 10, 1e-8)
+    recomputed_masses = {
+        index: sum(max(value, 0.0) for value in totals.values())
+        for index, totals in report.recomputed_epoch_totals.items()
+    }
+    for key in sorted(state.keys("reward")):
+        if not key.startswith("distribution/"):
+            continue
+        label = key.split("/", 1)[1]
+        distribution = state.get("reward", key, {}) or {}
+        breakdown = distribution.get("epochs")
+        if breakdown is not None:
+            expected_pools = mass_proportional_pools(
+                report.recomputed_epoch_totals,
+                recomputed_masses,
+                float(distribution.get("reward_pool", 0.0)),
+            )
+            for epoch_key, settled in breakdown.items():
+                index = int(epoch_key)
+                totals = report.recomputed_epoch_totals.get(index)
+                if totals is None:
+                    report.mismatches.append(
+                        f"distribution {label!r} settles epoch {index}, which does not exist"
+                    )
+                    continue
+                if abs(float(settled.get("sv_mass", 0.0)) - recomputed_masses[index]) > tol:
+                    report.mismatches.append(
+                        f"distribution {label!r}, epoch {index}: recorded SV mass "
+                        f"{settled.get('sv_mass', 0.0):.6f} but recomputation gives "
+                        f"{recomputed_masses[index]:.6f}"
+                    )
+                pool = float(settled.get("reward_pool", 0.0))
+                if abs(pool - expected_pools.get(index, 0.0)) > tol:
+                    report.mismatches.append(
+                        f"distribution {label!r}, epoch {index}: pool {pool:.6f} is not the "
+                        f"mass-proportional share {expected_pools.get(index, 0.0):.6f}"
+                    )
+                _check_payouts(
+                    report, f"distribution {label!r}, epoch {index}",
+                    settled.get("payouts", {}), totals, pool, tol,
+                )
+            missing = sorted(set(expected_pools) - {int(k) for k in breakdown})
+            if missing:
+                report.mismatches.append(
+                    f"distribution {label!r} skips epochs {missing} that have settleable value"
+                )
+        elif "epoch" in distribution:
+            index = int(distribution["epoch"])
+            totals = report.recomputed_epoch_totals.get(index)
+            if totals is None:
+                report.mismatches.append(
+                    f"distribution {label!r} settles epoch {index}, which does not exist"
+                )
+                continue
+            _check_payouts(
+                report, f"distribution {label!r}, epoch {index}",
+                distribution.get("payouts", {}), totals,
+                float(distribution.get("reward_pool", 0.0)), tol,
+            )
+
+
+def _check_payouts(
+    report: AuditReport,
+    where: str,
+    paid: dict[str, float],
+    totals: dict[str, float],
+    pool: float,
+    tol: float,
+) -> None:
+    """Compare recorded payouts against the recomputed proportional amounts."""
+    expected = proportional_payouts(totals, pool)
+    if set(paid) != set(expected):
+        report.mismatches.append(
+            f"{where}: paid owners {sorted(paid)} but recomputation pays {sorted(expected)}"
+        )
+        return
+    for owner, amount in expected.items():
+        if abs(float(paid[owner]) - amount) > tol:
+            report.mismatches.append(
+                f"{where}: owner {owner} paid {float(paid[owner]):.6f} "
+                f"but recomputation gives {amount:.6f}"
+            )

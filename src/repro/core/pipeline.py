@@ -4,14 +4,17 @@ The protocol of the paper used to live in one monolithic ``run`` loop.  This
 module decomposes it into explicit stages driven by a :class:`RoundScheduler`:
 
     Setup -> LocalTraining -> Masking/Submission -> SecureAggregation
-          -> Evaluation -> BlockProposal -> Settlement
+          -> Evaluation -> Membership -> BlockProposal -> Settlement
 
 Every stage reads and writes one :class:`RoundContext` — the complete state of
-a round in flight (grouping, local models, staged transactions, withheld
-submissions, rejections, consensus verdict).  Scenario behaviour (dropout,
-stragglers, adversary injection, late joins) plugs in through the
-:class:`Scenario` hook interface instead of bespoke orchestration loops, so
-``examples/``, the CLI, and the benchmarks all drive the very same runtime.
+a round in flight (cohort, grouping, local models, staged transactions,
+withheld submissions, rejections, consensus verdict).  Scenario behaviour
+(dropout, stragglers, adversary injection, cohort joins/leaves) plugs in
+through the :class:`Scenario` hook interface instead of bespoke orchestration
+loops, so ``examples/``, the CLI, and the benchmarks all drive the very same
+runtime.  Each round's owner cohort is re-derived from chain state (the
+registry's epoch view), so membership transactions committed in earlier
+blocks change who trains, masks, and settles from their effective round on.
 
 Two design rules keep scenario runs receipt-compatible with plain runs:
 
@@ -41,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 import numpy as np
 
 from repro.blockchain.consensus import VerificationResult
+from repro.blockchain.contracts.registry import epochs_from_state, has_membership_events
 from repro.blockchain.transaction import Transaction
 from repro.core.adversary import AdversaryBehavior, apply_adversary
 from repro.exceptions import ProtocolError, RoundError
@@ -49,6 +53,7 @@ from repro.shapley.group import group_members, make_groups
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.protocol import BlockchainFLProtocol
+    from repro.datasets.loader import OwnerDataset
 
 
 # ----------------------------------------------------------------------
@@ -80,6 +85,9 @@ class ProtocolResult:
     total_transactions: int = 0
     total_gas: int = 0
     network_stats: dict = field(default_factory=dict)
+    # Dynamic-membership runs only: one entry per cohort epoch with the epoch's
+    # round range, cohort, SV mass, and settled reward pool (empty otherwise).
+    epoch_settlements: list[dict] = field(default_factory=list)
 
     def contributions_per_round(self) -> dict[str, list[float]]:
         """Per-owner time series of round contributions."""
@@ -165,6 +173,9 @@ class Scenario:
     * :meth:`on_tick` — each simulated tick while submissions are missing;
       call :meth:`RoundContext.deliver` to bring owners back.
     * :meth:`on_rejection` — when gossip validation drops a submission.
+    * :meth:`membership_transactions` — registry join/leave transactions to
+      include in this round's block (they take effect at a later round
+      boundary; see :class:`JoinScenario` / :class:`LeaveScenario`).
     * :meth:`on_round_end` — after the round's block committed.
     * :meth:`on_settlement` — after the final reward distribution.
     """
@@ -196,6 +207,12 @@ class Scenario:
 
     def on_rejection(self, ctx: RoundContext, rejection: SubmissionRejection) -> None:
         """Called when gossip-level validation rejects a submission."""
+
+    def membership_transactions(
+        self, protocol: "BlockchainFLProtocol", ctx: RoundContext
+    ) -> list[Transaction]:
+        """Registry membership transactions to include in this round's block."""
+        return []
 
     def on_round_end(self, ctx: RoundContext) -> None:
         """Called after the round's block has committed."""
@@ -242,6 +259,12 @@ class ComposedScenario(Scenario):
     def on_rejection(self, ctx, rejection) -> None:
         for scenario in self.scenarios:
             scenario.on_rejection(ctx, rejection)
+
+    def membership_transactions(self, protocol, ctx):
+        transactions = []
+        for scenario in self.scenarios:
+            transactions.extend(scenario.membership_transactions(protocol, ctx))
+        return transactions
 
     def on_round_end(self, ctx) -> None:
         for scenario in self.scenarios:
@@ -377,6 +400,95 @@ class LateJoinScenario(Scenario):
         if owner_id == self.owner_id and ctx.round_number < self.join_round:
             return ctx.global_parameters
         return parameters
+
+
+class JoinScenario(Scenario):
+    """A brand-new owner joins the training cohort on chain at ``join_round``.
+
+    Unlike :class:`LateJoinScenario` (which fakes a join by having a
+    registered owner submit the unchanged global model), this scenario makes
+    membership itself dynamic: in the block of round ``join_round - 1`` the
+    newcomer broadcasts a ``request_join`` transaction carrying its
+    Diffie–Hellman public key and the effective round boundary.  Once that
+    block commits, every peer re-derives pairwise masks against the new key,
+    and from ``join_round`` on the registry's ``active_cohort`` — and hence
+    grouping, aggregation, and settlement — includes the joiner.  Rounds
+    before the join settle without it: the joiner earns nothing for them.
+    """
+
+    def __init__(self, dataset: "OwnerDataset", join_round: int) -> None:
+        if join_round < 1:
+            raise ProtocolError("join_round must be at least 1 (round 0 is the genesis cohort)")
+        self.dataset = dataset
+        self.join_round = int(join_round)
+
+    def membership_transactions(self, protocol, ctx) -> list[Transaction]:
+        if ctx.round_number != self.join_round - 1:
+            return []
+        participant = protocol.add_participant(self.dataset)
+        return [
+            Transaction(
+                sender=self.dataset.owner_id,
+                contract="registry",
+                method="request_join",
+                args={
+                    "public_key": participant.public_key,
+                    "effective_round": self.join_round,
+                    "role": "owner",
+                },
+                nonce=protocol._next_nonce(self.dataset.owner_id),
+            )
+        ]
+
+
+class LeaveScenario(Scenario):
+    """An owner exits the training cohort on chain at ``leave_round``.
+
+    The owner broadcasts a ``request_leave`` transaction in the block of round
+    ``leave_round - 1``; from ``leave_round`` on it is excluded from grouping,
+    submission, and settlement (it earns nothing for rounds it sat out) while
+    its node keeps mining — membership governs the training cohort, not the
+    replica set.
+    """
+
+    def __init__(self, owner_id: str, leave_round: int) -> None:
+        if leave_round < 1:
+            raise ProtocolError("leave_round must be at least 1")
+        self.owner_id = owner_id
+        self.leave_round = int(leave_round)
+
+    def membership_transactions(self, protocol, ctx) -> list[Transaction]:
+        if ctx.round_number != self.leave_round - 1:
+            return []
+        return [
+            Transaction(
+                sender=self.owner_id,
+                contract="registry",
+                method="request_leave",
+                args={"effective_round": self.leave_round},
+                nonce=protocol._next_nonce(self.owner_id),
+            )
+        ]
+
+
+class ChurnScenario(ComposedScenario):
+    """Multiple joins and leaves across a run (composition of the two above).
+
+    Args:
+        joins: ``(dataset, join_round)`` pairs for owners entering the cohort.
+        leaves: ``(owner_id, leave_round)`` pairs for owners exiting it.
+    """
+
+    def __init__(
+        self,
+        joins: Sequence[tuple["OwnerDataset", int]] = (),
+        leaves: Sequence[tuple[str, int]] = (),
+    ) -> None:
+        scenarios: list[Scenario] = [JoinScenario(dataset, round_number) for dataset, round_number in joins]
+        scenarios.extend(LeaveScenario(owner_id, round_number) for owner_id, round_number in leaves)
+        if not scenarios:
+            raise ProtocolError("ChurnScenario needs at least one join or leave event")
+        super().__init__(scenarios)
 
 
 class AdversaryInjectionScenario(Scenario):
@@ -565,6 +677,23 @@ class EvaluationStage(RoundStage):
         )
 
 
+class MembershipStage(RoundStage):
+    """Stage the round's cohort-membership transactions (join/leave requests).
+
+    Membership requests ride in the round's block *after* the closing calls:
+    by the time a ``request_join`` / ``request_leave`` executes, the round is
+    finalized on chain, so the registry can enforce that the change targets a
+    strictly future round boundary.  Runs without membership scenarios stage
+    nothing and commit byte-identical blocks to the fixed-cohort protocol.
+    """
+
+    name = "membership"
+
+    def run(self, protocol, ctx, scenario) -> None:
+        for tx in scenario.membership_transactions(protocol, ctx):
+            ctx.closing_transactions.append(tx)
+
+
 class BlockProposalStage(RoundStage):
     """Flush the staged transactions, run consensus, and read the round back.
 
@@ -583,6 +712,21 @@ class BlockProposalStage(RoundStage):
         ctx.consensus = protocol._commit_block()
 
         chain = protocol._reference_chain()
+        # A rejected membership request commits as a *failed receipt* — the
+        # round itself is fine (and its block stays on chain), but the
+        # scenario the caller asked for did not happen; surface it as a
+        # run-level ProtocolError rather than a RoundError, whose contract is
+        # "the aborted round touched nothing".
+        for tx, receipt in zip(chain.head.transactions, chain.head.receipts):
+            if (
+                tx.contract == "registry"
+                and tx.method in ("request_join", "request_leave")
+                and not receipt.success
+            ):
+                raise ProtocolError(
+                    f"round {ctx.round_number} committed, but its membership request "
+                    f"{tx.method} from {tx.sender} failed on chain: {receipt.error}"
+                )
         round_record = chain.state.get("fl_training", f"round/{ctx.round_number}")
         evaluation = chain.state.get("contribution", f"evaluation/{ctx.round_number}")
         if round_record is None or evaluation is None:
@@ -606,6 +750,7 @@ DEFAULT_ROUND_STAGES: tuple[RoundStage, ...] = (
     MaskingSubmissionStage(),
     SecureAggregationStage(),
     EvaluationStage(),
+    MembershipStage(),
     BlockProposalStage(),
 )
 
@@ -624,18 +769,27 @@ class SetupStage:
 
 
 class SettlementStage:
-    """Distribute the reward pool and collect the run's final statistics."""
+    """Distribute the reward pool and collect the run's final statistics.
+
+    Fixed-cohort runs settle through the classic ``distribute`` call (their
+    final block is byte-identical to the pre-epoch protocol).  Runs whose
+    chain records membership events settle through ``distribute_by_epoch``:
+    the pool splits across cohort epochs by SV mass, so owners absent from an
+    epoch's rounds earn nothing for them.
+    """
 
     name = "settlement"
 
     def run(
         self, protocol: "BlockchainFLProtocol", result: ProtocolResult, scenario: Scenario
     ) -> ProtocolResult:
+        chain = protocol._reference_chain()
+        has_membership = has_membership_events(chain.state)
         closer = protocol.owner_ids[0]
         reward_tx = Transaction(
             sender=closer,
             contract="reward",
-            method="distribute",
+            method="distribute_by_epoch" if has_membership else "distribute",
             args={"reward_pool": protocol.config.reward_pool, "label": "final"},
             nonce=protocol._next_nonce(closer),
         )
@@ -643,14 +797,46 @@ class SettlementStage:
         protocol._commit_block()
 
         chain = protocol._reference_chain()
+        if chain.state.get("reward", "distribution/final") is None:
+            # A failed settlement produces a failed receipt, not an exception —
+            # surface it instead of reporting empty balances as a clean run.
+            # The settlement block is already committed, so this is a run-level
+            # ProtocolError, not a RoundError ("the aborted round touched
+            # nothing").
+            receipt = chain.find_receipt(reward_tx.tx_hash)
+            error = receipt.error if receipt is not None else "transaction not found"
+            raise ProtocolError(f"final reward settlement failed on chain: {error}")
         result.total_contributions = dict(chain.state.get("contribution", "totals", {}))
         result.reward_balances = dict(chain.state.get("reward", "balances", {}))
         result.chain_height = chain.height
         result.total_transactions = chain.total_transactions()
         result.total_gas = chain.total_gas()
         result.network_stats = protocol.network.stats.as_dict()
+        if has_membership:
+            result.epoch_settlements = self._epoch_summaries(protocol, chain)
         scenario.on_settlement(result)
         return result
+
+    @staticmethod
+    def _epoch_summaries(protocol: "BlockchainFLProtocol", chain) -> list[dict]:
+        """Per-epoch report: round range, cohort, SV mass, and settled pool."""
+        distribution = chain.state.get("reward", "distribution/final", {}) or {}
+        breakdown = distribution.get("epochs", {})
+        summaries = []
+        for epoch in epochs_from_state(chain.state, protocol.config.n_rounds):
+            settled = breakdown.get(str(epoch["epoch"]), {})
+            summaries.append(
+                {
+                    "epoch": epoch["epoch"],
+                    "start": epoch["start"],
+                    "end": epoch["end"],
+                    "cohort": list(epoch["cohort"]),
+                    "sv_mass": float(settled.get("sv_mass", 0.0)),
+                    "reward_pool": float(settled.get("reward_pool", 0.0)),
+                    "payouts": dict(settled.get("payouts", {})),
+                }
+            )
+        return summaries
 
 
 # ----------------------------------------------------------------------
@@ -679,10 +865,22 @@ class RoundScheduler:
         self.contexts: list[RoundContext] = []
 
     def build_context(self, round_number: int, global_parameters: ModelParameters) -> RoundContext:
-        """Create the context for a round: grouping resolved, nothing trained."""
+        """Create the context for a round: cohort and grouping resolved, nothing trained.
+
+        The round's owner cohort is re-derived from chain state (the
+        registry's epoch view), so a join or leave committed in an earlier
+        block takes effect here — and any miner replaying the chain derives
+        the same cohort.  On dynamic-membership chains the peer DH keys are
+        refreshed first so masks can be built against owners whose keys were
+        registered after setup; fixed-cohort runs skip the refresh (their key
+        table cannot change after setup).
+        """
         protocol = self.protocol
+        if has_membership_events(protocol._reference_chain().state):
+            protocol.sync_peer_keys()
+        cohort = protocol.active_cohort(round_number)
         groups = make_groups(
-            protocol.owner_ids,
+            cohort,
             protocol.config.n_groups,
             protocol.config.permutation_seed,
             round_number,
@@ -690,7 +888,7 @@ class RoundScheduler:
         return RoundContext(
             round_number=round_number,
             global_parameters=global_parameters,
-            owner_ids=list(protocol.owner_ids),
+            owner_ids=list(cohort),
             groups=tuple(tuple(group) for group in groups),
             membership=group_members(groups),
             max_wait_ticks=self.max_wait_ticks,

@@ -88,31 +88,16 @@ class BlockchainFLProtocol:
         self.network = Network()
         self._runtime_factory = self._build_runtime_factory()
         self.consensus = ConsensusEngine(leader_selector)
-        dh_params = DHParameters.for_testing(bits=self.config.dh_bits, seed=self.config.permutation_seed)
-        codec = FixedPointCodec(
+        self._dh_params = DHParameters.for_testing(bits=self.config.dh_bits, seed=self.config.permutation_seed)
+        self._codec = FixedPointCodec(
             precision_bits=self.config.precision_bits,
             field_bits=self.config.field_bits,
             max_summands=max(256, self.config.n_owners * 2),
         )
-        adversaries = adversaries or {}
+        self._adversaries = dict(adversaries or {})
         self.participants: dict[str, Participant] = {}
         for data in owner_data:
-            participant = Participant(
-                data=data,
-                n_classes=self.n_classes,
-                network=self.network,
-                runtime_factory=self._runtime_factory,
-                dh_params=dh_params,
-                codec=codec,
-                local_epochs=self.config.local_epochs,
-                learning_rate=self.config.learning_rate,
-                l2=self.config.l2,
-                batch_size=self.config.batch_size,
-                key_seed=self.config.permutation_seed,
-                byzantine=data.owner_id in self.config.byzantine_miners,
-                adversary=adversaries.get(data.owner_id),
-            )
-            self.participants[data.owner_id] = participant
+            self.participants[data.owner_id] = self._build_participant(data)
         self.owner_ids = sorted(self.participants)
         self._nonces = {owner: 0 for owner in self.owner_ids}
         self._setup_done = False
@@ -136,6 +121,24 @@ class BlockchainFLProtocol:
             return runtime
 
         return factory
+
+    def _build_participant(self, data: OwnerDataset) -> Participant:
+        """One participant wired against the shared network/codec/DH group."""
+        return Participant(
+            data=data,
+            n_classes=self.n_classes,
+            network=self.network,
+            runtime_factory=self._runtime_factory,
+            dh_params=self._dh_params,
+            codec=self._codec,
+            local_epochs=self.config.local_epochs,
+            learning_rate=self.config.learning_rate,
+            l2=self.config.l2,
+            batch_size=self.config.batch_size,
+            key_seed=self.config.permutation_seed,
+            byzantine=data.owner_id in self.config.byzantine_miners,
+            adversary=self._adversaries.get(data.owner_id),
+        )
 
     def _next_nonce(self, owner_id: str) -> int:
         nonce = self._nonces[owner_id]
@@ -179,17 +182,62 @@ class BlockchainFLProtocol:
         result = self._commit_block()
 
         chain = self._reference_chain()
+        registered = set(chain.state.get("registry", "participant_index", []))
+        missing = sorted(set(self.owner_ids) - registered)
+        if missing:
+            raise SetupError(f"registration did not complete for: {missing}")
+        self.sync_peer_keys()
+        self._setup_done = True
+        return result
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (cohort epochs)
+    # ------------------------------------------------------------------
+
+    def add_participant(self, data: OwnerDataset) -> Participant:
+        """Bring a new data owner online mid-run (idempotent by owner id).
+
+        The participant gets a miner node synced from the reference replica
+        (it re-executes every committed block, exactly as a real node catching
+        up would) and joins the consensus set.  It only enters the *training
+        cohort* once its ``request_join`` transaction commits on the registry
+        and the requested round boundary is reached.
+        """
+        if data.owner_id in self.participants:
+            return self.participants[data.owner_id]
+        participant = self._build_participant(data)
+        reference = self._reference_chain()
+        for block in reference.blocks[1:]:
+            participant.node.chain.verify_and_append(block)
+        self.participants[data.owner_id] = participant
+        self.owner_ids = sorted(self.participants)
+        self._nonces.setdefault(data.owner_id, 0)
+        self.sync_peer_keys()
+        return participant
+
+    def active_cohort(self, round_number: int) -> list[str]:
+        """The owner cohort active for a round, derived purely from chain state."""
+        from repro.blockchain.contracts.registry import cohort_for_round_from_state
+
+        cohort = cohort_for_round_from_state(self._reference_chain().state, round_number)
+        if not cohort:
+            raise ProtocolError(f"no owners are active for round {round_number}")
+        return cohort
+
+    def sync_peer_keys(self) -> None:
+        """Refresh every participant's peer-key table from the registry state.
+
+        Idempotent; called when the cohort may have changed so pairwise masks
+        can be derived against freshly joined owners' published keys.
+        """
+        chain = self._reference_chain()
         registered = {}
         for owner_id in chain.state.get("registry", "participant_index", []):
             record = chain.state.get("registry", f"participant/{owner_id}")
-            registered[owner_id] = int(record["public_key"])
-        missing = sorted(set(self.owner_ids) - set(registered))
-        if missing:
-            raise SetupError(f"registration did not complete for: {missing}")
+            if record is not None:
+                registered[owner_id] = int(record["public_key"])
         for participant in self.participants.values():
             participant.learn_peer_keys(registered)
-        self._setup_done = True
-        return result
 
     # ------------------------------------------------------------------
     # Phase 2 + 3: rounds and the full run (via the stage pipeline)

@@ -53,6 +53,34 @@ class TestCommands:
         assert "accumulated contributions" in output
         assert "transparency audit: PASSED" in output
 
+    def test_run_command_churn_scenario(self, capsys):
+        exit_code = main([
+            "run", "--owners", "4", "--groups", "2", "--rounds", "2",
+            "--samples", "320", "--local-epochs", "2", "--sigma", "0.1", "--seed", "3",
+            "--scenario", "churn",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario: churn" in output
+        assert "cohort epochs (per-epoch settlement)" in output
+        assert "transparency audit: PASSED" in output
+
+    def test_run_membership_scenarios_need_two_rounds(self, capsys):
+        exit_code = main([
+            "run", "--owners", "4", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "1", "--scenario", "join",
+        ])
+        assert exit_code == 2
+        assert "at least 2 rounds" in capsys.readouterr().out
+
+    def test_run_leave_scenario_keeps_grouping_feasible(self, capsys):
+        exit_code = main([
+            "run", "--owners", "3", "--groups", "3", "--rounds", "2",
+            "--samples", "240", "--local-epochs", "1", "--scenario", "leave",
+        ])
+        assert exit_code == 2
+        assert "fewer than" in capsys.readouterr().out
+
     def test_run_command_can_skip_audit(self, capsys):
         exit_code = main([
             "run", "--owners", "3", "--groups", "2", "--rounds", "1",
