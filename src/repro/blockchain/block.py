@@ -25,6 +25,13 @@ class BlockHeader:
         receipt_root: Merkle root of the receipt hashes.
         state_root: hash of the world state *after* executing the block.
         timestamp: logical timestamp (simulation tick, not wall clock).
+        view: consensus view number under epoch-authority rotation (``None``
+            on chains without rotation).  View 0 is the round's scheduled
+            proposer; each view change hands the proposal to the next owner in
+            the rotation.  The view is hashed into the block identity so an
+            auditor can recompute the proposer schedule, but it is *omitted*
+            from the hash payload when ``None`` — pre-rotation chains keep
+            their historical block hashes byte for byte.
     """
 
     height: int
@@ -34,27 +41,31 @@ class BlockHeader:
     receipt_root: str
     state_root: str
     timestamp: int = 0
+    view: int | None = None
 
     def __post_init__(self) -> None:
         if self.height < 0:
             raise ValidationError("block height must be non-negative")
         if len(self.parent_hash) != 64:
             raise ValidationError("parent_hash must be a 64-char hex digest")
+        if self.view is not None and self.view < 0:
+            raise ValidationError("view number must be non-negative")
 
     @property
     def block_hash(self) -> str:
         """The hash identifying this block."""
-        return hash_payload(
-            {
-                "height": self.height,
-                "parent_hash": self.parent_hash,
-                "proposer": self.proposer,
-                "tx_root": self.tx_root,
-                "receipt_root": self.receipt_root,
-                "state_root": self.state_root,
-                "timestamp": self.timestamp,
-            }
-        )
+        payload = {
+            "height": self.height,
+            "parent_hash": self.parent_hash,
+            "proposer": self.proposer,
+            "tx_root": self.tx_root,
+            "receipt_root": self.receipt_root,
+            "state_root": self.state_root,
+            "timestamp": self.timestamp,
+        }
+        if self.view is not None:
+            payload["view"] = self.view
+        return hash_payload(payload)
 
 
 @dataclass(frozen=True)
@@ -113,6 +124,7 @@ class Block:
         receipts: list[TransactionReceipt],
         state_root: str,
         timestamp: int = 0,
+        view: int | None = None,
     ) -> "Block":
         """Assemble a block, computing the Merkle roots from the given lists."""
         tx_root = MerkleTree.root_of([tx.tx_hash for tx in transactions])
@@ -125,5 +137,6 @@ class Block:
             receipt_root=receipt_root,
             state_root=state_root,
             timestamp=timestamp,
+            view=view,
         )
         return Block(header=header, transactions=tuple(transactions), receipts=tuple(receipts))

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.blockchain.block import GENESIS_PARENT_HASH, Block
+from repro.blockchain.consensus import verify_block_authority
 from repro.blockchain.contracts.base import ContractRuntime
 from repro.blockchain.state import WorldState
 from repro.blockchain.transaction import Transaction, TransactionReceipt
@@ -120,11 +121,20 @@ class Blockchain:
     # Block production and verification
     # ------------------------------------------------------------------
 
-    def propose_block(self, proposer: str, transactions: Iterable[Transaction], timestamp: int | None = None) -> Block:
+    def propose_block(
+        self,
+        proposer: str,
+        transactions: Iterable[Transaction],
+        timestamp: int | None = None,
+        view: int | None = None,
+    ) -> Block:
         """Leader role: execute ``transactions`` and assemble the next block.
 
         The chain's own state advances as a side effect, exactly as it would on
-        the leader node.
+        the leader node.  ``view`` is the consensus view number under
+        epoch-authority rotation (``None`` on non-rotation chains); it is
+        hashed into the block header so verifiers and auditors can recompute
+        the proposer schedule.
         """
         txs = list(transactions)
         height = self.height + 1
@@ -137,6 +147,7 @@ class Blockchain:
             receipts=receipts,
             state_root=self.state.state_root(),
             timestamp=self.head.header.timestamp + 1 if timestamp is None else timestamp,
+            view=view,
         )
         self.blocks.append(block)
         return block
@@ -145,8 +156,9 @@ class Blockchain:
         """Miner role: re-execute a proposed block and append it if results match.
 
         Raises :class:`InvalidBlockError` if the block does not extend the head,
-        its roots do not match its contents, or re-execution produces different
-        receipts or a different state root than the proposer claimed.
+        its roots do not match its contents, its proposer/view disagree with
+        the on-chain epoch-authority schedule, or re-execution produces
+        different receipts or a different state root than the proposer claimed.
         """
         if block.height != self.height + 1:
             raise InvalidBlockError(
@@ -155,6 +167,13 @@ class Blockchain:
         if block.header.parent_hash != self.head.block_hash:
             raise InvalidBlockError("block parent hash does not match local head")
         block.verify_roots()
+        # Authority check against the *pre-execution* state: round r's schedule
+        # only depends on membership boundaries <= r, all committed before this
+        # block, so proposer and verifier derive it from the same state.
+        try:
+            verify_block_authority(self.state, block)
+        except Exception as exc:
+            raise InvalidBlockError(str(exc)) from exc
 
         # Re-execute on copies so a rejected proposal leaves local state untouched.
         saved_state = self.state.snapshot()

@@ -357,6 +357,32 @@ def _epochs_from_reader(read: Callable[..., Any], n_rounds: int) -> list[dict[st
     return epochs
 
 
+def _epoch_start_from_reader(read: Callable[..., Any], round_number: int) -> int:
+    """The first round of the cohort epoch containing ``round_number``.
+
+    The epoch start is the largest membership boundary (an interval's ``from``
+    or ``until``) at or below the round; with no membership events it is round
+    0.  Boundaries strictly above the round cannot move it, so the value is
+    stable under later membership transactions — every one of them targets a
+    strictly future round, which is what makes the consensus authority
+    schedule recomputable from any replica's state.
+    """
+    start = 0
+    for owner_id in read("membership_index", []) or []:
+        for interval in read(f"membership/{owner_id}", None) or []:
+            for edge in (interval["from"], interval["until"]):
+                if edge is not None and start < int(edge) <= round_number:
+                    start = int(edge)
+    return start
+
+
+def epoch_start_for_round_from_state(state, round_number: int) -> int:
+    """Derive the epoch start of a round straight from a world state."""
+    return _epoch_start_from_reader(
+        lambda key, default=None: state.get(CONTRACT_NAME, key, default), int(round_number)
+    )
+
+
 def read_protocol_params(ctx: ContractContext) -> dict[str, Any]:
     """Helper for other contracts: read the registry's pinned parameters or fail."""
     params = ctx.read_external(CONTRACT_NAME, "protocol_params")

@@ -90,16 +90,18 @@ class MinerNode:
         self.mempool.add(tx)
         self.network.broadcast(self.node_id, TOPIC_TRANSACTIONS, tx)
 
-    def propose_block(self, limit: int | None = None) -> Block:
+    def propose_block(self, limit: int | None = None, view: int | None = None) -> Block:
         """Leader role: build the next block from the local mempool.
 
         The block is constructed on a copy of the chain so that the leader's
         local replica is only advanced at commit time, keeping all replicas in
-        lock-step.
+        lock-step.  Under epoch-authority rotation the leader stamps the
+        consensus ``view`` it proposes for into the header, where every
+        verifier checks it against the on-chain schedule.
         """
         txs = self.mempool.peek() if limit is None else self.mempool.peek()[:limit]
         staging = self.chain.clone()
-        block = staging.propose_block(self.node_id, txs)
+        block = staging.propose_block(self.node_id, txs, view=view)
         return block
 
     def collect_votes(self, block: Block) -> tuple[dict[str, bool], dict[str, str]]:
@@ -118,14 +120,23 @@ class MinerNode:
         self.chain.verify_and_append(block)
         self.mempool.remove([tx.tx_hash for tx in block.transactions])
 
-    def run_consensus_round(self, engine: ConsensusEngine, authorities: list[str] | None = None) -> VerificationResult:
+    def run_consensus_round(
+        self,
+        engine: ConsensusEngine,
+        authorities: list[str] | None = None,
+        view: int | None = None,
+    ) -> VerificationResult:
         """Drive one full consensus round with this node acting as the selected leader.
 
         The caller is responsible for having chosen this node via the engine's
-        leader selector; the method proposes, collects votes, and — on majority
-        acceptance — commits locally and broadcasts the commit.
+        leader selector (or, under authority rotation, the epoch schedule at
+        the given ``view``); the method proposes, collects votes, and — on
+        majority acceptance — commits locally and broadcasts the commit.  A
+        rejected proposal raises :class:`ConsensusError` without touching any
+        replica, which is what lets the caller fall through a view change to
+        the next scheduled proposer.
         """
-        block = self.propose_block()
+        block = self.propose_block(view=view)
         votes, rejections = self.collect_votes(block)
         result = ConsensusEngine.tally(block, votes, rejections)
         if result.accepted:

@@ -5,8 +5,9 @@ exercised without writing Python:
 
 * ``python -m repro run`` — run the full blockchain FL + GroupSV protocol
   through the staged round pipeline (optionally under a ``--scenario``:
-  dropout, straggler, adversarial group claim, late join) and print
-  contributions, rewards, and the audit verdict;
+  dropout, straggler, adversarial group claim, late join, adversary window,
+  on-chain join/leave/churn, or a leader dropout forcing consensus view
+  changes) and print contributions, rewards, and the audit verdict;
 * ``python -m repro sweep-groups`` — the privacy/resolution/cost sweep over m;
 * ``python -m repro ground-truth`` — native SV over retrained data coalitions
   (the Fig. 1 computation) for one σ; ``--workers N`` retrains coalitions on
@@ -36,6 +37,7 @@ from repro.core.pipeline import (
     DropoutScenario,
     JoinScenario,
     LateJoinScenario,
+    LeaderDropoutScenario,
     LeaveScenario,
     RoundScheduler,
     Scenario,
@@ -74,12 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         choices=(
             "none", "dropout", "straggler", "adversarial-claim", "late-join",
-            "adversary-window", "join", "leave", "churn",
+            "adversary-window", "join", "leave", "churn", "leader-dropout",
         ),
         default="none",
         help="pipeline scenario to run (dropout recovery, straggler delay, "
         "rejected adversarial group claim, orchestration-level late join, "
-        "round-windowed adversary injection, or on-chain cohort join/leave/churn)",
+        "round-windowed adversary injection, on-chain cohort join/leave/churn, "
+        "or a silent block proposer forcing consensus view changes)",
     )
     run.add_argument(
         "--scenario-owner", type=str, default=None,
@@ -88,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--sv-assembly-version", type=int, choices=(1, 2), default=1,
         help="exact-SV assembly pinned on chain (1 = scalar reference, 2 = vectorized)",
+    )
+    run.add_argument(
+        "--authority-rotation", action="store_true",
+        help="propose round blocks under the epoch-authority schedule (leaders "
+        "drawn from the round's cohort, view-change failover, auditable view "
+        "numbers); implied by --scenario leader-dropout",
     )
 
     sweep = subparsers.add_parser("sweep-groups", help="privacy/resolution trade-off over the group count")
@@ -136,14 +145,18 @@ def _build_scenario(kind: str, owner_id: str, n_rounds: int, joiner_dataset=None
             joins=[(joiner_dataset, max(1, min(2, n_rounds - 1)))],
             leaves=[(owner_id, n_rounds - 1)],
         )
+    if kind == "leader-dropout":
+        return LeaderDropoutScenario(owner_id)
     return None
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    if args.scenario in ("join", "leave", "churn", "adversary-window") and args.rounds < 2:
-        # Membership changes take effect at a later round boundary, and the
-        # adversary window opens at round 1 — a single-round run would
-        # silently degenerate to a plain run while reporting the scenario.
+    if args.scenario in ("join", "leave", "churn", "adversary-window", "leader-dropout") and args.rounds < 2:
+        # Membership changes take effect at a later round boundary, the
+        # adversary window opens at round 1, and the default leader-dropout
+        # target is only scheduled to propose from round 1 on — a single-round
+        # run would silently degenerate to a plain run while reporting the
+        # scenario.
         print(f"error: --scenario {args.scenario} needs at least 2 rounds")
         return 2
     # Churn is exempt: its joiner enters at or before the leave boundary, so
@@ -170,6 +183,7 @@ def _command_run(args: argparse.Namespace) -> int:
         reward_pool=args.reward_pool,
         permutation_seed=args.seed,
         sv_assembly_version=args.sv_assembly_version,
+        authority_rotation=args.authority_rotation or args.scenario == "leader-dropout",
     )
     protocol = BlockchainFLProtocol(
         owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
@@ -193,6 +207,9 @@ def _command_run(args: argparse.Namespace) -> int:
             print(f"scenario: leave — {target} exits the cohort on chain")
         elif args.scenario == "churn":
             print(f"scenario: churn — {joiner_dataset.owner_id} joins, {target} leaves")
+        elif args.scenario == "leader-dropout":
+            print(f"scenario: leader-dropout — {target} never proposes; "
+                  "view changes hand its slots to the next scheduled owner")
         else:
             print(f"scenario: {args.scenario} targeting {target}")
         for ctx in scheduler.contexts:
@@ -200,6 +217,21 @@ def _command_run(args: argparse.Namespace) -> int:
                 rejected = "; ".join(r.reason for r in ctx.rejections) or "none"
                 print(f"  round {ctx.round_number}: waited {ctx.ticks_waited} tick(s), "
                       f"rejections: {rejected}")
+    if config.authority_rotation:
+        print("\nconsensus authority (epoch schedule):")
+        rows = []
+        for ctx in scheduler.contexts:
+            changed = "; ".join(
+                f"view {c['view']} {c['leader']}: {c['reason']}"
+                for c in ctx.metadata.get("view_changes", [])
+            ) or "-"
+            rows.append([
+                ctx.round_number,
+                ctx.result.consensus.block_hash[:12] if ctx.result else "-",
+                ctx.metadata.get("view", "-"),
+                changed,
+            ])
+        print(render_table(["round", "block", "view", "view changes"], rows))
     rows = [
         [record.round_number, f"{record.global_utility:.4f}", len(record.groups),
          sum(len(group) for group in record.groups)]
@@ -227,8 +259,10 @@ def _command_run(args: argparse.Namespace) -> int:
     if not args.skip_audit:
         chain = protocol.participants[protocol.owner_ids[0]].node.chain
         report = audit_chain(chain, dataset.test_features, dataset.test_labels, dataset.n_classes)
-        print(f"\ntransparency audit: {'PASSED' if report.passed else 'FAILED'} "
-              f"(rounds checked: {report.rounds_checked})")
+        checked = f"rounds checked: {report.rounds_checked}"
+        if config.authority_rotation:
+            checked += f", proposers verified: {report.proposers_checked}"
+        print(f"\ntransparency audit: {'PASSED' if report.passed else 'FAILED'} ({checked})")
         if not report.passed:
             for mismatch in report.mismatches:
                 print(f"  mismatch: {mismatch}")

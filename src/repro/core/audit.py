@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.blockchain.chain import Blockchain
+from repro.blockchain.consensus import committed_round_of_block, scheduled_proposer
 from repro.blockchain.contracts.registry import cohort_for_round_from_state, epochs_from_state
 from repro.blockchain.contracts.reward import mass_proportional_pools, proportional_payouts
 from repro.exceptions import AuditError
@@ -31,6 +32,9 @@ class AuditReport:
         chain_valid: structural validation and full replay succeeded.
         rounds_checked: round numbers whose evaluation was independently recomputed.
         epochs_checked: cohort epochs whose membership and totals were verified.
+        proposers_checked: round numbers whose block proposer (and, on
+            authority-rotation chains, view number) was recomputed from the
+            registry's epoch-authority schedule and matched the header.
         mismatches: human-readable descriptions of any discrepancy found.
         recomputed_totals: the auditor's own accumulated per-owner contributions.
         recomputed_epoch_totals: the auditor's per-epoch accumulated contributions
@@ -40,6 +44,7 @@ class AuditReport:
     chain_valid: bool
     rounds_checked: list[int] = field(default_factory=list)
     epochs_checked: list[int] = field(default_factory=list)
+    proposers_checked: list[int] = field(default_factory=list)
     mismatches: list[str] = field(default_factory=list)
     recomputed_totals: dict[str, float] = field(default_factory=dict)
     recomputed_epoch_totals: dict[int, dict[str, float]] = field(default_factory=dict)
@@ -84,6 +89,15 @@ def audit_chain(
 ) -> AuditReport:
     """Audit a protocol chain end to end.
 
+    Five independent recomputations, each from raw chain data only: (1) a full
+    replay from genesis must reproduce the live state root, (2) every round's
+    GroupSV evaluation is recomputed from the published group models under the
+    pinned ``sv_assembly_version``, (3) the accumulated per-owner totals must
+    match the contract's, (4) cohort epochs, per-epoch SV mass, and every
+    recorded settlement are re-derived and checked, and (5) every round
+    block's proposer — plus its consensus view on ``authority_rotation``
+    chains — is recomputed from the registry's epoch-authority schedule.
+
     Args:
         chain: any replica of the protocol chain.
         validation_features / validation_labels / n_classes: the public
@@ -92,6 +106,10 @@ def audit_chain(
         tolerance: numeric tolerance when comparing recomputed contributions.
         raise_on_failure: raise :class:`AuditError` instead of returning a
             failing report.
+
+    Returns:
+        An :class:`AuditReport`; ``report.passed`` is True iff the chain
+        replays cleanly and every recomputation matches the published values.
     """
     from repro.shapley.utility import AccuracyUtility
 
@@ -175,9 +193,55 @@ def audit_chain(
     if n_rounds:
         _audit_epochs(state, report, round_values, n_rounds, tolerance)
 
+    # 5. Verify the consensus authority: on an authority-rotation chain,
+    #    recompute every committed round's scheduled proposer from the
+    #    registry's epoch view and check it (and the view number) against the
+    #    block header; on a static chain, check that no header smuggles in a
+    #    view.  Either way the proposer of every round block is recomputable
+    #    from chain state alone.
+    _audit_proposers(chain, state, bool(pinned_params.get("authority_rotation")), report)
+
     if raise_on_failure and not report.passed:
         raise AuditError("; ".join(report.mismatches))
     return report
+
+
+def _audit_proposers(chain: Blockchain, state, rotation: bool, report: AuditReport) -> None:
+    """Recompute and verify the proposer schedule of every committed round block.
+
+    The schedule of round ``r`` depends only on membership boundaries at or
+    below ``r``, all committed strictly before round ``r``'s block, so the
+    final replayed state derives exactly the schedule every miner used at
+    proposal time.  What the audit verifies is *entitlement*: the view is in
+    range and the proposer is the schedule's pick for ``(round, view)``.
+    Whether the skipped views' leaders were genuinely silent is not
+    recomputable from chain data — neither miners nor the auditor check view
+    minimality (that would need timeout/view-change certificates, which this
+    simulation does not model; see docs/consensus.md).
+    """
+    for block in chain.blocks[1:]:
+        fl_round = committed_round_of_block(block)
+        if fl_round is None or not rotation:
+            if block.header.view is not None:
+                report.mismatches.append(
+                    f"block {block.height}: carries view {block.header.view} but "
+                    "no authority schedule applies to it"
+                )
+            continue
+        if block.header.view is None:
+            report.mismatches.append(
+                f"round {fl_round}: block {block.height} has no view number on an "
+                "authority-rotation chain"
+            )
+            continue
+        expected = scheduled_proposer(state, fl_round, block.header.view)
+        if block.header.proposer != expected:
+            report.mismatches.append(
+                f"round {fl_round}: block {block.height} (view {block.header.view}) names "
+                f"proposer {block.header.proposer} but the schedule recomputes {expected}"
+            )
+        else:
+            report.proposers_checked.append(fl_round)
 
 
 def _audit_epochs(

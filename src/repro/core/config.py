@@ -35,6 +35,16 @@ class ProtocolConfig:
             a different floating-point summation order, so receipts may differ
             in the last ulps.  Pinned on chain at setup: every miner and every
             auditor replays the same assembly.
+        authority_rotation: when True, training-round blocks are proposed
+            under the epoch-authority schedule — the eligible proposers of
+            round ``r`` are the registry's ``active_cohort(r)``, rotated
+            deterministically from the epoch start, with view-change failover
+            past silent or rejected leaders; the winning view number is hashed
+            into each round block's header so miners and auditors recompute
+            the schedule from chain state.  Off (the default) keeps the static
+            round-robin over the full replica set and byte-identical chains:
+            headers carry no view and hash exactly as before.  Pinned on chain
+            at setup like every other consensus-relevant parameter.
     """
 
     n_owners: int = 9
@@ -51,6 +61,7 @@ class ProtocolConfig:
     reward_pool: float = 1000.0
     byzantine_miners: tuple[str, ...] = field(default_factory=tuple)
     sv_assembly_version: int = 1
+    authority_rotation: bool = False
 
     def __post_init__(self) -> None:
         if self.n_owners < 2:
@@ -83,4 +94,5 @@ class ProtocolConfig:
             "learning_rate": self.learning_rate,
             "l2": self.l2,
             "sv_assembly_version": self.sv_assembly_version,
+            "authority_rotation": bool(self.authority_rotation),
         }

@@ -9,10 +9,10 @@ module decomposes it into explicit stages driven by a :class:`RoundScheduler`:
 Every stage reads and writes one :class:`RoundContext` — the complete state of
 a round in flight (cohort, grouping, local models, staged transactions,
 withheld submissions, rejections, consensus verdict).  Scenario behaviour
-(dropout, stragglers, adversary injection, cohort joins/leaves) plugs in
-through the :class:`Scenario` hook interface instead of bespoke orchestration
-loops, so ``examples/``, the CLI, and the benchmarks all drive the very same
-runtime.  Each round's owner cohort is re-derived from chain state (the
+(dropout, stragglers, adversary injection, cohort joins/leaves, silent block
+proposers) plugs in through the :class:`Scenario` hook interface instead of
+bespoke orchestration loops, so ``examples/``, the CLI, and the benchmarks all
+drive the very same runtime.  Each round's owner cohort is re-derived from chain state (the
 registry's epoch view), so membership transactions committed in earlier
 blocks change who trains, masks, and settles from their effective round on.
 
@@ -47,7 +47,7 @@ from repro.blockchain.consensus import VerificationResult
 from repro.blockchain.contracts.registry import epochs_from_state, has_membership_events
 from repro.blockchain.transaction import Transaction
 from repro.core.adversary import AdversaryBehavior, apply_adversary
-from repro.exceptions import ProtocolError, RoundError
+from repro.exceptions import ConsensusError, ProtocolError, RoundError
 from repro.fl.model import ModelParameters
 from repro.shapley.group import group_members, make_groups
 
@@ -176,9 +176,20 @@ class Scenario:
     * :meth:`membership_transactions` — registry join/leave transactions to
       include in this round's block (they take effect at a later round
       boundary; see :class:`JoinScenario` / :class:`LeaveScenario`).
+    * :meth:`leader_offline` — per scheduled proposer on rotation-enabled
+      chains, return True to keep it silent for this round's proposal (the
+      consensus falls through a view change to the next proposer; see
+      :class:`LeaderDropoutScenario`).
     * :meth:`on_round_end` — after the round's block committed.
     * :meth:`on_settlement` — after the final reward distribution.
+
+    A scenario whose behaviour only exists under the epoch-authority schedule
+    sets :attr:`requires_authority_rotation`; the scheduler refuses to run it
+    on a non-rotation protocol instead of silently degenerating to a plain
+    run.
     """
+
+    requires_authority_rotation: bool = False
 
     def on_setup(self, protocol: "BlockchainFLProtocol") -> None:
         """Called once after the setup block commits."""
@@ -214,6 +225,15 @@ class Scenario:
         """Registry membership transactions to include in this round's block."""
         return []
 
+    def leader_offline(self, ctx: RoundContext, leader_id: str) -> bool:
+        """Return True to keep a scheduled proposer silent for this round.
+
+        Only consulted on authority-rotation chains; a silent proposer costs a
+        view change, and a round whose every scheduled proposer is silent
+        aborts without touching the chain.
+        """
+        return False
+
     def on_round_end(self, ctx: RoundContext) -> None:
         """Called after the round's block has committed."""
 
@@ -226,6 +246,9 @@ class ComposedScenario(Scenario):
 
     def __init__(self, scenarios: Sequence[Scenario]) -> None:
         self.scenarios = list(scenarios)
+        self.requires_authority_rotation = any(
+            scenario.requires_authority_rotation for scenario in scenarios
+        )
 
     def on_setup(self, protocol) -> None:
         for scenario in self.scenarios:
@@ -265,6 +288,9 @@ class ComposedScenario(Scenario):
         for scenario in self.scenarios:
             transactions.extend(scenario.membership_transactions(protocol, ctx))
         return transactions
+
+    def leader_offline(self, ctx, leader_id) -> bool:
+        return any(scenario.leader_offline(ctx, leader_id) for scenario in self.scenarios)
 
     def on_round_end(self, ctx) -> None:
         for scenario in self.scenarios:
@@ -520,6 +546,41 @@ class AdversaryInjectionScenario(Scenario):
         return apply_adversary(parameters, behavior)
 
 
+class LeaderDropoutScenario(Scenario):
+    """Scheduled block proposers go silent, forcing consensus view changes.
+
+    Requires ``ProtocolConfig.authority_rotation``: with the epoch-authority
+    schedule, each FL round has a deterministic proposer rotation derived from
+    chain state, and this scenario keeps the named owners from proposing in
+    the targeted rounds.  The consensus falls through one view change per
+    silent proposer — recorded in the block header's view number, so the
+    failover itself is auditable — while the silent owners keep *training and
+    submitting* (a proposer outage is a consensus fault, not a data fault; to
+    also drop their submissions, compose with :class:`DropoutScenario`).
+
+    A round in which every scheduled proposer is offline aborts with
+    :class:`~repro.exceptions.RoundError` before anything is gossiped: the
+    chain, the mempools, and the nonce counters are untouched.
+
+    Args:
+        owner_ids: owners that will not propose (a single id is accepted).
+        rounds: rounds the outage covers (None = every round).
+    """
+
+    requires_authority_rotation = True
+
+    def __init__(self, owner_ids: Sequence[str] | str, rounds: Sequence[int] | None = None) -> None:
+        self.owner_ids = {owner_ids} if isinstance(owner_ids, str) else set(owner_ids)
+        if not self.owner_ids:
+            raise ProtocolError("LeaderDropoutScenario needs at least one owner id")
+        self.rounds = None if rounds is None else {int(r) for r in rounds}
+
+    def leader_offline(self, ctx: RoundContext, leader_id: str) -> bool:
+        if self.rounds is not None and ctx.round_number not in self.rounds:
+            return False
+        return leader_id in self.owner_ids
+
+
 # ----------------------------------------------------------------------
 # Stages
 # ----------------------------------------------------------------------
@@ -700,16 +761,52 @@ class BlockProposalStage(RoundStage):
     Submissions are gossiped in canonical sorted-owner order followed by the
     closing calls, so the proposed block's transaction list — and therefore
     its Merkle root and hash — does not depend on scenario timing.
+
+    On authority-rotation chains the proposer is not the static round-robin:
+    the stage derives the round's scheduled proposers from chain state, asks
+    the scenario which of them are silent, and drives the consensus view-change
+    loop — the winning view lands in the block header (and in
+    ``ctx.metadata["view"]`` / ``ctx.metadata["view_changes"]`` for
+    reporting).  If *every* scheduled proposer is silent the round aborts
+    before anything reaches the mempool, preserving the pipeline's
+    "an aborted round touched nothing" contract.
     """
 
     name = "block-proposal"
 
     def run(self, protocol, ctx, scenario) -> None:
+        rotation = protocol.config.authority_rotation
+        silent: set[str] = set()
+        if rotation:
+            proposers = protocol.round_proposers(ctx.round_number)
+            silent = {p for p in proposers if scenario.leader_offline(ctx, p)}
+            if len(silent) == len(proposers):
+                raise RoundError(
+                    f"round {ctx.round_number}: every scheduled proposer "
+                    f"({', '.join(proposers)}) is offline; nothing was committed"
+                )
         for owner_id in sorted(ctx.submissions):
             protocol._submit(ctx.submissions[owner_id])
         for tx in ctx.closing_transactions:
             protocol._submit(tx)
-        ctx.consensus = protocol._commit_block()
+        if rotation:
+            try:
+                ctx.consensus, view, view_changes = protocol._commit_round_block(
+                    ctx.round_number, silent
+                )
+            except ConsensusError as exc:
+                # Every available proposer's block was rejected post-gossip:
+                # withdraw the round's transactions from all mempools so the
+                # abort still leaves nothing behind.
+                staged = [tx.tx_hash for tx in ctx.submissions.values()]
+                staged.extend(tx.tx_hash for tx in ctx.closing_transactions)
+                for participant in protocol.participants.values():
+                    participant.node.mempool.remove(staged)
+                raise RoundError(str(exc)) from exc
+            ctx.metadata["view"] = view
+            ctx.metadata["view_changes"] = view_changes
+        else:
+            ctx.consensus = protocol._commit_block()
 
         chain = protocol._reference_chain()
         # A rejected membership request commits as a *failed receipt* — the
@@ -860,6 +957,12 @@ class RoundScheduler:
     ) -> None:
         self.protocol = protocol
         self.scenario = scenario or Scenario()
+        if self.scenario.requires_authority_rotation and not protocol.config.authority_rotation:
+            raise ProtocolError(
+                f"{type(self.scenario).__name__} requires authority rotation: enable "
+                "ProtocolConfig.authority_rotation or the scenario would silently "
+                "degenerate to a plain run"
+            )
         self.round_stages = tuple(round_stages) if round_stages is not None else DEFAULT_ROUND_STAGES
         self.max_wait_ticks = int(max_wait_ticks)
         self.contexts: list[RoundContext] = []
@@ -895,14 +998,28 @@ class RoundScheduler:
         )
 
     def run_round(self, round_number: int, global_parameters: ModelParameters) -> RoundResult:
-        """Execute one full on-chain round through the stage pipeline."""
+        """Execute one full on-chain round through the stage pipeline.
+
+        A :class:`~repro.exceptions.RoundError` means the round aborted with
+        nothing committed; the scheduler then rewinds the protocol's off-chain
+        nonce counters to the round start so a retry (or a later run) is not
+        permanently ahead of the chain.
+        """
         if not self.protocol._setup_done:
             raise ProtocolError("setup() must run before training rounds")
         ctx = self.build_context(round_number, global_parameters)
         self.contexts.append(ctx)
         self.scenario.on_round_start(ctx)
-        for stage in self.round_stages:
-            stage.run(self.protocol, ctx, self.scenario)
+        nonce_snapshot = dict(self.protocol._nonces)
+        try:
+            for stage in self.round_stages:
+                stage.run(self.protocol, ctx, self.scenario)
+        except RoundError:
+            # RoundError's contract is "the aborted round touched nothing":
+            # nothing was committed, so the nonces staged by earlier stages
+            # (submission building, closing calls) must rewind with it.
+            self.protocol._nonces = nonce_snapshot
+            raise
         if ctx.result is None:
             raise RoundError(f"round {round_number}: pipeline finished without a result")
         return ctx.result

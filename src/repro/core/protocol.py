@@ -34,7 +34,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.blockchain.consensus import ConsensusEngine, LeaderSelector, VerificationResult
+from repro.blockchain.consensus import (
+    ConsensusEngine,
+    EpochAuthoritySchedule,
+    LeaderSelector,
+    VerificationResult,
+)
 from repro.blockchain.contracts.base import ContractRuntime
 from repro.blockchain.contracts.contribution import ContributionContract
 from repro.blockchain.contracts.fl_training import FLTrainingContract
@@ -54,12 +59,42 @@ from repro.core.pipeline import (  # noqa: F401 - re-exported for compatibility
 from repro.crypto.dh import DHParameters
 from repro.crypto.fixed_point import FixedPointCodec
 from repro.datasets.loader import OwnerDataset
-from repro.exceptions import ProtocolError, SetupError
+from repro.exceptions import ConsensusError, ProtocolError, RoundError, SetupError
 from repro.fl.logistic_regression import LogisticRegressionModel
 
 
 class BlockchainFLProtocol:
-    """Orchestrates the blockchain-based secure FL + contribution evaluation run."""
+    """Orchestrates the blockchain-based secure FL + contribution evaluation run.
+
+    The object is the wiring layer: it owns the participants (each a local
+    trainer *and* a miner replica), the simulated network, the contract
+    runtime factory, the consensus engine, and the off-chain nonce counters.
+    Execution is delegated to :class:`~repro.core.pipeline.RoundScheduler` —
+    ``run()`` / ``run_round()`` are thin wrappers — so the CLI, the examples,
+    and the benchmarks all drive the same staged pipeline with the same
+    :class:`~repro.core.pipeline.Scenario` hook surface.
+
+    Args:
+        owner_data: one :class:`~repro.datasets.loader.OwnerDataset` per
+            genesis data owner (more can join mid-run via
+            :meth:`add_participant` + a ``request_join`` transaction).
+        validation_features / validation_labels: the public validation set the
+            utility function scores against (known to every miner and auditor).
+        n_classes: label count of the classification task.
+        config: the :class:`~repro.core.config.ProtocolConfig` pinned on chain
+            at setup; defaults to the paper's small configuration.
+        adversaries: optional owner-id → behavior map applying model tampering
+            on every round (for windowed attacks use
+            :class:`~repro.core.pipeline.AdversaryInjectionScenario` instead).
+        leader_selector: optional selector for setup/settlement blocks and,
+            with ``config.authority_rotation`` off, for round blocks too.
+            With rotation on, round blocks are led by the chain-state-derived
+            :class:`~repro.blockchain.consensus.EpochAuthoritySchedule`.
+
+    Key read surfaces after a run: ``participants[owner].node.chain`` (any
+    replica, e.g. for :func:`~repro.core.audit.audit_chain`),
+    :meth:`active_cohort`, and :meth:`round_proposers` (rotation runs).
+    """
 
     def __init__(
         self,
@@ -87,7 +122,10 @@ class BlockchainFLProtocol:
 
         self.network = Network()
         self._runtime_factory = self._build_runtime_factory()
-        self.consensus = ConsensusEngine(leader_selector)
+        schedule = None
+        if self.config.authority_rotation:
+            schedule = EpochAuthoritySchedule(lambda: self._reference_chain().state)
+        self.consensus = ConsensusEngine(leader_selector, schedule=schedule)
         self._dh_params = DHParameters.for_testing(bits=self.config.dh_bits, seed=self.config.permutation_seed)
         self._codec = FixedPointCodec(
             precision_bits=self.config.precision_bits,
@@ -155,6 +193,53 @@ class BlockchainFLProtocol:
         leader = self.participants[leader_id]
         return leader.node.run_consensus_round(self.consensus, self.owner_ids)
 
+    def round_proposers(self, round_number: int) -> list[str]:
+        """The FL round's eligible proposers in view order (pure chain state).
+
+        Only meaningful with ``authority_rotation`` on; the list is the
+        round's active cohort rotated to start at the view-0 proposer, so
+        index ``v`` is the leader the protocol falls back to after ``v`` view
+        changes.
+        """
+        if self.consensus.schedule is None:
+            raise ProtocolError("authority rotation is not enabled for this protocol")
+        return self.consensus.schedule.proposers_for_round(round_number)
+
+    def _commit_round_block(
+        self, round_number: int, silent_leaders: frozenset[str] | set[str] = frozenset()
+    ) -> tuple[VerificationResult, int, list[dict]]:
+        """Commit an FL round's block under the epoch-authority schedule.
+
+        Walks the round's view sequence: a silent scheduled leader (as declared
+        by the scenario — the simulation's stand-in for a proposal timeout)
+        advances the view without network traffic; a leader whose proposal the
+        miner vote rejects advances it after the failed consensus attempt.
+        Returns the verification result, the winning view, and the view-change
+        log.  Raises :class:`ConsensusError` when every view is exhausted.
+        """
+        proposers = self.round_proposers(round_number)
+        view_changes: list[dict] = []
+        for view, leader_id in enumerate(proposers):
+            if leader_id in silent_leaders:
+                view_changes.append({"view": view, "leader": leader_id, "reason": "silent"})
+                continue
+            leader = self.participants[leader_id]
+            try:
+                result = leader.node.run_consensus_round(self.consensus, view=view)
+            except ConsensusError as exc:
+                view_changes.append({"view": view, "leader": leader_id, "reason": str(exc)})
+                continue
+            # Keep the engine's block counter in step with the chain so the
+            # setup/settlement round-robin is unaffected by rotation.
+            self.consensus.round_index += 1
+            return result, view, view_changes
+        detail = "; ".join(
+            "view {view} {leader}: {reason}".format(**change) for change in view_changes
+        )
+        raise ConsensusError(
+            f"round {round_number}: every scheduled proposer failed ({detail})"
+        )
+
     def _reference_chain(self):
         """Any honest replica (the first owner's chain) used for reads."""
         return self.participants[self.owner_ids[0]].node.chain
@@ -204,6 +289,10 @@ class BlockchainFLProtocol:
         and the requested round boundary is reached.
         """
         if data.owner_id in self.participants:
+            # An aborted round's nonce rewind may have dropped a mid-round
+            # joiner's counter (its join never committed, so 0 is correct);
+            # restore it so the idempotent path supports a clean retry.
+            self._nonces.setdefault(data.owner_id, 0)
             return self.participants[data.owner_id]
         participant = self._build_participant(data)
         reference = self._reference_chain()

@@ -65,6 +65,20 @@ class TestCommands:
         assert "cohort epochs (per-epoch settlement)" in output
         assert "transparency audit: PASSED" in output
 
+    def test_run_command_leader_dropout_scenario(self, capsys):
+        exit_code = main([
+            "run", "--owners", "4", "--groups", "2", "--rounds", "2",
+            "--samples", "320", "--local-epochs", "2", "--sigma", "0.1", "--seed", "3",
+            "--scenario", "leader-dropout",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario: leader-dropout" in output
+        assert "consensus authority (epoch schedule)" in output
+        assert "view 0 owner-1: silent" in output
+        assert "proposers verified: [0, 1]" in output
+        assert "transparency audit: PASSED" in output
+
     def test_run_membership_scenarios_need_two_rounds(self, capsys):
         exit_code = main([
             "run", "--owners", "4", "--groups", "2", "--rounds", "1",
