@@ -1,0 +1,218 @@
+"""Microbenchmark — the versioned Merkle state store vs the flat deep-copy path.
+
+Three hot paths changed in the state layer:
+
+* ``state_root()``: the pre-Merkle store serialized and hashed the *entire*
+  state dict per block (O(all keys)); the v2 store maintains per-namespace
+  bucket trees incrementally, re-hashing only buckets touched since the last
+  root (O(keys changed)).  Measured at 1k–100k keys with a 1% churn ratio
+  against both baselines: the v1 flat hash and a from-scratch v2 recompute.
+* snapshot/rollback: transaction rollback used to ``copy.deepcopy`` the whole
+  world per transaction; the journal makes a snapshot O(1) and a rollback
+  O(keys changed).
+* inclusion proofs: ``prove``/``verify_state_proof`` tie one entry to a block
+  header's state root — timed so the verification cost a participant pays is
+  on record.
+
+The recorded ``speedup`` entries in ``benchmark.extra_info`` feed the
+benchmark-artifact trajectory; the asserts pin the acceptance floor from the
+state-store issue: ≥10x on ``state_root()`` at 10k keys with ≤1% churn
+against the full recompute.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+
+import numpy as np
+
+from benchmarks.common import format_table
+from repro.blockchain.state import WorldState, verify_state_proof
+
+# CI smoke runs shrink the workload through the environment (see the
+# benchmark-artifacts job in .github/workflows/ci.yml); defaults are the
+# full measurement sizes reported in docs/performance.md.
+KEY_COUNTS = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_STATE_KEYS", "1000,10000,100000").split(",")
+)
+CHURN_RATIO = float(os.environ.get("REPRO_BENCH_STATE_CHURN", "0.01"))
+_NAMESPACES = ("fl_training", "contribution", "reward", "registry")
+
+
+def _build_store(n_keys: int, root_version: int) -> WorldState:
+    state = WorldState(root_version=root_version)
+    rng = np.random.default_rng(1)
+    for i in range(n_keys):
+        state.set(
+            _NAMESPACES[i % len(_NAMESPACES)],
+            f"record/{i:06d}",
+            {"owner": f"owner-{i % 50}", "value": float(rng.random()), "round": i % 32},
+        )
+    return state
+
+
+def _churn(state: WorldState, changed: int, tag: float) -> None:
+    """Rewrite ``changed`` existing keys in place."""
+    for i in range(changed):
+        state.set(
+            _NAMESPACES[i % len(_NAMESPACES)],
+            f"record/{i:06d}",
+            {"owner": "churned", "value": tag, "round": i % 32},
+        )
+
+
+def _measure_roots():
+    """Flat v1 root and full v2 recompute vs the incremental v2 root per size."""
+    results = {}
+    for n_keys in KEY_COUNTS:
+        v1 = _build_store(n_keys, root_version=1)
+        v2 = _build_store(n_keys, root_version=2)
+
+        start = time.perf_counter()
+        v1.state_root()
+        flat_s = time.perf_counter() - start
+
+        raw = v2.raw()
+        start = time.perf_counter()
+        full_root = WorldState(raw, root_version=2).state_root()
+        full_s = time.perf_counter() - start
+
+        v2.state_root()  # warm the trees so the loop measures steady state
+        changed = max(1, int(n_keys * CHURN_RATIO))
+        repetitions = 5
+        start = time.perf_counter()
+        for repeat in range(repetitions):
+            _churn(v2, changed, tag=float(repeat))
+            incremental_root = v2.state_root()
+        incremental_s = (time.perf_counter() - start) / repetitions
+
+        # Parity: the incremental root must equal a from-scratch recompute of
+        # the same data — the bench doubles as a large-state regression test.
+        assert WorldState(v2.raw(), root_version=2).state_root() == incremental_root
+        assert full_root != incremental_root  # churn moved the root
+
+        results[n_keys] = {
+            "changed_keys": changed,
+            "flat_v1_s": flat_s,
+            "full_merkle_s": full_s,
+            "incremental_s": incremental_s,
+            "speedup_vs_flat": flat_s / incremental_s,
+            "speedup_vs_full": full_s / incremental_s,
+        }
+    return results
+
+
+def _measure_rollback():
+    """Legacy deepcopy-the-world snapshots vs journal markers (at the mid size)."""
+    n_keys = KEY_COUNTS[min(1, len(KEY_COUNTS) - 1)]
+    state = _build_store(n_keys, root_version=1)
+    raw = state.raw()
+    writes = max(1, int(n_keys * CHURN_RATIO))
+
+    start = time.perf_counter()
+    legacy_snapshot = copy.deepcopy(raw)  # what snapshot() used to cost
+    legacy_s = time.perf_counter() - start
+    assert len(legacy_snapshot) == n_keys
+
+    repetitions = 10
+    start = time.perf_counter()
+    for repeat in range(repetitions):
+        marker = state.snapshot()
+        _churn(state, writes, tag=float(repeat))
+        state.restore(marker)
+    journal_s = (time.perf_counter() - start) / repetitions
+
+    return {
+        "n_keys": n_keys,
+        "writes_rolled_back": writes,
+        "legacy_deepcopy_s": legacy_s,
+        "journal_cycle_s": journal_s,
+        "speedup": legacy_s / journal_s,
+    }
+
+
+def _measure_proofs():
+    """Proof production and verification at the mid size."""
+    n_keys = KEY_COUNTS[min(1, len(KEY_COUNTS) - 1)]
+    state = _build_store(n_keys, root_version=2)
+    root = state.state_root()
+    namespace, key = _NAMESPACES[0], "record/000000"
+    value = state.get(namespace, key)
+
+    repetitions = 50
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        proof = state.prove(namespace, key)
+    prove_s = (time.perf_counter() - start) / repetitions
+
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        ok = verify_state_proof(root, proof, value=value)
+    verify_s = (time.perf_counter() - start) / repetitions
+    assert ok
+    assert not verify_state_proof(root, proof, value={"tampered": True})
+
+    return {
+        "n_keys": n_keys,
+        "siblings": len(proof.bucket_siblings) + len(proof.namespace_siblings) + len(proof.top_siblings),
+        "prove_s": prove_s,
+        "verify_s": verify_s,
+    }
+
+
+def _run_all():
+    return _measure_roots(), _measure_rollback(), _measure_proofs()
+
+
+def bench_state_store_vs_flat(benchmark):
+    """State-store speedups over the flat deep-copy path (roots + rollback + proofs)."""
+    roots, rollback, proofs = benchmark.pedantic(_run_all, rounds=1, iterations=1, warmup_rounds=0)
+
+    rows = [
+        [
+            f"{n}",
+            f"{entry['changed_keys']}",
+            f"{entry['flat_v1_s'] * 1e3:.1f}",
+            f"{entry['full_merkle_s'] * 1e3:.1f}",
+            f"{entry['incremental_s'] * 1e3:.2f}",
+            f"{entry['speedup_vs_flat']:.1f}x",
+            f"{entry['speedup_vs_full']:.1f}x",
+        ]
+        for n, entry in roots.items()
+    ]
+    print("\nstate_root() — flat v1 hash and full Merkle recompute vs incremental root")
+    print(format_table(
+        ["keys", "changed", "flat v1 / ms", "full v2 / ms", "incremental / ms",
+         "vs flat", "vs full"],
+        rows,
+    ))
+    print(
+        f"\nsnapshot/rollback at {rollback['n_keys']} keys: "
+        f"{rollback['legacy_deepcopy_s'] * 1e3:.1f} ms legacy deepcopy vs "
+        f"{rollback['journal_cycle_s'] * 1e3:.3f} ms journal cycle "
+        f"({rollback['speedup']:.0f}x, {rollback['writes_rolled_back']} writes rolled back)"
+    )
+    print(
+        f"proofs at {proofs['n_keys']} keys: prove {proofs['prove_s'] * 1e3:.2f} ms, "
+        f"verify {proofs['verify_s'] * 1e3:.3f} ms ({proofs['siblings']} sibling hashes)"
+    )
+
+    benchmark.extra_info["roots"] = {
+        str(n): {key: float(value) for key, value in entry.items()} for n, entry in roots.items()
+    }
+    benchmark.extra_info["rollback"] = {key: float(value) for key, value in rollback.items()}
+    benchmark.extra_info["proofs"] = {key: float(value) for key, value in proofs.items()}
+
+    # Acceptance floor (issue 5): ≥10x on state_root() at 10k keys with ≤1%
+    # churn against the O(all keys) full recompute of the same commitment
+    # (measured ~60x; ~14x against the cheaper flat v1 hash, floored at 5x to
+    # stay out of shared-runner noise).  Reduced-size env overrides that drop
+    # the 10k point skip the floor, never the parity asserts above.
+    if 10_000 in roots and CHURN_RATIO <= 0.01:
+        assert roots[10_000]["speedup_vs_full"] >= 10.0
+        assert roots[10_000]["speedup_vs_flat"] >= 5.0
+    # The journal must beat deepcopy-the-world snapshots by an order of
+    # magnitude at any measured size.
+    assert rollback["speedup"] >= 10.0

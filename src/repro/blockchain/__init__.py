@@ -7,7 +7,9 @@ as an in-memory simulation:
 
 * :mod:`repro.blockchain.transaction` / :mod:`repro.blockchain.block` — signed
   transactions, Merkle-rooted blocks.
-* :mod:`repro.blockchain.state` — the key-value world state with snapshotting.
+* :mod:`repro.blockchain.state` — the versioned, Merkle-ized world state:
+  journaled O(Δ) rollback, per-block historical views, and (with
+  ``state_root_version=2``) per-entry inclusion proofs.
 * :mod:`repro.blockchain.chain` — the ledger, validation, and replay.
 * :mod:`repro.blockchain.contracts` — the deterministic contract runtime and the
   FL / secure-aggregation / contribution-evaluation contracts.
@@ -32,7 +34,7 @@ from repro.blockchain.mempool import Mempool
 from repro.blockchain.merkle import MerkleTree
 from repro.blockchain.network import Network
 from repro.blockchain.node import MinerNode
-from repro.blockchain.state import WorldState
+from repro.blockchain.state import StateProof, StateView, WorldState, verify_state_proof
 from repro.blockchain.transaction import Transaction, TransactionReceipt
 
 __all__ = [
@@ -49,7 +51,10 @@ __all__ = [
     "MerkleTree",
     "Network",
     "MinerNode",
+    "StateProof",
+    "StateView",
     "WorldState",
+    "verify_state_proof",
     "Transaction",
     "TransactionReceipt",
 ]

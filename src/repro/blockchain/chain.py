@@ -3,12 +3,24 @@
 A :class:`Blockchain` owns a :class:`~repro.blockchain.state.WorldState` and a
 :class:`~repro.blockchain.contracts.base.ContractRuntime`.  It can
 
-* execute transactions (producing receipts, rolling back failed calls),
+* execute transactions (producing receipts, rolling back failed calls via the
+  state's O(Δ) write journal),
 * propose a block from a transaction list (leader role),
 * verify and append a block proposed by someone else by re-executing it
-  against its own state (miner role), and
+  against its own state (miner role),
 * replay the whole chain from genesis to reconstruct the state — the
-  transparency property audits rely on.
+  transparency property audits rely on — and
+* serve *historical state views* (:meth:`Blockchain.state_at`) and the
+  incremental commitment check (:meth:`Blockchain.verify_version_roots`):
+  every committed block seals an O(Δ) state version, so past state is
+  readable — and each header's ``state_root`` checkable — without genesis
+  re-execution.
+
+The ``state_root_version`` (pinned on the registry at protocol setup) selects
+the header commitment: version 1 is the historical flat state hash
+(byte-identical chains), version 2 the incrementally maintained Merkle root
+that also supports per-entry inclusion proofs (see
+:mod:`repro.blockchain.state`).
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ from typing import Any, Callable, Iterable
 from repro.blockchain.block import GENESIS_PARENT_HASH, Block
 from repro.blockchain.consensus import verify_block_authority
 from repro.blockchain.contracts.base import ContractRuntime
-from repro.blockchain.state import WorldState
+from repro.blockchain.state import STATE_ROOT_V1, StateView, WorldState
 from repro.blockchain.transaction import Transaction, TransactionReceipt
 from repro.exceptions import ChainValidationError, InvalidBlockError, InvalidTransactionError
 
@@ -31,13 +43,23 @@ class Blockchain:
             :class:`ContractRuntime` with all protocol contracts registered.
             Every replica must use the same factory so re-execution agrees.
         chain_id: label distinguishing independent simulations.
+        state_root_version: which state commitment block headers carry (1 =
+            historical flat hash, 2 = incremental Merkle root with inclusion
+            proofs).  Every replica of one chain must agree on it, which is
+            why the protocol pins it on the registry at setup.
     """
 
-    def __init__(self, runtime_factory: Callable[[], ContractRuntime], chain_id: str = "repro-chain") -> None:
+    def __init__(
+        self,
+        runtime_factory: Callable[[], ContractRuntime],
+        chain_id: str = "repro-chain",
+        state_root_version: int = STATE_ROOT_V1,
+    ) -> None:
         self.chain_id = chain_id
         self._runtime_factory = runtime_factory
         self.runtime = runtime_factory()
-        self.state = WorldState()
+        self.state_root_version = int(state_root_version)
+        self.state = WorldState(root_version=self.state_root_version)
         self.blocks: list[Block] = []
         self._nonces: dict[str, int] = {}
         self._append_genesis()
@@ -57,6 +79,7 @@ class Blockchain:
             timestamp=0,
         )
         self.blocks.append(genesis)
+        self.state.seal_version(0)
 
     @property
     def height(self) -> int:
@@ -150,6 +173,7 @@ class Blockchain:
             view=view,
         )
         self.blocks.append(block)
+        self.state.seal_version(block.height)
         return block
 
     def verify_and_append(self, block: Block) -> None:
@@ -175,7 +199,8 @@ class Blockchain:
         except Exception as exc:
             raise InvalidBlockError(str(exc)) from exc
 
-        # Re-execute on copies so a rejected proposal leaves local state untouched.
+        # Re-execution failures unwind through the state's write journal, so a
+        # rejected proposal leaves local state untouched at O(Δ) cost.
         saved_state = self.state.snapshot()
         saved_nonces = dict(self._nonces)
         try:
@@ -195,6 +220,7 @@ class Blockchain:
             self._nonces = saved_nonces
             raise InvalidBlockError(f"block {block.height}: re-execution failed: {exc}") from exc
         self.blocks.append(block)
+        self.state.seal_version(block.height)
 
     # ------------------------------------------------------------------
     # Validation and replay (transparency)
@@ -221,7 +247,11 @@ class Blockchain:
         every published model and contribution score).
         """
         self.validate_chain()
-        replica = Blockchain(self._runtime_factory, chain_id=f"{self.chain_id}-replay")
+        replica = Blockchain(
+            self._runtime_factory,
+            chain_id=f"{self.chain_id}-replay",
+            state_root_version=self.state_root_version,
+        )
         for block in self.blocks[1:]:
             replica.verify_and_append(block)
         return replica
@@ -232,11 +262,98 @@ class Blockchain:
         Used by miner nodes to stage proposals and verification runs cheaply;
         :meth:`replay` remains the from-scratch transparency check.
         """
-        replica = Blockchain(self._runtime_factory, chain_id=f"{self.chain_id}-clone")
+        replica = Blockchain(
+            self._runtime_factory,
+            chain_id=f"{self.chain_id}-clone",
+            state_root_version=self.state_root_version,
+        )
         replica.blocks = list(self.blocks)
         replica.state = self.state.copy()
         replica._nonces = dict(self._nonces)
         return replica
+
+    # ------------------------------------------------------------------
+    # Historical views and incremental verification
+    # ------------------------------------------------------------------
+
+    def state_at(self, height: int) -> StateView:
+        """A read-only view of the world state as of committed block ``height``.
+
+        Built from the retained per-block reverse deltas in O(keys changed
+        since ``height``) — no genesis re-execution.  The view borrows the
+        live state, so read it before the chain advances (take a fresh view
+        per use).
+        """
+        height = int(height)
+        if not 0 <= height <= self.height:
+            raise ChainValidationError(
+                f"no committed block at height {height} (chain head is {self.height})"
+            )
+        return self.state.view_at(height)
+
+    def verify_version_roots(self) -> list[int]:
+        """Check every committed header's ``state_root`` against the retained versions.
+
+        Walks a scratch copy of the live state backwards — one O(Δ) reverse
+        delta per block — recomputing the root incrementally at each height
+        and comparing it to the header.  This is the succinct-commitment half
+        of the transparency story: together with :meth:`validate_chain` it
+        certifies that the state versions this replica serves are exactly the
+        ones the majority-voted headers committed, without re-executing a
+        single transaction (``replay`` remains the full re-execution oracle).
+
+        Returns the verified heights (descending).  Raises
+        :class:`ChainValidationError` on any mismatch or missing version.
+        """
+        scratch = self.state.copy()
+        verified: list[int] = []
+        for block in reversed(self.blocks):
+            root = scratch.state_root()
+            if root != block.header.state_root:
+                raise ChainValidationError(
+                    f"block {block.height}: retained state version hashes to "
+                    f"{root[:12]} but the committed header says "
+                    f"{block.header.state_root[:12]}"
+                )
+            verified.append(block.height)
+            if block.height > 0:
+                scratch.unwind_latest_version()
+        return verified
+
+    def fast_sync_from(self, reference: "Blockchain") -> None:
+        """Adopt a peer replica's committed chain without re-executing it.
+
+        A joining miner copies the peer's blocks, state (with its retained
+        versions), and nonce counters, then independently checks what the
+        copy *claims*: chain structure and Merkle tx/receipt roots
+        (:meth:`validate_chain`) and every header's state commitment against
+        the copied versions (:meth:`verify_version_roots`).  Trust reduces to
+        the majority-voted block headers — exactly the succinct-commitment
+        model — while a full :meth:`replay` stays available as the
+        re-execution oracle.
+        """
+        if self.height != 0 or self.blocks[0].transactions:
+            raise ChainValidationError("fast sync requires a fresh replica at genesis")
+        if reference.state_root_version != self.state_root_version:
+            raise ChainValidationError(
+                f"fast sync across state root versions ({reference.state_root_version} "
+                f"!= {self.state_root_version})"
+            )
+        if self.blocks[0].block_hash != reference.blocks[0].block_hash:
+            raise ChainValidationError("fast sync requires an identical genesis block")
+        # Adopt-then-verify, but commit only on success: a peer that fails
+        # validation must leave this replica at genesis so it can retry
+        # against an honest peer.
+        saved = (self.blocks, self.state, self._nonces)
+        self.blocks = list(reference.blocks)
+        self.state = reference.state.copy()
+        self._nonces = dict(reference._nonces)
+        try:
+            self.validate_chain()
+            self.verify_version_roots()
+        except Exception:
+            self.blocks, self.state, self._nonces = saved
+            raise
 
     # ------------------------------------------------------------------
     # Queries

@@ -60,13 +60,18 @@ class ContractContext:
         return self.state.get(self.contract_name, key, default)
 
     def set(self, key: str, value: Any) -> None:
-        """Write a value to this contract's namespace (gas metered)."""
+        """Write a value to this contract's namespace (gas metered).
+
+        The canonical serialization produced for gas metering is handed to the
+        state store, so a Merkle-rooted state (``state_root_version=2``) hashes
+        the write's leaf without serializing the value a second time.
+        """
         try:
-            size = len(canonical_dumps(value))
+            encoded = canonical_dumps(value)
         except ValidationError as exc:
             raise ContractError(f"contract wrote a non-serializable value under {key!r}: {exc}") from exc
-        self.gas_used += GAS_PER_WRITE + GAS_PER_WRITE_BYTE * size
-        self.state.set(self.contract_name, key, value)
+        self.gas_used += GAS_PER_WRITE + GAS_PER_WRITE_BYTE * len(encoded)
+        self.state.set(self.contract_name, key, value, encoded=encoded)
 
     def delete(self, key: str) -> None:
         """Delete a key from this contract's namespace."""

@@ -9,11 +9,30 @@ replaying the whole chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.exceptions import ValidationError
 from repro.utils.hashing import hash_concat, sha256_hex
 
-_EMPTY_ROOT = sha256_hex(b"repro-empty-merkle")
+EMPTY_ROOT = sha256_hex(b"repro-empty-merkle")
+_EMPTY_ROOT = EMPTY_ROOT  # backwards-compatible alias
+
+
+def fold_proof_path(leaf: str, index: int, siblings: Iterable[str]) -> str:
+    """Fold a leaf up a Merkle path: the root implied by ``siblings`` bottom-up.
+
+    Shared by :meth:`MerkleTree.verify_proof` and the state-store proofs so
+    every proof in the system uses one hashing convention.
+    """
+    current = leaf
+    position = index
+    for sibling in siblings:
+        if position % 2 == 0:
+            current = hash_concat([current, sibling])
+        else:
+            current = hash_concat([sibling, current])
+        position //= 2
+    return current
 
 
 @dataclass(frozen=True)
@@ -82,15 +101,7 @@ class MerkleTree:
     @staticmethod
     def verify_proof(proof: MerkleProof) -> bool:
         """Check that a proof's leaf hashes up to its claimed root."""
-        current = proof.leaf
-        position = proof.index
-        for sibling in proof.siblings:
-            if position % 2 == 0:
-                current = hash_concat([current, sibling])
-            else:
-                current = hash_concat([sibling, current])
-            position //= 2
-        return current == proof.root
+        return fold_proof_path(proof.leaf, proof.index, proof.siblings) == proof.root
 
     @classmethod
     def root_of(cls, leaves: list[str]) -> str:

@@ -33,10 +33,15 @@ class MinerNode:
         network: Network,
         runtime_factory: Callable[[], ContractRuntime],
         byzantine: bool = False,
+        state_root_version: int = 1,
     ) -> None:
         self.node_id = node_id
         self.network = network
-        self.chain = Blockchain(runtime_factory, chain_id=f"chain-{node_id}")
+        self.chain = Blockchain(
+            runtime_factory,
+            chain_id=f"chain-{node_id}",
+            state_root_version=state_root_version,
+        )
         self.mempool = Mempool()
         self.byzantine = byzantine
         network.join(node_id)

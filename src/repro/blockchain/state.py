@@ -1,54 +1,369 @@
-"""World state: the key-value store contracts read and write.
+"""Versioned, Merkle-ized world state: the store contracts read and write.
 
-State keys are namespaced per contract (``"<contract>/<key>"``).  The state
-supports deterministic hashing (for block state roots), deep snapshots (so a
-failed transaction rolls back cleanly), and structured access helpers for the
-contract runtime.
+State keys are namespaced per contract (``"<contract>/<key>"``).  Three layers
+sit on top of the flat key-value map:
+
+* **Write journal** — every mutation appends an O(1) undo record, so
+  transaction rollback (:meth:`WorldState.snapshot` / :meth:`restore`) and
+  block-proposal staging cost O(keys changed) instead of a deep copy of the
+  whole world.
+* **Block versions** — :meth:`seal_version` compresses the journal of one
+  block into a reverse delta.  Retained deltas give O(Δ)-overlay *historical
+  views*: :meth:`view_at` (surfaced as ``Blockchain.state_at``) reads the
+  state as of any committed height without re-executing from genesis.
+* **Merkle state root** — with ``root_version=2`` the state root is a Merkle
+  commitment maintained incrementally: per-namespace bucket trees roll into a
+  namespace root, namespace roots roll into the state root, and only buckets
+  touched since the last :meth:`state_root` call are re-hashed.  The same
+  structure yields :meth:`prove` / :func:`verify_state_proof` — compact
+  inclusion proofs that tie a single entry (a contribution record, a
+  settlement payout) to a block header's ``state_root``.  ``root_version=1``
+  keeps the historical flat hash byte for byte.
+
+Values are deep-copied on the way in and on the way out, so objects held in
+``_data`` are never mutated in place — the invariant that lets copies, journal
+records, and version deltas share references instead of deep-copying.
 """
 
 from __future__ import annotations
 
 import copy
+from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.blockchain.merkle import EMPTY_ROOT, MerkleTree, fold_proof_path
 from repro.exceptions import ValidationError
-from repro.utils.hashing import hash_payload
+from repro.utils.hashing import hash_concat, hash_payload, sha256_hex
+from repro.utils.serialization import canonical_dumps
+
+STATE_ROOT_V1 = 1
+STATE_ROOT_V2 = 2
+
+# Buckets per namespace subtree (power of two).  Each key maps to one bucket
+# by key-hash prefix; a dirty key only re-hashes its bucket plus one
+# O(log N_STATE_BUCKETS) path in the namespace tree, which is what makes the
+# incremental root O(keys changed) rather than O(all keys).
+N_STATE_BUCKETS = 1024
+_BUCKET_DEPTH = N_STATE_BUCKETS.bit_length() - 1
+
+# Hash cascade of an all-empty namespace tree, one entry per level: level 0 is
+# the empty-bucket root, level d+1 hashes two level-d defaults together.
+_DEFAULT_LEVEL: list[str] = [EMPTY_ROOT]
+for _ in range(_BUCKET_DEPTH):
+    _DEFAULT_LEVEL.append(hash_concat([_DEFAULT_LEVEL[-1], _DEFAULT_LEVEL[-1]]))
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """An O(1) rollback marker into the write journal (see :meth:`WorldState.snapshot`)."""
+
+    position: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class StateProof:
+    """Merkle inclusion proof tying one state entry to a v2 state root.
+
+    The proof folds bottom-up through three trees: the entry's bucket tree
+    (``bucket_siblings``), the namespace's fixed bucket tree
+    (``namespace_siblings``), and the top-level tree over namespace roots
+    (``top_siblings``).  ``value_hash`` is the SHA-256 of the value's
+    canonical serialization, so a verifier holding the claimed value can
+    recompute it independently (see :func:`verify_state_proof`).
+    """
+
+    namespace: str
+    key: str
+    value_hash: str
+    bucket_index: int
+    leaf_index: int
+    bucket_siblings: tuple[str, ...]
+    namespace_siblings: tuple[str, ...]
+    top_index: int
+    top_siblings: tuple[str, ...]
+    root: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """A canonical-serializable form (for files, transactions, or CLIs)."""
+        return {
+            "namespace": self.namespace,
+            "key": self.key,
+            "value_hash": self.value_hash,
+            "bucket_index": self.bucket_index,
+            "leaf_index": self.leaf_index,
+            "bucket_siblings": list(self.bucket_siblings),
+            "namespace_siblings": list(self.namespace_siblings),
+            "top_index": self.top_index,
+            "top_siblings": list(self.top_siblings),
+            "root": self.root,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "StateProof":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                namespace=str(payload["namespace"]),
+                key=str(payload["key"]),
+                value_hash=str(payload["value_hash"]),
+                bucket_index=int(payload["bucket_index"]),
+                leaf_index=int(payload["leaf_index"]),
+                bucket_siblings=tuple(str(s) for s in payload["bucket_siblings"]),
+                namespace_siblings=tuple(str(s) for s in payload["namespace_siblings"]),
+                top_index=int(payload["top_index"]),
+                top_siblings=tuple(str(s) for s in payload["top_siblings"]),
+                root=str(payload["root"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed state proof payload: {exc}") from exc
+
+
+def _leaf_for(full_key: str, value_hash: str) -> str:
+    """The Merkle leaf of one entry: H(H(key) || H(canonical(value)))."""
+    return hash_concat([sha256_hex(full_key), value_hash])
+
+
+def _namespace_leaf(namespace: str, namespace_root: str) -> str:
+    """The top-level leaf of a namespace: H(H(name) || subtree root)."""
+    return hash_concat([sha256_hex(namespace), namespace_root])
+
+
+def verify_state_proof(root: str, proof: StateProof, value: Any = _MISSING) -> bool:
+    """Check a :class:`StateProof` against a block header's ``state_root``.
+
+    When ``value`` is given, the leaf is recomputed from the value's canonical
+    serialization — a verifier holding its published contribution/settlement
+    entry and a trusted header needs nothing else.  Without ``value``, the
+    proof's own ``value_hash`` is used (proving the key is committed, with the
+    value pinned by whoever compares ``value_hash`` out of band).
+    """
+    try:
+        full_key = WorldState._full_key(proof.namespace, proof.key)
+    except ValidationError:
+        return False
+    if proof.bucket_index != _bucket_of(sha256_hex(full_key)):
+        return False
+    if value is _MISSING:
+        value_hash = proof.value_hash
+    else:
+        try:
+            value_hash = sha256_hex(canonical_dumps(value))
+        except ValidationError:
+            return False
+        if value_hash != proof.value_hash:
+            return False
+    current = fold_proof_path(_leaf_for(full_key, value_hash), proof.leaf_index, proof.bucket_siblings)
+    if len(proof.namespace_siblings) != _BUCKET_DEPTH:
+        return False
+    current = fold_proof_path(current, proof.bucket_index, proof.namespace_siblings)
+    current = fold_proof_path(_namespace_leaf(proof.namespace, current), proof.top_index, proof.top_siblings)
+    return current == root
+
+
+def _bucket_of(key_hash: str) -> int:
+    """Deterministic bucket assignment from a key's hex hash prefix."""
+    return int(key_hash[:8], 16) % N_STATE_BUCKETS
+
+
+class _NamespaceTree:
+    """A fixed-shape (power-of-two) Merkle tree over a namespace's bucket roots.
+
+    The shape never changes, so one bucket-root update re-hashes only its
+    O(log N_STATE_BUCKETS) path — the namespace root stays warm across blocks
+    that touch a handful of keys.
+    """
+
+    __slots__ = ("levels",)
+
+    def __init__(self, levels: list[list[str]] | None = None) -> None:
+        if levels is not None:
+            self.levels = levels
+        else:
+            self.levels = [
+                [_DEFAULT_LEVEL[depth]] * (N_STATE_BUCKETS >> depth)
+                for depth in range(_BUCKET_DEPTH + 1)
+            ]
+
+    @property
+    def root(self) -> str:
+        return self.levels[-1][0]
+
+    def update(self, index: int, bucket_root: str) -> None:
+        """Set one bucket root and re-hash its path to the namespace root."""
+        self.levels[0][index] = bucket_root
+        position = index
+        for depth in range(_BUCKET_DEPTH):
+            parent = position // 2
+            level = self.levels[depth]
+            self.levels[depth + 1][parent] = hash_concat([level[parent * 2], level[parent * 2 + 1]])
+            position = parent
+
+    def path(self, index: int) -> list[str]:
+        """Sibling hashes from the bucket at ``index`` up to the namespace root."""
+        siblings = []
+        position = index
+        for depth in range(_BUCKET_DEPTH):
+            siblings.append(self.levels[depth][position ^ 1])
+            position //= 2
+        return siblings
+
+    def copy(self) -> "_NamespaceTree":
+        return _NamespaceTree([list(level) for level in self.levels])
+
+
+class StateView:
+    """A read-only view of the world state as of one sealed block height.
+
+    Reads go to the live store through an O(Δ) overlay of the reverse deltas
+    of every later block — no genesis re-execution, no state copy.  The view
+    borrows the live store's data: it is valid until the next mutation of the
+    underlying state (read it and let it go; take a fresh view per use).
+    """
+
+    def __init__(self, base: "WorldState", height: int, overlay: dict[str, tuple[bool, Any]]) -> None:
+        self._base = base
+        self._height = int(height)
+        self._overlay = overlay
+
+    @property
+    def height(self) -> int:
+        """The block height this view reads as of."""
+        return self._height
+
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        """Read a value as of the view's height (deep-copied, like the live store)."""
+        full = WorldState._full_key(namespace, key)
+        if full in self._overlay:
+            had, value = self._overlay[full]
+            return copy.deepcopy(value) if had else copy.deepcopy(default)
+        return self._base.get(namespace, key, default)
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """Whether the key existed at the view's height."""
+        full = WorldState._full_key(namespace, key)
+        if full in self._overlay:
+            return self._overlay[full][0]
+        return self._base.contains(namespace, key)
+
+    def keys(self, namespace: str) -> list[str]:
+        """All keys within a namespace at the view's height, sorted."""
+        prefix = WorldState._namespace_prefix(namespace)
+        present = {
+            full for full in self._base._data if full.startswith(prefix) and full not in self._overlay
+        }
+        for full, (had, _) in self._overlay.items():
+            if had and full.startswith(prefix):
+                present.add(full)
+        return sorted(full[len(prefix):] for full in present)
+
+    def items(self, namespace: str) -> Iterator[tuple[str, Any]]:
+        """Iterate ``(key, value)`` pairs of a namespace in sorted key order."""
+        for key in self.keys(namespace):
+            yield key, self.get(namespace, key)
+
+    def raw(self) -> dict[str, Any]:
+        """A deep copy of the full state dict as of the view's height."""
+        data = {
+            full: value for full, value in self._base._data.items() if full not in self._overlay
+        }
+        for full, (had, value) in self._overlay.items():
+            if had:
+                data[full] = value
+        return copy.deepcopy(data)
+
+    def state_root(self) -> str:
+        """Recompute the state root of the viewed height from scratch.
+
+        This is the O(view) transparency fallback; block headers already carry
+        the committed root, and ``Blockchain.verify_version_roots`` checks all
+        of them with incremental updates instead.
+        """
+        return WorldState(self.raw(), root_version=self._base.root_version).state_root()
+
+    def __len__(self) -> int:
+        count = sum(1 for full in self._base._data if full not in self._overlay)
+        return count + sum(1 for had, _ in self._overlay.values() if had)
 
 
 class WorldState:
-    """A namespaced key-value store with snapshot/rollback and hashing."""
+    """A namespaced key-value store with journaled rollback, block versions,
+    and (``root_version=2``) an incrementally maintained Merkle state root."""
 
-    def __init__(self, initial: dict[str, Any] | None = None) -> None:
-        self._data: dict[str, Any] = copy.deepcopy(initial) if initial else {}
+    def __init__(self, initial: dict[str, Any] | None = None, root_version: int = STATE_ROOT_V1) -> None:
+        if root_version not in (STATE_ROOT_V1, STATE_ROOT_V2):
+            raise ValidationError(f"unknown state root version {root_version!r}")
+        self._root_version = int(root_version)
+        self._data: dict[str, Any] = {}
+        # Write journal: (full_key, had_previous, previous_value, previous_value_hash).
+        self._journal: list[tuple[str, bool, Any, str | None]] = []
+        self._generation = 0
+        # Sealed block versions: height -> reverse delta
+        # {full_key: (had, previous_value, previous_value_hash)}.
+        self._versions: dict[int, dict[str, tuple[bool, Any, str | None]]] = {}
+        self._latest_version: int | None = None
+        # Merkle caches (root_version 2 only).
+        self._value_hashes: dict[str, str] = {}
+        self._key_hashes: dict[str, str] = {}  # pure memo, safely shared across copies
+        self._ns_trees: dict[str, _NamespaceTree] = {}
+        self._ns_buckets: dict[str, dict[int, set[str]]] = {}
+        self._ns_sizes: dict[str, int] = {}
+        self._dirty: dict[str, set[int]] = {}
+        self._top_tree: MerkleTree | None = None
+        self._top_namespaces: list[str] = []
+        if initial:
+            for full, value in initial.items():
+                namespace, _, key = full.partition("/")
+                self.set(namespace, key, value)
+            self._journal.clear()
+
+    # ------------------------------------------------------------------
+    # Key validation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _namespace_prefix(namespace: str) -> str:
+        if not namespace:
+            raise ValidationError("state namespace must be non-empty")
+        if "/" in namespace:
+            raise ValidationError("state namespace must not contain '/'")
+        return f"{namespace}/"
 
     @staticmethod
     def _full_key(namespace: str, key: str) -> str:
-        if not namespace or not key:
-            raise ValidationError("state namespace and key must be non-empty")
-        if "/" in namespace:
-            raise ValidationError("state namespace must not contain '/'")
-        return f"{namespace}/{key}"
+        prefix = WorldState._namespace_prefix(namespace)
+        if not key:
+            raise ValidationError("state key must be non-empty")
+        return f"{prefix}{key}"
+
+    @property
+    def root_version(self) -> int:
+        """Which state-root commitment this store maintains (1 flat, 2 Merkle)."""
+        return self._root_version
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
 
     def get(self, namespace: str, key: str, default: Any = None) -> Any:
         """Read a value; returns a deep copy so callers cannot mutate state in place."""
         value = self._data.get(self._full_key(namespace, key), default)
         return copy.deepcopy(value)
 
-    def set(self, namespace: str, key: str, value: Any) -> None:
-        """Write a value (deep-copied on the way in)."""
-        self._data[self._full_key(namespace, key)] = copy.deepcopy(value)
-
-    def delete(self, namespace: str, key: str) -> None:
-        """Remove a key if present."""
-        self._data.pop(self._full_key(namespace, key), None)
-
     def contains(self, namespace: str, key: str) -> bool:
         """Whether the key exists."""
         return self._full_key(namespace, key) in self._data
 
     def keys(self, namespace: str) -> list[str]:
-        """All keys within a namespace (without the namespace prefix), sorted."""
-        prefix = f"{namespace}/"
+        """All keys within a namespace (without the namespace prefix), sorted.
+
+        The namespace is validated exactly like in :meth:`get`/:meth:`set`: a
+        namespace containing ``/`` would otherwise silently read *another*
+        namespace's keys (``keys("a/b")`` would match ``a``'s ``b/...`` keys).
+        """
+        prefix = self._namespace_prefix(namespace)
         return sorted(k[len(prefix):] for k in self._data if k.startswith(prefix))
 
     def items(self, namespace: str) -> Iterator[tuple[str, Any]]:
@@ -56,25 +371,305 @@ class WorldState:
         for key in self.keys(namespace):
             yield key, self.get(namespace, key)
 
-    def snapshot(self) -> dict[str, Any]:
-        """A deep copy of the raw state, suitable for rollback."""
-        return copy.deepcopy(self._data)
-
-    def restore(self, snapshot: dict[str, Any]) -> None:
-        """Replace the state with a previously taken snapshot."""
-        self._data = copy.deepcopy(snapshot)
-
-    def copy(self) -> "WorldState":
-        """An independent copy of the whole state."""
-        return WorldState(self._data)
-
-    def state_root(self) -> str:
-        """Deterministic hash of the entire state (the block's state root)."""
-        return hash_payload({key: self._data[key] for key in sorted(self._data)})
-
     def raw(self) -> dict[str, Any]:
         """A deep copy of the underlying dict (for audits and debugging)."""
         return copy.deepcopy(self._data)
 
     def __len__(self) -> int:
         return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Writes (journaled)
+    # ------------------------------------------------------------------
+
+    def set(self, namespace: str, key: str, value: Any, *, encoded: str | None = None) -> None:
+        """Write a value (deep-copied on the way in).
+
+        ``encoded`` optionally carries the value's canonical serialization when
+        the caller already produced it (the contract runtime serializes every
+        write for gas metering) so the Merkle leaf hash does not re-serialize.
+        """
+        full = self._full_key(namespace, key)
+        stored = copy.deepcopy(value)
+        value_hash = None
+        if self._root_version == STATE_ROOT_V2:
+            value_hash = sha256_hex(encoded if encoded is not None else canonical_dumps(stored))
+        self._journal.append((full, full in self._data, self._data.get(full), self._value_hashes.get(full)))
+        self._write(full, stored, value_hash)
+
+    def delete(self, namespace: str, key: str) -> None:
+        """Remove a key if present."""
+        full = self._full_key(namespace, key)
+        if full not in self._data:
+            return
+        self._journal.append((full, True, self._data[full], self._value_hashes.get(full)))
+        self._erase(full)
+
+    def _write(self, full: str, value: Any, value_hash: str | None) -> None:
+        """Raw write: no journaling, keeps the Merkle indexes in sync."""
+        new_key = full not in self._data
+        self._data[full] = value
+        if self._root_version != STATE_ROOT_V2:
+            return
+        self._value_hashes[full] = value_hash if value_hash is not None else sha256_hex(canonical_dumps(value))
+        self._touch(full, added=new_key)
+
+    def _erase(self, full: str) -> None:
+        """Raw delete: no journaling, keeps the Merkle indexes in sync."""
+        if full not in self._data:
+            return
+        del self._data[full]
+        if self._root_version != STATE_ROOT_V2:
+            return
+        self._value_hashes.pop(full, None)
+        namespace = full.partition("/")[0]
+        bucket = _bucket_of(self._key_hash(full))
+        buckets = self._ns_buckets[namespace]
+        buckets.get(bucket, set()).discard(full)
+        self._ns_sizes[namespace] -= 1
+        self._top_tree = None
+        if self._ns_sizes[namespace] == 0:
+            # Drop the empty namespace entirely so the root matches a fresh
+            # store holding the same data.
+            del self._ns_trees[namespace]
+            del self._ns_buckets[namespace]
+            del self._ns_sizes[namespace]
+            self._dirty.pop(namespace, None)
+        else:
+            self._dirty.setdefault(namespace, set()).add(bucket)
+
+    def _key_hash(self, full: str) -> str:
+        cached = self._key_hashes.get(full)
+        if cached is None:
+            cached = sha256_hex(full)
+            self._key_hashes[full] = cached
+        return cached
+
+    def _touch(self, full: str, added: bool) -> None:
+        """Mark a written key's bucket dirty (creating namespace structures lazily)."""
+        namespace = full.partition("/")[0]
+        bucket = _bucket_of(self._key_hash(full))
+        if namespace not in self._ns_trees:
+            self._ns_trees[namespace] = _NamespaceTree()
+            self._ns_buckets[namespace] = {}
+            self._ns_sizes[namespace] = 0
+        if added:
+            self._ns_buckets[namespace].setdefault(bucket, set()).add(full)
+            self._ns_sizes[namespace] += 1
+        self._dirty.setdefault(namespace, set()).add(bucket)
+        self._top_tree = None
+
+    # ------------------------------------------------------------------
+    # Snapshots and rollback (O(keys changed))
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> StateSnapshot:
+        """An O(1) rollback marker; undone changes are replayed from the journal."""
+        return StateSnapshot(position=len(self._journal), generation=self._generation)
+
+    def restore(self, snapshot: StateSnapshot) -> None:
+        """Roll back every change made since ``snapshot`` was taken.
+
+        Markers are positional: restoring is only valid within the same block
+        execution (sealing a version clears the journal and invalidates older
+        markers), and restoring to a marker discards any markers taken after it.
+        """
+        if not isinstance(snapshot, StateSnapshot):
+            raise ValidationError("restore() takes a StateSnapshot from snapshot()")
+        if snapshot.generation != self._generation or snapshot.position > len(self._journal):
+            raise ValidationError("stale state snapshot: the journal it points into was sealed")
+        while len(self._journal) > snapshot.position:
+            full, had, value, value_hash = self._journal.pop()
+            if had:
+                self._write(full, value, value_hash)
+            else:
+                self._erase(full)
+
+    # ------------------------------------------------------------------
+    # Block versions and historical views
+    # ------------------------------------------------------------------
+
+    def seal_version(self, height: int) -> None:
+        """Bake the journal since the last seal into block ``height``'s reverse delta.
+
+        Called once per committed block.  The delta maps every key the block
+        touched to its value *before* the block, which is exactly what an
+        overlay needs to read the state as of any earlier height.
+        """
+        height = int(height)
+        if self._latest_version is not None and height != self._latest_version + 1:
+            raise ValidationError(
+                f"cannot seal version {height}: latest sealed version is {self._latest_version}"
+            )
+        delta: dict[str, tuple[bool, Any, str | None]] = {}
+        for full, had, value, value_hash in self._journal:
+            if full not in delta:  # first record per key = value before the block
+                delta[full] = (had, value, value_hash)
+        self._versions[height] = delta
+        self._journal.clear()
+        self._generation += 1
+        self._latest_version = height
+
+    @property
+    def latest_version(self) -> int | None:
+        """The height of the most recently sealed block version (None before genesis)."""
+        return self._latest_version
+
+    def has_version(self, height: int) -> bool:
+        """Whether block ``height``'s reverse delta is retained."""
+        return int(height) in self._versions
+
+    def view_at(self, height: int) -> StateView:
+        """A read-only :class:`StateView` of the state as of sealed block ``height``."""
+        height = int(height)
+        if self._latest_version is None or not 0 <= height <= self._latest_version:
+            raise ValidationError(
+                f"no sealed state version at height {height} "
+                f"(latest is {self._latest_version})"
+            )
+        overlay: dict[str, tuple[bool, Any]] = {}
+        # Walk the reverse deltas oldest-first: the first delta above the
+        # target height that touched a key recorded the key's value *at* the
+        # target height (nothing in between touched it).
+        for sealed in range(height + 1, self._latest_version + 1):
+            delta = self._versions.get(sealed)
+            if delta is None:
+                raise ValidationError(
+                    f"state version {sealed} was not retained; historical views "
+                    f"below it need a full replay"
+                )
+            for full, (had, value, _) in delta.items():
+                if full not in overlay:
+                    overlay[full] = (had, value)
+        # Changes journaled after the last seal (an in-flight block) are newer
+        # than every sealed delta: they only shadow keys no sealed delta touched.
+        for full, had, value, _ in self._journal:
+            if full not in overlay:
+                overlay[full] = (had, value)
+        return StateView(self, height, overlay)
+
+    def unwind_latest_version(self) -> int:
+        """Apply the latest sealed reverse delta, stepping the store back one block.
+
+        Used by ``Blockchain.verify_version_roots`` on a scratch copy to check
+        every retained version's root against its committed header with O(Δ)
+        incremental updates per block.  Returns the new latest height.
+        """
+        if self._journal:
+            raise ValidationError("cannot unwind with unsealed journal entries in flight")
+        if self._latest_version is None or self._latest_version not in self._versions:
+            raise ValidationError("no sealed version to unwind")
+        delta = self._versions.pop(self._latest_version)
+        for full, (had, value, value_hash) in delta.items():
+            if had:
+                self._write(full, value, value_hash)
+            else:
+                self._erase(full)
+        self._latest_version -= 1
+        return self._latest_version
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "WorldState":
+        """An independent copy of the whole state (structure-shared, O(keys)).
+
+        Stored values are never mutated in place (writes and reads both deep
+        copy), so the copy shares value references and sealed delta dicts with
+        the original — only the index structures are duplicated.
+        """
+        clone = WorldState.__new__(WorldState)
+        clone._root_version = self._root_version
+        clone._data = dict(self._data)
+        clone._journal = list(self._journal)
+        clone._generation = self._generation
+        clone._versions = dict(self._versions)
+        clone._latest_version = self._latest_version
+        clone._value_hashes = dict(self._value_hashes)
+        clone._key_hashes = self._key_hashes
+        clone._ns_trees = {ns: tree.copy() for ns, tree in self._ns_trees.items()}
+        clone._ns_buckets = {
+            ns: {bucket: set(keys) for bucket, keys in buckets.items()}
+            for ns, buckets in self._ns_buckets.items()
+        }
+        clone._ns_sizes = dict(self._ns_sizes)
+        clone._dirty = {ns: set(buckets) for ns, buckets in self._dirty.items()}
+        clone._top_tree = self._top_tree
+        clone._top_namespaces = list(self._top_namespaces)
+        return clone
+
+    # ------------------------------------------------------------------
+    # State root and proofs
+    # ------------------------------------------------------------------
+
+    def state_root(self) -> str:
+        """Deterministic hash of the entire state (the block's state root).
+
+        Version 1 is the historical flat hash of the sorted dict — O(all
+        keys), byte-identical to pre-Merkle chains.  Version 2 is the Merkle
+        commitment, re-hashing only buckets dirtied since the last call.
+        """
+        if self._root_version == STATE_ROOT_V1:
+            return hash_payload({key: self._data[key] for key in sorted(self._data)})
+        self._flush_dirty()
+        if self._top_tree is None:
+            self._top_namespaces = sorted(self._ns_sizes)
+            self._top_tree = MerkleTree(
+                [_namespace_leaf(ns, self._ns_trees[ns].root) for ns in self._top_namespaces]
+            )
+        return self._top_tree.root
+
+    def _flush_dirty(self) -> None:
+        """Re-hash every dirty bucket and update its namespace-tree path."""
+        for namespace, buckets in self._dirty.items():
+            tree = self._ns_trees[namespace]
+            ns_buckets = self._ns_buckets[namespace]
+            for bucket in buckets:
+                keys = ns_buckets.get(bucket)
+                if keys:
+                    leaves = [
+                        _leaf_for(full, self._value_hashes[full]) for full in sorted(keys)
+                    ]
+                    tree.update(bucket, MerkleTree.root_of(leaves))
+                else:
+                    ns_buckets.pop(bucket, None)
+                    tree.update(bucket, EMPTY_ROOT)
+        self._dirty = {}
+
+    def prove(self, namespace: str, key: str) -> StateProof:
+        """Produce a Merkle inclusion proof for one entry against the current root.
+
+        Only meaningful with ``root_version=2`` — version 1's flat hash has no
+        sub-structure to prove against.
+        """
+        if self._root_version != STATE_ROOT_V2:
+            raise ValidationError(
+                "state proofs need state_root_version 2 (the Merkle-ized root); "
+                "version-1 chains commit a flat hash with no inclusion structure"
+            )
+        full = self._full_key(namespace, key)
+        if full not in self._data:
+            raise ValidationError(f"cannot prove a missing key {full!r}")
+        root = self.state_root()  # flush caches so every tree is current
+        bucket = _bucket_of(self._key_hash(full))
+        bucket_keys = sorted(self._ns_buckets[namespace][bucket])
+        bucket_tree = MerkleTree(
+            [_leaf_for(k, self._value_hashes[k]) for k in bucket_keys]
+        )
+        leaf_index = bucket_keys.index(full)
+        bucket_proof = bucket_tree.proof(leaf_index)
+        top_index = self._top_namespaces.index(namespace)
+        top_proof = self._top_tree.proof(top_index)
+        return StateProof(
+            namespace=namespace,
+            key=key,
+            value_hash=self._value_hashes[full],
+            bucket_index=bucket,
+            leaf_index=leaf_index,
+            bucket_siblings=bucket_proof.siblings,
+            namespace_siblings=tuple(self._ns_trees[namespace].path(bucket)),
+            top_index=top_index,
+            top_siblings=top_proof.siblings,
+            root=root,
+        )

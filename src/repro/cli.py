@@ -12,6 +12,11 @@ exercised without writing Python:
 * ``python -m repro ground-truth`` — native SV over retrained data coalitions
   (the Fig. 1 computation) for one σ; ``--workers N`` retrains coalitions on
   a process pool;
+* ``python -m repro prove`` — run the deterministic protocol on a Merkle-rooted
+  chain (``state_root_version=2``) and write a self-contained inclusion-proof
+  file for one published state entry (a contribution record, a settlement);
+* ``python -m repro verify-proof`` — check such a proof file against a block
+  header's state root, with nothing but the header;
 * ``python -m repro info`` — version and configuration defaults.
 
 All commands are deterministic given ``--seed`` and print plain text (tables
@@ -21,6 +26,7 @@ and bar charts) so output can be diffed across runs.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -93,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="exact-SV assembly pinned on chain (1 = scalar reference, 2 = vectorized)",
     )
     run.add_argument(
+        "--state-root-version", type=int, choices=(1, 2), default=1,
+        help="state commitment pinned on chain (1 = historical flat hash, "
+        "2 = incremental Merkle root with per-entry inclusion proofs)",
+    )
+    run.add_argument(
+        "--audit-mode", choices=("replay", "incremental"), default="replay",
+        help="transparency audit mode: full genesis re-execution, or the "
+        "incremental header-commitment walk over retained state versions",
+    )
+    run.add_argument(
         "--authority-rotation", action="store_true",
         help="propose round blocks under the epoch-authority schedule (leaders "
         "drawn from the round's cohort, view-change failover, auditable view "
@@ -115,6 +131,44 @@ def build_parser() -> argparse.ArgumentParser:
     truth.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for coalition retraining (1 = serial reference path)",
+    )
+
+    prove = subparsers.add_parser(
+        "prove",
+        help="run the protocol on a Merkle-rooted chain and emit an inclusion proof",
+    )
+    prove.add_argument("--owners", type=int, default=4, help="number of data owners")
+    prove.add_argument("--groups", type=int, default=2, help="GroupSV group count m")
+    prove.add_argument("--rounds", type=int, default=2, help="federated rounds")
+    prove.add_argument("--sigma", type=float, default=0.1, help="per-rank data-quality noise increment")
+    prove.add_argument("--samples", type=int, default=400, help="total dataset size")
+    prove.add_argument("--local-epochs", type=int, default=2, help="local epochs per round")
+    prove.add_argument("--learning-rate", type=float, default=2.0, help="local learning rate")
+    prove.add_argument("--reward-pool", type=float, default=1000.0, help="tokens to distribute at the end")
+    prove.add_argument("--seed", type=int, default=7, help="master seed")
+    prove.add_argument(
+        "--namespace", type=str, default="contribution",
+        help="state namespace of the entry to prove (e.g. contribution, reward)",
+    )
+    prove.add_argument(
+        "--key", type=str, default="totals",
+        help="state key of the entry to prove (e.g. totals, distribution/final)",
+    )
+    prove.add_argument(
+        "--out", type=str, default="proof.json",
+        help="file the self-contained proof payload is written to",
+    )
+
+    verify = subparsers.add_parser(
+        "verify-proof",
+        help="check a proof file against a block header's state root",
+    )
+    verify.add_argument("--proof", type=str, required=True, help="proof file written by `prove`")
+    verify.add_argument(
+        "--root", type=str, default=None,
+        help="the trusted header's 64-hex state root; defaults to the root "
+        "embedded in the proof file (pass the root you obtained from the "
+        "chain yourself for an independent check)",
     )
 
     subparsers.add_parser("info", help="print version and default configuration")
@@ -183,6 +237,7 @@ def _command_run(args: argparse.Namespace) -> int:
         reward_pool=args.reward_pool,
         permutation_seed=args.seed,
         sv_assembly_version=args.sv_assembly_version,
+        state_root_version=args.state_root_version,
         authority_rotation=args.authority_rotation or args.scenario == "leader-dropout",
     )
     protocol = BlockchainFLProtocol(
@@ -258,11 +313,17 @@ def _command_run(args: argparse.Namespace) -> int:
 
     if not args.skip_audit:
         chain = protocol.participants[protocol.owner_ids[0]].node.chain
-        report = audit_chain(chain, dataset.test_features, dataset.test_labels, dataset.n_classes)
+        report = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            mode=args.audit_mode,
+        )
         checked = f"rounds checked: {report.rounds_checked}"
+        if args.audit_mode == "incremental":
+            checked += f", state roots verified: {len(report.state_versions_checked)} blocks"
         if config.authority_rotation:
             checked += f", proposers verified: {report.proposers_checked}"
-        print(f"\ntransparency audit: {'PASSED' if report.passed else 'FAILED'} ({checked})")
+        print(f"\ntransparency audit ({args.audit_mode}): "
+              f"{'PASSED' if report.passed else 'FAILED'} ({checked})")
         if not report.passed:
             for mismatch in report.mismatches:
                 print(f"  mismatch: {mismatch}")
@@ -320,13 +381,88 @@ def _command_ground_truth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_prove(args: argparse.Namespace) -> int:
+    """Run the deterministic protocol on a v2 chain and write an inclusion proof."""
+    from repro.utils.serialization import canonical_dumps
+
+    dataset, owners = make_owner_datasets(
+        n_owners=args.owners, sigma=args.sigma, n_samples=args.samples, seed=args.seed
+    )
+    config = ProtocolConfig(
+        n_owners=args.owners,
+        n_groups=args.groups,
+        n_rounds=args.rounds,
+        local_epochs=args.local_epochs,
+        learning_rate=args.learning_rate,
+        reward_pool=args.reward_pool,
+        permutation_seed=args.seed,
+        state_root_version=2,
+    )
+    protocol = BlockchainFLProtocol(
+        owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
+    )
+    protocol.run()
+    chain = protocol.participants[protocol.owner_ids[0]].node.chain
+    value = chain.state.get(args.namespace, args.key)
+    if value is None:
+        print(f"error: no state entry {args.namespace}/{args.key} on the chain")
+        available = ", ".join(chain.state.keys(args.namespace)) or "(namespace empty)"
+        print(f"keys in {args.namespace!r}: {available}")
+        return 2
+    proof = chain.state.prove(args.namespace, args.key)
+    payload = {
+        "proof": proof.to_dict(),
+        "value_canonical": canonical_dumps(value),
+        "header": {
+            "height": chain.height,
+            "block_hash": chain.head.block_hash,
+            "state_root": chain.head.header.state_root,
+        },
+        "run": {
+            "owners": args.owners, "groups": args.groups, "rounds": args.rounds,
+            "sigma": args.sigma, "samples": args.samples,
+            "local_epochs": args.local_epochs, "learning_rate": args.learning_rate,
+            "reward_pool": args.reward_pool, "seed": args.seed,
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"protocol finished: chain height {chain.height}, "
+          f"state root {chain.head.header.state_root[:16]}…")
+    print(f"proved {args.namespace}/{args.key} "
+          f"({len(proof.bucket_siblings) + len(proof.namespace_siblings) + len(proof.top_siblings)} "
+          f"sibling hashes) -> {args.out}")
+    print(f"verify with: python -m repro verify-proof --proof {args.out} "
+          f"--root {chain.head.header.state_root}")
+    return 0
+
+
+def _command_verify_proof(args: argparse.Namespace) -> int:
+    """Check a proof file: the value's leaf must fold up to the trusted state root."""
+    from repro.blockchain.state import StateProof, verify_state_proof
+    from repro.utils.serialization import canonical_loads
+
+    with open(args.proof, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    proof = StateProof.from_dict(payload["proof"])
+    value = canonical_loads(payload["value_canonical"])
+    root = args.root or payload.get("header", {}).get("state_root") or proof.root
+    source = "--root" if args.root else "proof file header"
+    ok = verify_state_proof(root, proof, value=value)
+    print(f"entry:  {proof.namespace}/{proof.key}")
+    print(f"root:   {root} ({source})")
+    print(f"result: {'VERIFIED' if ok else 'FAILED'} — the entry "
+          f"{'is' if ok else 'is NOT'} committed by that state root")
+    return 0 if ok else 1
+
+
 def _command_info(_args: argparse.Namespace) -> int:
     defaults = ProtocolConfig()
     print(f"repro {__version__}")
     rows = [[field, getattr(defaults, field)] for field in (
         "n_owners", "n_groups", "n_rounds", "permutation_seed", "local_epochs",
         "learning_rate", "precision_bits", "field_bits", "reward_pool",
-        "sv_assembly_version",
+        "sv_assembly_version", "state_root_version",
     )]
     print(render_table(["protocol default", "value"], rows))
     return 0
@@ -336,6 +472,8 @@ _COMMANDS = {
     "run": _command_run,
     "sweep-groups": _command_sweep_groups,
     "ground-truth": _command_ground_truth,
+    "prove": _command_prove,
+    "verify-proof": _command_verify_proof,
     "info": _command_info,
 }
 

@@ -7,6 +7,17 @@ score without trusting whoever proposed the blocks.  :func:`audit_chain` does
 exactly that — it replays the chain from genesis, recomputes the GroupSV
 evaluation for every finalized round from the published group models, and
 compares the results against the values stored by the contracts.
+
+Two verification modes share every recomputation except the first step:
+
+* ``mode="replay"`` (default) re-executes every block from genesis — the
+  trustless oracle: nothing is assumed beyond the raw block data.
+* ``mode="incremental"`` verifies each committed header's ``state_root``
+  against the replica's retained per-block state versions
+  (:meth:`~repro.blockchain.chain.Blockchain.verify_version_roots`) instead of
+  re-executing — O(Δ) per block on Merkle-rooted chains.  Trust reduces to the
+  majority-voted headers (the succinct-commitment model); the verdicts are
+  identical to a full replay, which tests pin.
 """
 
 from __future__ import annotations
@@ -17,7 +28,11 @@ import numpy as np
 
 from repro.blockchain.chain import Blockchain
 from repro.blockchain.consensus import committed_round_of_block, scheduled_proposer
-from repro.blockchain.contracts.registry import cohort_for_round_from_state, epochs_from_state
+from repro.blockchain.contracts.registry import (
+    cohort_for_round_from_state,
+    epochs_from_state,
+    pinned_state_root_version,
+)
 from repro.blockchain.contracts.reward import mass_proportional_pools, proportional_payouts
 from repro.exceptions import AuditError
 from repro.shapley.engine import coalition_utility_table
@@ -29,7 +44,11 @@ class AuditReport:
     """Result of a transparency audit over a protocol chain.
 
     Attributes:
-        chain_valid: structural validation and full replay succeeded.
+        chain_valid: structural validation and the state verification (full
+            replay, or the incremental header-commitment walk) succeeded.
+        state_versions_checked: block heights whose header ``state_root`` was
+            verified against the replica's retained state versions
+            (incremental mode only; empty under full replay).
         rounds_checked: round numbers whose evaluation was independently recomputed.
         epochs_checked: cohort epochs whose membership and totals were verified.
         proposers_checked: round numbers whose block proposer (and, on
@@ -42,6 +61,7 @@ class AuditReport:
     """
 
     chain_valid: bool
+    state_versions_checked: list[int] = field(default_factory=list)
     rounds_checked: list[int] = field(default_factory=list)
     epochs_checked: list[int] = field(default_factory=list)
     proposers_checked: list[int] = field(default_factory=list)
@@ -86,17 +106,22 @@ def audit_chain(
     n_classes: int,
     tolerance: float = 1e-9,
     raise_on_failure: bool = False,
+    mode: str = "replay",
 ) -> AuditReport:
     """Audit a protocol chain end to end.
 
-    Five independent recomputations, each from raw chain data only: (1) a full
-    replay from genesis must reproduce the live state root, (2) every round's
-    GroupSV evaluation is recomputed from the published group models under the
-    pinned ``sv_assembly_version``, (3) the accumulated per-owner totals must
-    match the contract's, (4) cohort epochs, per-epoch SV mass, and every
-    recorded settlement are re-derived and checked, and (5) every round
-    block's proposer — plus its consensus view on ``authority_rotation``
-    chains — is recomputed from the registry's epoch-authority schedule.
+    Five independent recomputations, each from raw chain data only: (1) the
+    chain's state history is verified — by full genesis re-execution
+    (``mode="replay"``), or by checking every committed header's
+    ``state_root`` against the replica's retained per-block state versions
+    (``mode="incremental"``, O(Δ) per block on Merkle-rooted chains) — (2)
+    every round's GroupSV evaluation is recomputed from the published group
+    models under the pinned ``sv_assembly_version``, (3) the accumulated
+    per-owner totals must match the contract's, (4) cohort epochs, per-epoch
+    SV mass, and every recorded settlement are re-derived and checked, and
+    (5) every round block's proposer — plus its consensus view on
+    ``authority_rotation`` chains — is recomputed from the registry's
+    epoch-authority schedule.
 
     Args:
         chain: any replica of the protocol chain.
@@ -106,36 +131,56 @@ def audit_chain(
         tolerance: numeric tolerance when comparing recomputed contributions.
         raise_on_failure: raise :class:`AuditError` instead of returning a
             failing report.
+        mode: ``"replay"`` re-executes every block (the trustless oracle);
+            ``"incremental"`` verifies the header state commitments instead
+            and reads all published records through the verified state —
+            identical verdicts, succinct-commitment trust model.
 
     Returns:
         An :class:`AuditReport`; ``report.passed`` is True iff the chain
-        replays cleanly and every recomputation matches the published values.
+        verifies cleanly and every recomputation matches the published values.
     """
     from repro.shapley.utility import AccuracyUtility
 
+    if mode not in ("replay", "incremental"):
+        raise AuditError(f"unknown audit mode {mode!r} (expected 'replay' or 'incremental')")
     validation_features = np.asarray(validation_features, dtype=np.float64)
     validation_labels = np.asarray(validation_labels).ravel().astype(int)
     scorer = AccuracyUtility(validation_features, validation_labels, n_classes)
 
     report = AuditReport(chain_valid=True)
 
-    # 1. Structural validation and full replay from genesis.
+    # 1. State-history verification: full replay from genesis, or the
+    #    incremental walk over the committed header state roots.
     try:
-        replayed = chain.replay()
-        if replayed.state.state_root() != chain.state.state_root():
-            report.chain_valid = False
-            report.mismatches.append("replayed state root differs from the live replica's state root")
-    except Exception as exc:  # noqa: BLE001 - any replay failure fails the audit
+        if mode == "replay":
+            replayed = chain.replay()
+            if replayed.state.state_root() != chain.state.state_root():
+                report.chain_valid = False
+                report.mismatches.append("replayed state root differs from the live replica's state root")
+            state = replayed.state
+        else:
+            chain.validate_chain()
+            report.state_versions_checked = chain.verify_version_roots()
+            state = chain.state
+    except Exception as exc:  # noqa: BLE001 - any verification failure fails the audit
         report.chain_valid = False
-        report.mismatches.append(f"chain replay failed: {exc}")
+        report.mismatches.append(f"chain {mode} verification failed: {exc}")
         if raise_on_failure:
             raise AuditError("; ".join(report.mismatches)) from exc
         return report
 
     # 2. Recompute every evaluated round from the published group models,
     #    honouring the exact-SV assembly version pinned on the registry.
-    state = replayed.state
+    #    The state-commitment format is a consensus parameter too: the replica
+    #    must commit the root version the chain pinned at setup, or its
+    #    headers are not comparable to what the other miners voted on.
     pinned_params = state.get("registry", "protocol_params") or {}
+    if pinned_params and pinned_state_root_version(state) != chain.state_root_version:
+        report.mismatches.append(
+            f"registry pins state_root_version {pinned_state_root_version(state)} "
+            f"but this replica commits version {chain.state_root_version}"
+        )
     sv_assembly_version = int(pinned_params.get("sv_assembly_version", 1))
     evaluated_rounds = sorted(
         int(key.split("/", 1)[1])

@@ -35,6 +35,18 @@ class ProtocolConfig:
             a different floating-point summation order, so receipts may differ
             in the last ulps.  Pinned on chain at setup: every miner and every
             auditor replays the same assembly.
+        state_root_version: which state commitment block headers carry.
+            Version 1 is the historical flat hash of the whole state dict —
+            byte-identical block hashes to pre-Merkle chains, O(all keys) per
+            block.  Version 2 is the incrementally maintained Merkle root
+            (per-namespace bucket trees; O(keys changed) per block) that also
+            supports per-entry inclusion proofs
+            (:meth:`repro.blockchain.state.WorldState.prove`), letting any
+            participant check its published contribution or settlement entry
+            against a block header alone.  The version changes every header,
+            so — like ``sv_assembly_version`` — it is pinned on the registry
+            at setup: every miner and every auditor commits and verifies the
+            same root format.
         authority_rotation: when True, training-round blocks are proposed
             under the epoch-authority schedule — the eligible proposers of
             round ``r`` are the registry's ``active_cohort(r)``, rotated
@@ -61,6 +73,7 @@ class ProtocolConfig:
     reward_pool: float = 1000.0
     byzantine_miners: tuple[str, ...] = field(default_factory=tuple)
     sv_assembly_version: int = 1
+    state_root_version: int = 1
     authority_rotation: bool = False
 
     def __post_init__(self) -> None:
@@ -78,6 +91,8 @@ class ProtocolConfig:
             raise ConfigurationError("reward_pool must be non-negative")
         if self.sv_assembly_version not in (1, 2):
             raise ConfigurationError("sv_assembly_version must be 1 (scalar) or 2 (vectorized)")
+        if self.state_root_version not in (1, 2):
+            raise ConfigurationError("state_root_version must be 1 (flat hash) or 2 (Merkle)")
 
     def on_chain_params(self, model_dimension: int) -> dict[str, Any]:
         """The parameter dict pinned on the registry contract."""
@@ -94,5 +109,6 @@ class ProtocolConfig:
             "learning_rate": self.learning_rate,
             "l2": self.l2,
             "sv_assembly_version": self.sv_assembly_version,
+            "state_root_version": self.state_root_version,
             "authority_rotation": bool(self.authority_rotation),
         }

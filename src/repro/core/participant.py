@@ -44,6 +44,7 @@ class Participant:
         key_seed: int = 0,
         byzantine: bool = False,
         adversary: AdversaryBehavior | None = None,
+        state_root_version: int = 1,
     ) -> None:
         self.owner_id = data.owner_id
         self.client = DataOwner(
@@ -59,7 +60,13 @@ class Participant:
         self.dh_params = dh_params
         self.keypair = DHKeyPair.generate(dh_params, data.owner_id, seed=key_seed)
         self.codec = codec
-        self.node = MinerNode(data.owner_id, network, runtime_factory, byzantine=byzantine)
+        self.node = MinerNode(
+            data.owner_id,
+            network,
+            runtime_factory,
+            byzantine=byzantine,
+            state_root_version=state_root_version,
+        )
         self.adversary = adversary or AdversaryBehavior(kind="honest")
         self._peer_public_keys: dict[str, int] = {}
 

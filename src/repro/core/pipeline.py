@@ -767,7 +767,11 @@ class BlockProposalStage(RoundStage):
     the scenario which of them are silent, and drives the consensus view-change
     loop — the winning view lands in the block header (and in
     ``ctx.metadata["view"]`` / ``ctx.metadata["view_changes"]`` for
-    reporting).  If *every* scheduled proposer is silent the round aborts
+    reporting).  Every committed round additionally records its header
+    coordinates (``ctx.metadata["block_height"]`` / ``["state_root"]``) — the
+    commitment a participant checks its round entries' inclusion proofs
+    against on ``state_root_version=2`` chains, and the height to pass to
+    ``Blockchain.state_at``.  If *every* scheduled proposer is silent the round aborts
     before anything reaches the mempool, preserving the pipeline's
     "an aborted round touched nothing" contract.
     """
@@ -809,6 +813,12 @@ class BlockProposalStage(RoundStage):
             ctx.consensus = protocol._commit_block()
 
         chain = protocol._reference_chain()
+        # The round's committed header coordinates: this is the block whose
+        # state_root commits the round's evaluation/settlement entries, i.e.
+        # the header a participant verifies an inclusion proof against
+        # (chain.state_at(height) reads the state exactly as of this block).
+        ctx.metadata["block_height"] = chain.height
+        ctx.metadata["state_root"] = chain.head.header.state_root
         # A rejected membership request commits as a *failed receipt* — the
         # round itself is fine (and its block stays on chain), but the
         # scenario the caller asked for did not happen; surface it as a

@@ -176,6 +176,7 @@ class BlockchainFLProtocol:
             key_seed=self.config.permutation_seed,
             byzantine=data.owner_id in self.config.byzantine_miners,
             adversary=self._adversaries.get(data.owner_id),
+            state_root_version=self.config.state_root_version,
         )
 
     def _next_nonce(self, owner_id: str) -> int:
@@ -279,14 +280,24 @@ class BlockchainFLProtocol:
     # Dynamic membership (cohort epochs)
     # ------------------------------------------------------------------
 
-    def add_participant(self, data: OwnerDataset) -> Participant:
+    def add_participant(self, data: OwnerDataset, sync: str = "fast") -> Participant:
         """Bring a new data owner online mid-run (idempotent by owner id).
 
         The participant gets a miner node synced from the reference replica
-        (it re-executes every committed block, exactly as a real node catching
-        up would) and joins the consensus set.  It only enters the *training
-        cohort* once its ``request_join`` transaction commits on the registry
-        and the requested round boundary is reached.
+        and joins the consensus set.  It only enters the *training cohort*
+        once its ``request_join`` transaction commits on the registry and the
+        requested round boundary is reached.
+
+        Args:
+            data: the joining owner's local dataset.
+            sync: ``"fast"`` (default) adopts the reference replica's blocks
+                and state and checks every committed header's state commitment
+                against the retained versions
+                (:meth:`~repro.blockchain.chain.Blockchain.fast_sync_from`) —
+                O(state + Δ·blocks) instead of re-running every contract call;
+                ``"replay"`` re-executes every committed block, exactly as a
+                trustless node catching up from raw block data would.  Both
+                paths end in the identical state (pinned by tests).
         """
         if data.owner_id in self.participants:
             # An aborted round's nonce rewind may have dropped a mid-round
@@ -296,19 +307,36 @@ class BlockchainFLProtocol:
             return self.participants[data.owner_id]
         participant = self._build_participant(data)
         reference = self._reference_chain()
-        for block in reference.blocks[1:]:
-            participant.node.chain.verify_and_append(block)
+        if sync == "fast":
+            participant.node.chain.fast_sync_from(reference)
+        elif sync == "replay":
+            for block in reference.blocks[1:]:
+                participant.node.chain.verify_and_append(block)
+        else:
+            raise ProtocolError(f"unknown sync mode {sync!r} (expected 'fast' or 'replay')")
         self.participants[data.owner_id] = participant
         self.owner_ids = sorted(self.participants)
         self._nonces.setdefault(data.owner_id, 0)
         self.sync_peer_keys()
         return participant
 
-    def active_cohort(self, round_number: int) -> list[str]:
-        """The owner cohort active for a round, derived purely from chain state."""
+    def active_cohort(self, round_number: int, at_height: int | None = None) -> list[str]:
+        """The owner cohort active for a round, derived purely from chain state.
+
+        ``at_height`` reads the registry through a historical state view
+        (:meth:`~repro.blockchain.chain.Blockchain.state_at`) instead of the
+        live head — e.g. the cohort exactly as the chain recorded it when a
+        past round's block committed, without re-executing from genesis.
+        Membership records are append-only interval lists whose boundaries
+        all lie at or below their commit round, so the live head answers
+        identically for any already-committed round; the view is there for
+        auditors pinning a verdict to one specific header.
+        """
         from repro.blockchain.contracts.registry import cohort_for_round_from_state
 
-        cohort = cohort_for_round_from_state(self._reference_chain().state, round_number)
+        chain = self._reference_chain()
+        state = chain.state if at_height is None else chain.state_at(at_height)
+        cohort = cohort_for_round_from_state(state, round_number)
         if not cohort:
             raise ProtocolError(f"no owners are active for round {round_number}")
         return cohort

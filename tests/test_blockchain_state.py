@@ -77,6 +77,21 @@ class TestBasicAccess:
         with pytest.raises(ValidationError):
             WorldState().set("a/b", "k", 1)
 
+    def test_keys_rejects_slash_in_namespace(self):
+        # Regression: keys()/items() used to build the prefix without
+        # validation, so keys("a/b") silently read namespace "a"'s "b/..."
+        # keys instead of failing.
+        state = WorldState()
+        state.set("a", "b/secret", 1)
+        with pytest.raises(ValidationError):
+            state.keys("a/b")
+        with pytest.raises(ValidationError):
+            list(state.items("a/b"))
+
+    def test_keys_rejects_empty_namespace(self):
+        with pytest.raises(ValidationError):
+            WorldState().keys("")
+
 
 class TestSnapshotsAndHashing:
     def test_snapshot_restore_roundtrip(self):
@@ -89,13 +104,30 @@ class TestSnapshotsAndHashing:
         assert state.get("ns", "k") == 1
         assert not state.contains("ns", "other")
 
-    def test_snapshot_is_independent_copy(self):
+    def test_nested_snapshots_restore_in_order(self):
         state = WorldState()
-        state.set("ns", "k", {"list": [1]})
+        state.set("ns", "k", 1)
+        outer = state.snapshot()
+        state.set("ns", "k", 2)
+        inner = state.snapshot()
+        state.set("ns", "k", 3)
+        state.restore(inner)
+        assert state.get("ns", "k") == 2
+        state.restore(outer)
+        assert state.get("ns", "k") == 1
+
+    def test_restore_rejects_stale_snapshot(self):
+        state = WorldState()
         snapshot = state.snapshot()
-        state.get("ns", "k")  # no mutation
-        snapshot["ns/k"]["list"].append(99)
-        assert state.get("ns", "k") == {"list": [1]}
+        state.set("ns", "k", 1)
+        state.seal_version(0)  # sealing clears the journal the marker points into
+        with pytest.raises(ValidationError):
+            state.restore(snapshot)
+
+    def test_restore_rejects_raw_dict(self):
+        state = WorldState()
+        with pytest.raises(ValidationError):
+            state.restore({})
 
     def test_state_root_is_deterministic(self):
         a = WorldState()

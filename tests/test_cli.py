@@ -51,7 +51,7 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "accumulated contributions" in output
-        assert "transparency audit: PASSED" in output
+        assert "transparency audit (replay): PASSED" in output
 
     def test_run_command_churn_scenario(self, capsys):
         exit_code = main([
@@ -63,7 +63,7 @@ class TestCommands:
         assert exit_code == 0
         assert "scenario: churn" in output
         assert "cohort epochs (per-epoch settlement)" in output
-        assert "transparency audit: PASSED" in output
+        assert "transparency audit (replay): PASSED" in output
 
     def test_run_command_leader_dropout_scenario(self, capsys):
         exit_code = main([
@@ -77,7 +77,7 @@ class TestCommands:
         assert "consensus authority (epoch schedule)" in output
         assert "view 0 owner-1: silent" in output
         assert "proposers verified: [0, 1]" in output
-        assert "transparency audit: PASSED" in output
+        assert "transparency audit (replay): PASSED" in output
 
     def test_run_membership_scenarios_need_two_rounds(self, capsys):
         exit_code = main([
@@ -103,6 +103,61 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "transparency audit" not in output
+
+    def test_run_merkle_chain_with_incremental_audit(self, capsys):
+        exit_code = main([
+            "run", "--owners", "3", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "2", "--sigma", "0.1", "--seed", "3",
+            "--state-root-version", "2", "--audit-mode", "incremental",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "transparency audit (incremental): PASSED" in output
+        assert "state roots verified" in output
+
+    def test_prove_then_verify_roundtrip(self, capsys, tmp_path):
+        import json
+
+        proof_file = str(tmp_path / "proof.json")
+        exit_code = main([
+            "prove", "--owners", "3", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "2", "--seed", "3",
+            "--namespace", "reward", "--key", "distribution/final",
+            "--out", proof_file,
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "proved reward/distribution/final" in output
+        payload = json.loads(open(proof_file).read())
+        root = payload["header"]["state_root"]
+
+        assert main(["verify-proof", "--proof", proof_file, "--root", root]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+        # Against a different (untrusted) root, verification must fail.
+        assert main(["verify-proof", "--proof", proof_file, "--root", "00" * 32]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+        # A tampered value no longer matches the committed leaf.
+        payload["value_canonical"] = payload["value_canonical"].replace(
+            '"reward_pool":', '"reward_pool_x":'
+        )
+        tampered_file = str(tmp_path / "tampered.json")
+        with open(tampered_file, "w") as handle:
+            json.dump(payload, handle)
+        assert main(["verify-proof", "--proof", tampered_file, "--root", root]) == 1
+
+    def test_prove_unknown_key_lists_namespace(self, capsys, tmp_path):
+        exit_code = main([
+            "prove", "--owners", "3", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "2", "--seed", "3",
+            "--namespace", "reward", "--key", "nothing-here",
+            "--out", str(tmp_path / "proof.json"),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 2
+        assert "no state entry reward/nothing-here" in output
+        assert "distribution/final" in output
 
     def test_sweep_groups_command(self, capsys):
         exit_code = main([

@@ -23,6 +23,13 @@ def readme_scenarios() -> set[str]:
     return set(re.findall(r"^\|\s*`([a-z-]+)`\s*\|", section, flags=re.MULTILINE))
 
 
+def readme_cli_commands() -> set[str]:
+    """Command names from the README's CLI reference table (rows like ``| `cmd` |``)."""
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    section = text.split("## CLI reference", 1)[1].split("\n## ", 1)[0]
+    return set(re.findall(r"^\|\s*`([a-z-]+)`\s*\|", section, flags=re.MULTILINE))
+
+
 def ci_matrix_scenarios() -> set[str]:
     """Scenario entries of the CI scenario-matrix job."""
     text = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
@@ -75,6 +82,21 @@ class TestScenarioCoverage:
         matrix = ci_matrix_scenarios()
         missing = documented - matrix
         assert not missing, f"scenarios documented but not in the CI matrix: {sorted(missing)}"
+
+
+class TestCliReference:
+    def test_readme_cli_table_names_every_command(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        cli = set(parser._subparsers._group_actions[0].choices)
+        documented = readme_cli_commands()
+        assert documented == cli, (
+            f"README CLI reference ({sorted(documented)}) out of sync with the "
+            f"parser ({sorted(cli)})"
+        )
+        # The contribution-proof pair must stay a documented part of the surface.
+        assert {"prove", "verify-proof"} <= documented
 
 
 class TestDoctests:

@@ -1,0 +1,492 @@
+"""Tests for the versioned Merkle state store (tentpole of the state-layer refactor).
+
+Four properties are pinned here:
+
+* **Incremental == full recompute** — under randomized op sequences (writes,
+  deletes, rollbacks) the incrementally maintained v2 Merkle root always
+  equals the root a fresh store computes from the final data.
+* **Historical views == genesis replay** — ``state_at(h)`` reads exactly the
+  state a prefix replay produces at every height, and
+  ``verify_version_roots`` certifies every committed header.
+* **v1 byte-identity** — ``state_root_version=1`` stores and chains hash byte
+  for byte like the pre-Merkle code (hard-coded digests generated from it).
+* **Proof soundness** — an entry's inclusion proof verifies against the
+  committed header root, and any tampering (value, key, root) fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import CounterContract, counter_runtime_factory, counter_tx
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.contracts.base import Contract, ContractContext, ContractRuntime, contract_method
+from repro.blockchain.state import (
+    N_STATE_BUCKETS,
+    StateProof,
+    WorldState,
+    verify_state_proof,
+)
+from repro.blockchain.transaction import Transaction
+from repro.core.audit import audit_chain
+from repro.core.config import ProtocolConfig
+from repro.core.pipeline import RoundScheduler
+from repro.core.protocol import BlockchainFLProtocol
+from repro.exceptions import ChainValidationError, ValidationError
+from repro.utils.serialization import canonical_dumps
+
+# Digests generated with the pre-Merkle WorldState/Blockchain (the seed code):
+# state_root_version=1 must keep them byte for byte.
+PINNED_V1_STATE_ROOT = "7f288a43225362fedd6eb904e72d2987356574012375ff2f8af9febe0927be17"
+PINNED_V1_EMPTY_ROOT = "44136fa355b3678a1146ad16f7e8649e94fb4fc21fe77e8310c060f61caaff8a"
+PINNED_V1_GENESIS = "fe6e3fb83124cd4d0cbad9e86e4c41134e5eb2e935ea89dbe72243e985191cd3"
+PINNED_V1_BLOCK_1 = "c742471e049ab24ec6aa51b28c70c87be8ab1faf60d0adf08cee6b706d6b6434"
+PINNED_V1_BLOCK_2 = "46e3724decdf158b288d788cd57822b5e007af1e8b98deec7475e178c68eccf9"
+PINNED_V1_HEAD_STATE = "1f09a60c01bffb5ff612bda0780913771d38ca1cfcdcb3512343d405a173abe9"
+
+
+def _pinned_state(root_version: int = 1) -> WorldState:
+    state = WorldState(root_version=root_version)
+    state.set("registry", "protocol_params", {"n_owners": 4, "n_groups": 2})
+    state.set("registry", "participant/owner-1", {"public_key": 12345, "role": "owner"})
+    state.set("fl_training", "round/0", {"groups": [["owner-1"]], "global_model": [0.5, -1.25]})
+    state.set("contribution", "totals", {"owner-1": 0.125})
+    state.set("weights", "w", np.arange(6, dtype=np.float64).reshape(2, 3))
+    return state
+
+
+def _random_ops(state: WorldState, rng: np.random.Generator, n_ops: int) -> None:
+    """Apply a random mix of writes, deletes, and snapshot/rollback windows."""
+    namespaces = ["alpha", "beta", "gamma"]
+    for _ in range(n_ops):
+        namespace = namespaces[int(rng.integers(len(namespaces)))]
+        key = f"k{int(rng.integers(40)):02d}"
+        action = rng.random()
+        if action < 0.55:
+            state.set(namespace, key, {"v": float(rng.random()), "n": int(rng.integers(100))})
+        elif action < 0.75:
+            state.delete(namespace, key)
+        else:
+            marker = state.snapshot()
+            state.set(namespace, key, [int(x) for x in rng.integers(10, size=3)])
+            if rng.random() < 0.5:
+                state.restore(marker)
+
+
+class TestIncrementalRootEqualsFullRecompute:
+    def test_randomized_op_sequences(self):
+        rng = np.random.default_rng(7)
+        state = WorldState(root_version=2)
+        for _ in range(12):
+            _random_ops(state, rng, n_ops=30)
+            incremental = state.state_root()
+            full = WorldState(state.raw(), root_version=2).state_root()
+            assert incremental == full
+
+    def test_root_independent_of_write_history(self):
+        a = WorldState(root_version=2)
+        a.set("ns", "k1", 1)
+        a.set("ns", "k2", 2)
+        a.set("ns", "k1", 3)
+        a.delete("ns", "k2")
+        b = WorldState(root_version=2)
+        b.set("ns", "k1", 3)
+        assert a.state_root() == b.state_root()
+
+    def test_emptied_namespace_matches_fresh_store(self):
+        a = WorldState(root_version=2)
+        a.set("gone", "k", 1)
+        a.set("kept", "k", 2)
+        a.delete("gone", "k")
+        b = WorldState(root_version=2)
+        b.set("kept", "k", 2)
+        assert a.state_root() == b.state_root()
+
+    def test_empty_stores_agree_across_versions_only_with_themselves(self):
+        assert WorldState(root_version=1).state_root() == PINNED_V1_EMPTY_ROOT
+        assert WorldState(root_version=2).state_root() != PINNED_V1_EMPTY_ROOT
+
+    def test_copy_shares_no_mutable_root_state(self):
+        state = WorldState(root_version=2)
+        state.set("ns", "a", 1)
+        root = state.state_root()
+        clone = state.copy()
+        clone.set("ns", "a", 2)
+        assert state.state_root() == root
+        assert clone.state_root() != root
+        assert WorldState(clone.raw(), root_version=2).state_root() == clone.state_root()
+
+    def test_bucket_collisions_keep_roots_consistent(self):
+        # Far more keys than buckets forces multi-leaf buckets.
+        state = WorldState(root_version=2)
+        for i in range(3 * N_STATE_BUCKETS // 2):
+            state.set("bulk", f"key-{i:05d}", i)
+        assert state.state_root() == WorldState(state.raw(), root_version=2).state_root()
+
+
+class TestV1ByteIdentity:
+    def test_pinned_state_root(self):
+        assert _pinned_state(1).state_root() == PINNED_V1_STATE_ROOT
+
+    def test_pinned_chain_hashes(self):
+        chain = Blockchain(counter_runtime_factory)
+        chain.propose_block("alice", [counter_tx("alice", 0, 5), counter_tx("bob", 0, 7)])
+        chain.propose_block("bob", [counter_tx("alice", 1, 2)])
+        assert chain.blocks[0].block_hash == PINNED_V1_GENESIS
+        assert chain.blocks[1].block_hash == PINNED_V1_BLOCK_1
+        assert chain.blocks[2].block_hash == PINNED_V1_BLOCK_2
+        assert chain.state.state_root() == PINNED_V1_HEAD_STATE
+
+    def test_v2_diverges_from_v1(self):
+        assert _pinned_state(2).state_root() != PINNED_V1_STATE_ROOT
+
+
+class RandomWriterContract(Contract):
+    """Writes a deterministic pseudo-random batch of keys per call (test only)."""
+
+    name = "writer"
+
+    @contract_method
+    def scribble(self, ctx: ContractContext, seed: int) -> int:
+        rng = np.random.default_rng(int(seed))
+        for _ in range(8):
+            key = f"cell/{int(rng.integers(30)):02d}"
+            if rng.random() < 0.25 and ctx.contains(key):
+                ctx.delete(key)
+            else:
+                ctx.set(key, {"seed": int(seed), "v": float(rng.random())})
+        return int(seed)
+
+
+def _writer_runtime() -> ContractRuntime:
+    runtime = ContractRuntime()
+    runtime.register(RandomWriterContract())
+    runtime.register(CounterContract())
+    return runtime
+
+
+def _writer_chain(root_version: int, n_blocks: int = 6) -> Blockchain:
+    chain = Blockchain(_writer_runtime, state_root_version=root_version)
+    for height in range(1, n_blocks + 1):
+        txs = [
+            Transaction(
+                sender="alice", contract="writer", method="scribble",
+                args={"seed": height * 10 + 1}, nonce=chain.next_nonce("alice"),
+            ),
+            Transaction(
+                sender="bob", contract="writer", method="scribble",
+                args={"seed": height * 10 + 2}, nonce=chain.next_nonce("bob"),
+            ),
+        ]
+        chain.propose_block(f"owner-{height % 2}", txs)
+    return chain
+
+
+@pytest.mark.parametrize("root_version", [1, 2])
+class TestHistoricalViewsMatchReplay:
+    def test_state_at_equals_prefix_replay_at_every_height(self, root_version):
+        chain = _writer_chain(root_version)
+        # Genesis replay prefix by prefix: the view at height h must read the
+        # exact state a replica that stopped at block h would hold.
+        prefix = Blockchain(_writer_runtime, state_root_version=root_version)
+        assert chain.state_at(0).raw() == prefix.state.raw()
+        for block in chain.blocks[1:]:
+            prefix.verify_and_append(block)
+            view = chain.state_at(block.height)
+            assert view.raw() == prefix.state.raw()
+            assert view.state_root() == block.header.state_root
+
+    def test_verify_version_roots_covers_every_block(self, root_version):
+        chain = _writer_chain(root_version)
+        assert chain.verify_version_roots() == list(range(chain.height, -1, -1))
+
+    def test_verify_version_roots_detects_divergence(self, root_version):
+        chain = _writer_chain(root_version)
+        chain.state.set("writer", "cell/00", {"seed": -1, "v": 999.0})  # post-commit tamper
+        with pytest.raises(ChainValidationError):
+            chain.verify_version_roots()
+
+    def test_fast_sync_matches_replay(self, root_version):
+        chain = _writer_chain(root_version)
+        synced = Blockchain(_writer_runtime, state_root_version=root_version)
+        synced.fast_sync_from(chain)
+        replayed = chain.replay()
+        assert synced.state.raw() == replayed.state.raw()
+        assert synced.state.state_root() == replayed.state.state_root()
+        assert [b.block_hash for b in synced.blocks] == [b.block_hash for b in chain.blocks]
+        assert synced.next_nonce("alice") == replayed.next_nonce("alice")
+        # The synced replica keeps participating: it can verify the next block.
+        extension = chain.clone()
+        block = extension.propose_block(
+            "owner-1",
+            [Transaction(sender="alice", contract="counter", method="increment",
+                         args={"amount": 2}, nonce=extension.next_nonce("alice"))],
+        )
+        synced.verify_and_append(block)
+        assert synced.head.block_hash == block.block_hash
+
+    def test_fast_sync_rejects_non_fresh_replica(self, root_version):
+        chain = _writer_chain(root_version)
+        not_fresh = _writer_chain(root_version, n_blocks=1)
+        with pytest.raises(ChainValidationError):
+            not_fresh.fast_sync_from(chain)
+
+    def test_failed_fast_sync_leaves_replica_at_genesis_and_retryable(self, root_version):
+        tampered = _writer_chain(root_version)
+        tampered.state.set("writer", "cell/00", {"seed": -1, "v": 999.0})  # breaks the head root
+        fresh = Blockchain(_writer_runtime, state_root_version=root_version)
+        with pytest.raises(ChainValidationError):
+            fresh.fast_sync_from(tampered)
+        # The failed sync committed nothing: still a fresh genesis replica...
+        assert fresh.height == 0
+        assert len(fresh.state) == 0
+        # ...so a retry against an honest peer succeeds.
+        honest = _writer_chain(root_version)
+        fresh.fast_sync_from(honest)
+        assert fresh.head.block_hash == honest.head.block_hash
+
+
+class TestStateViewReads:
+    def test_view_reflects_later_deletes_and_writes(self):
+        chain = Blockchain(_writer_runtime, state_root_version=2)
+        tx0 = Transaction(sender="a", contract="counter", method="increment",
+                          args={"amount": 4}, nonce=0)
+        chain.propose_block("p", [tx0])
+        tx1 = Transaction(sender="a", contract="counter", method="increment",
+                          args={"amount": 6}, nonce=1)
+        chain.propose_block("p", [tx1])
+        assert chain.state_at(0).get("counter", "value") is None
+        assert not chain.state_at(0).contains("counter", "value")
+        assert chain.state_at(1).get("counter", "value") == 4
+        assert chain.state_at(2).get("counter", "value") == 10
+        assert chain.state_at(1).keys("counter") == ["value"]
+        assert list(chain.state_at(1).items("counter")) == [("value", 4)]
+        assert len(chain.state_at(0)) == 0
+        assert len(chain.state_at(1)) == 1
+
+    def test_view_get_returns_copies(self):
+        chain = _writer_chain(2, n_blocks=3)
+        view = chain.state_at(1)
+        key = view.keys("writer")[0]
+        value = view.get("writer", key)
+        original = view.get("writer", key)
+        value["v"] = -1.0
+        assert view.get("writer", key) == original != value
+
+    def test_view_rejects_unsealed_heights(self):
+        chain = _writer_chain(2, n_blocks=2)
+        with pytest.raises(ChainValidationError):
+            chain.state_at(3)
+        with pytest.raises(ChainValidationError):
+            chain.state_at(-1)
+
+
+class TestProofs:
+    def test_roundtrip_and_serialization(self):
+        state = _pinned_state(2)
+        root = state.state_root()
+        for namespace, key in [
+            ("registry", "protocol_params"),
+            ("fl_training", "round/0"),
+            ("contribution", "totals"),
+            ("weights", "w"),
+        ]:
+            proof = state.prove(namespace, key)
+            assert proof.root == root
+            assert verify_state_proof(root, proof)
+            assert verify_state_proof(root, proof, value=state.get(namespace, key))
+            restored = StateProof.from_dict(proof.to_dict())
+            assert verify_state_proof(root, restored, value=state.get(namespace, key))
+
+    def test_tampered_value_fails(self):
+        state = _pinned_state(2)
+        root = state.state_root()
+        proof = state.prove("contribution", "totals")
+        assert not verify_state_proof(root, proof, value={"owner-1": 0.999})
+
+    def test_wrong_root_fails(self):
+        state = _pinned_state(2)
+        proof = state.prove("contribution", "totals")
+        assert not verify_state_proof("00" * 32, proof, value={"owner-1": 0.125})
+
+    def test_transplanted_key_fails(self):
+        state = _pinned_state(2)
+        root = state.state_root()
+        proof = state.prove("contribution", "totals")
+        forged = StateProof.from_dict({**proof.to_dict(), "key": "totals-forged"})
+        assert not verify_state_proof(root, forged)
+
+    def test_proofs_under_bucket_collisions(self):
+        state = WorldState(root_version=2)
+        n_keys = 2 * N_STATE_BUCKETS
+        for i in range(n_keys):
+            state.set("bulk", f"key-{i:05d}", {"i": i})
+        root = state.state_root()
+        for i in (0, 1, n_keys // 2, n_keys - 1):
+            proof = state.prove("bulk", f"key-{i:05d}")
+            assert verify_state_proof(root, proof, value={"i": i})
+            assert not verify_state_proof(root, proof, value={"i": i + 1})
+
+    def test_malformed_proof_payloads_raise_validation_error(self):
+        state = _pinned_state(2)
+        payload = state.prove("contribution", "totals").to_dict()
+        for broken in (
+            {**payload, "bucket_index": "abc"},          # ValueError in int()
+            {k: v for k, v in payload.items() if k != "root"},  # KeyError
+            {**payload, "bucket_siblings": 3},            # TypeError in iteration
+        ):
+            with pytest.raises(ValidationError):
+                StateProof.from_dict(broken)
+
+    def test_v1_store_refuses_to_prove(self):
+        state = _pinned_state(1)
+        with pytest.raises(ValidationError):
+            state.prove("contribution", "totals")
+
+    def test_missing_key_refuses_to_prove(self):
+        with pytest.raises(ValidationError):
+            _pinned_state(2).prove("contribution", "nothing")
+
+
+# ----------------------------------------------------------------------
+# Protocol-level integration: a v2 chain end to end
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def v2_protocol_run(dataset, owners):
+    """A completed protocol run on a Merkle-rooted (state_root_version=2) chain."""
+    config = ProtocolConfig(
+        n_owners=len(owners),
+        n_groups=2,
+        n_rounds=2,
+        local_epochs=3,
+        learning_rate=2.0,
+        permutation_seed=13,
+        state_root_version=2,
+    )
+    protocol = BlockchainFLProtocol(
+        owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
+    )
+    scheduler = RoundScheduler(protocol)
+    result = scheduler.run()
+    return protocol, result, scheduler
+
+
+class TestProtocolChainV2:
+    def test_registry_pins_the_root_version(self, v2_protocol_run):
+        protocol, _, _ = v2_protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        params = chain.state.get("registry", "protocol_params")
+        assert int(params["state_root_version"]) == 2
+
+    def test_round_contexts_record_their_committed_header(self, v2_protocol_run):
+        protocol, _, scheduler = v2_protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        assert scheduler.contexts, "the scheduler kept no round contexts"
+        for ctx in scheduler.contexts:
+            height = ctx.metadata["block_height"]
+            header = chain.blocks[height].header
+            assert ctx.metadata["state_root"] == header.state_root
+            # The recorded header commits the round's published entries: the
+            # evaluation record is provable against exactly that state root.
+            view = chain.state_at(height)
+            assert view.get("contribution", f"evaluation/{ctx.round_number}") is not None
+
+    def test_all_replicas_agree_and_replay_matches(self, v2_protocol_run):
+        protocol, _, _ = v2_protocol_run
+        roots = {p.node.chain.state.state_root() for p in protocol.participants.values()}
+        assert len(roots) == 1
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        assert chain.replay().state.state_root() == chain.state.state_root()
+
+    def test_settlement_proof_verifies_against_committed_header(self, v2_protocol_run, dataset):
+        protocol, result, _ = v2_protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        header_root = chain.head.header.state_root
+        settlement = chain.state.get("reward", "distribution/final")
+        proof = chain.state.prove("reward", "distribution/final")
+        assert verify_state_proof(header_root, proof, value=settlement)
+        # A participant checking its own published totals needs only the header.
+        totals = chain.state.get("contribution", "totals")
+        totals_proof = chain.state.prove("contribution", "totals")
+        assert verify_state_proof(header_root, totals_proof, value=totals)
+        assert totals == pytest.approx(result.total_contributions)
+
+    def test_tampered_settlement_entry_fails_the_proof(self, v2_protocol_run):
+        protocol, _, _ = v2_protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        header_root = chain.head.header.state_root
+        settlement = chain.state.get("reward", "distribution/final")
+        proof = chain.state.prove("reward", "distribution/final")
+        tampered = dict(settlement)
+        first_owner = sorted(tampered["payouts"])[0]
+        tampered["payouts"] = {**tampered["payouts"], first_owner: 10_000.0}
+        assert not verify_state_proof(header_root, proof, value=tampered)
+
+    def test_incremental_audit_matches_replay_audit(self, v2_protocol_run, dataset):
+        protocol, _, _ = v2_protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        replay = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes, mode="replay"
+        )
+        incremental = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes, mode="incremental"
+        )
+        assert replay.passed and incremental.passed
+        assert incremental.rounds_checked == replay.rounds_checked
+        assert incremental.recomputed_totals == pytest.approx(replay.recomputed_totals)
+        assert incremental.state_versions_checked == list(range(chain.height, -1, -1))
+
+    def test_audit_flags_replica_on_the_wrong_root_version(self, v2_protocol_run, dataset):
+        protocol, _, _ = v2_protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        # A replica configured for a different commitment than the chain
+        # pinned at setup must fail the audit's consensus-parameter check.
+        imposter = chain.clone()
+        imposter.state_root_version = 1
+        report = audit_chain(
+            imposter, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            mode="incremental",
+        )
+        assert not report.passed
+        assert any("state_root_version" in m for m in report.mismatches)
+
+    def test_fast_synced_joiner_matches_replay_sync(self, v2_protocol_run, dataset):
+        from repro.datasets.loader import OwnerDataset
+
+        protocol, _, _ = v2_protocol_run
+        reference = protocol.participants[protocol.owner_ids[0]].node.chain
+        rng = np.random.default_rng(5)
+        template = protocol.participants[protocol.owner_ids[0]].client
+        def newcomer(owner_id: str) -> OwnerDataset:
+            return OwnerDataset(
+                owner_id=owner_id,
+                features=rng.normal(size=(20, template.features.shape[1])),
+                labels=rng.integers(0, dataset.n_classes, size=20),
+                noise_sigma=0.0,
+            )
+
+        fast = protocol._build_participant(newcomer("owner-late-fast"))
+        fast.node.chain.fast_sync_from(reference)
+        slow = protocol._build_participant(newcomer("owner-late-slow"))
+        for block in reference.blocks[1:]:
+            slow.node.chain.verify_and_append(block)
+        assert fast.node.chain.state.state_root() == slow.node.chain.state.state_root()
+        assert canonical_dumps(fast.node.chain.state.raw()) == canonical_dumps(slow.node.chain.state.raw())
+        assert fast.node.chain._nonces == slow.node.chain._nonces
+
+
+class TestIncrementalAuditOnV1Chain:
+    def test_verdicts_match_replay_on_the_default_chain(self, protocol_run, dataset):
+        protocol, _ = protocol_run
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        replay = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes, mode="replay"
+        )
+        incremental = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes, mode="incremental"
+        )
+        assert replay.passed and incremental.passed
+        assert incremental.rounds_checked == replay.rounds_checked
+        assert incremental.recomputed_totals == pytest.approx(replay.recomputed_totals)
