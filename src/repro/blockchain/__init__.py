@@ -18,6 +18,10 @@ as an in-memory simulation:
   with view-change failover) and majority re-execution verification.
 * :mod:`repro.blockchain.network` / :mod:`repro.blockchain.node` — a simulated
   P2P network of miner nodes.
+* :mod:`repro.blockchain.transport` — pluggable delivery layers: the default
+  deterministic transport (byte-identical to the historical network) and a
+  seeded fault-injecting transport (partitions, loss, duplication, latency)
+  driven by a declarative :class:`~repro.blockchain.transport.FaultPlan`.
 """
 
 from repro.blockchain.block import Block, BlockHeader
@@ -32,10 +36,21 @@ from repro.blockchain.consensus import (
 )
 from repro.blockchain.mempool import Mempool
 from repro.blockchain.merkle import MerkleTree
-from repro.blockchain.network import Network
+from repro.blockchain.network import Network, NetworkStats
 from repro.blockchain.node import MinerNode
 from repro.blockchain.state import StateProof, StateView, WorldState, verify_state_proof
 from repro.blockchain.transaction import Transaction, TransactionReceipt
+from repro.blockchain.transport import (
+    BroadcastReport,
+    Delivery,
+    DeterministicTransport,
+    FaultInjectingTransport,
+    FaultPlan,
+    HandlerFailure,
+    LinkFault,
+    PartitionSpec,
+    Transport,
+)
 
 __all__ = [
     "Block",
@@ -50,7 +65,17 @@ __all__ = [
     "Mempool",
     "MerkleTree",
     "Network",
+    "NetworkStats",
     "MinerNode",
+    "Transport",
+    "DeterministicTransport",
+    "FaultInjectingTransport",
+    "FaultPlan",
+    "LinkFault",
+    "PartitionSpec",
+    "Delivery",
+    "BroadcastReport",
+    "HandlerFailure",
     "StateProof",
     "StateView",
     "WorldState",

@@ -355,6 +355,40 @@ class Blockchain:
             self.blocks, self.state, self._nonces = saved
             raise
 
+    def catch_up_from(self, reference: "Blockchain") -> list[Block]:
+        """Adopt a longer peer chain mid-flight after falling behind.
+
+        This is :meth:`fast_sync_from`'s recovery twin for a replica that is
+        *not* fresh — e.g. one stranded behind a healed partition.  The peer's
+        chain is fast-synced onto a scratch replica (full structure and
+        header-commitment verification, same succinct-commitment trust model),
+        the local prefix is required to match the peer's byte for byte, and
+        only then are blocks, state, and nonces swapped in.  Returns the newly
+        adopted blocks (so the caller can e.g. clear them from a mempool).
+        """
+        if reference.height <= self.height:
+            raise ChainValidationError(
+                f"catch-up needs a longer peer chain (peer at {reference.height}, "
+                f"local at {self.height})"
+            )
+        scratch = Blockchain(
+            self._runtime_factory,
+            chain_id=self.chain_id,
+            state_root_version=self.state_root_version,
+        )
+        scratch.fast_sync_from(reference)
+        for local, remote in zip(self.blocks, scratch.blocks):
+            if local.block_hash != remote.block_hash:
+                raise ChainValidationError(
+                    f"peer chain diverges at height {local.height}: local "
+                    f"{local.block_hash[:12]} vs peer {remote.block_hash[:12]}"
+                )
+        adopted = scratch.blocks[self.height + 1 :]
+        self.blocks = scratch.blocks
+        self.state = scratch.state
+        self._nonces = scratch._nonces
+        return adopted
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -242,12 +242,15 @@ class VerificationResult:
         accepted: whether a strict majority of miners accepted it.
         votes: per-miner boolean votes.
         rejections: per-miner error messages for rejecting miners.
+        unreachable: miners whose vote never arrived (delivery status per
+            miner); they abstain, which counts as a rejection in the quorum.
     """
 
     block_hash: str
     accepted: bool
     votes: dict[str, bool] = field(default_factory=dict)
     rejections: dict[str, str] = field(default_factory=dict)
+    unreachable: dict[str, str] = field(default_factory=dict)
 
     @property
     def accept_count(self) -> int:
@@ -297,14 +300,32 @@ class ConsensusEngine:
         return self.schedule.select_view(round_number, view)
 
     @staticmethod
-    def tally(block: Block, votes: dict[str, bool], rejections: dict[str, str] | None = None) -> VerificationResult:
-        """Apply the strict-majority rule to a set of verification votes."""
+    def tally(
+        block: Block,
+        votes: dict[str, bool],
+        rejections: dict[str, str] | None = None,
+        unreachable: dict[str, str] | None = None,
+    ) -> VerificationResult:
+        """Apply the strict-majority rule to a set of verification votes.
+
+        Miners listed in ``unreachable`` (vote lost or peer partitioned away)
+        abstain: they are folded into the tally as ``False`` votes so the
+        quorum denominator still counts them — a proposer cut off from the
+        swarm cannot manufacture a 1/1 "majority" out of silence.
+        """
+        votes = dict(votes)
+        rejections = dict(rejections or {})
+        unreachable = dict(unreachable or {})
+        for node_id, status in unreachable.items():
+            votes.setdefault(node_id, False)
+            rejections.setdefault(node_id, f"no vote received ({status})")
         if not votes:
             raise ConsensusError("no votes were cast")
         accepted = sum(1 for vote in votes.values() if vote) * 2 > len(votes)
         return VerificationResult(
             block_hash=block.block_hash,
             accepted=accepted,
-            votes=dict(votes),
-            rejections=dict(rejections or {}),
+            votes=votes,
+            rejections=rejections,
+            unreachable=unreachable,
         )

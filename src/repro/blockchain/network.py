@@ -4,6 +4,13 @@ Messages (transactions, block proposals, votes) are delivered in-process and in
 deterministic order.  The network records simple statistics — message counts
 and payload bytes — which the throughput analysis (Experiment E5) uses to model
 blockchain overhead as a function of cohort size and model dimension.
+
+*How* each payload crosses the wire is delegated to a pluggable
+:class:`~repro.blockchain.transport.Transport`: the default
+:class:`~repro.blockchain.transport.DeterministicTransport` reproduces the
+historical loss-free sorted-order loop byte for byte, while
+:class:`~repro.blockchain.transport.FaultInjectingTransport` injects seeded
+partitions, loss, duplication, and latency for robustness scenarios.
 """
 
 from __future__ import annotations
@@ -12,18 +19,63 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.blockchain.transport import (
+    DELIVERED,
+    DROPPED,
+    ERROR,
+    PARTITIONED,
+    TIMEOUT,
+    BroadcastReport,
+    Delivery,
+    DeterministicTransport,
+    Transport,
+)
 from repro.exceptions import BlockchainError
 from repro.utils.serialization import canonical_dumps
+
+#: Per-topic delivery-outcome counters tracked beyond the legacy traffic stats.
+DELIVERY_COUNTERS = (
+    "attempted",
+    "delivered",
+    "dropped",
+    "partitioned",
+    "timed_out",
+    "errors",
+    "duplicated",
+    "retries",
+)
+
+_STATUS_TO_COUNTER = {
+    DELIVERED: "delivered",
+    DROPPED: "dropped",
+    PARTITIONED: "partitioned",
+    TIMEOUT: "timed_out",
+    ERROR: "errors",
+}
+
+
+def _empty_counters() -> dict[str, int]:
+    return {name: 0 for name in DELIVERY_COUNTERS}
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic statistics for a simulated network."""
+    """Aggregate traffic statistics for a simulated network.
+
+    Beyond the legacy traffic totals (messages/bytes, overall and per topic),
+    the stats now distinguish delivery *outcomes* per topic — attempted vs
+    delivered vs dropped/partitioned/timed-out/errored, plus duplicate copies
+    and retry attempts — which is what the fault scenarios and the CLI
+    delivery table report on.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_by_topic: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_topic: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    delivery_by_topic: dict[str, dict[str, int]] = field(
+        default_factory=lambda: defaultdict(_empty_counters)
+    )
 
     def record(self, topic: str, payload_bytes: int, recipients: int) -> None:
         """Account for one logical broadcast reaching ``recipients`` peers."""
@@ -31,6 +83,29 @@ class NetworkStats:
         self.bytes_sent += payload_bytes * recipients
         self.messages_by_topic[topic] += recipients
         self.bytes_by_topic[topic] += payload_bytes * recipients
+        self.delivery_by_topic[topic]["attempted"] += recipients
+
+    def record_outcome(self, topic: str, delivery: Delivery) -> None:
+        """Account for one per-recipient delivery outcome."""
+        counters = self.delivery_by_topic[topic]
+        counters[_STATUS_TO_COUNTER[delivery.status]] += 1
+        counters["duplicated"] += delivery.duplicates
+
+    def record_retries(self, topic: str, count: int) -> None:
+        """Account for ``count`` retry sends on a topic (also counted as attempts)."""
+        counters = self.delivery_by_topic[topic]
+        counters["retries"] += count
+
+    def delivery_report(self) -> dict[str, Any]:
+        """Outcome counters, per topic and totalled."""
+        totals = _empty_counters()
+        by_topic = {}
+        for topic in sorted(self.delivery_by_topic):
+            counters = dict(self.delivery_by_topic[topic])
+            by_topic[topic] = counters
+            for name, value in counters.items():
+                totals[name] += value
+        return {"totals": totals, "by_topic": by_topic}
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict view for reports."""
@@ -39,21 +114,53 @@ class NetworkStats:
             "bytes_sent": self.bytes_sent,
             "messages_by_topic": dict(self.messages_by_topic),
             "bytes_by_topic": dict(self.bytes_by_topic),
+            "delivery": self.delivery_report(),
         }
+
+
+def delivery_report_delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """The delivery activity between two :meth:`NetworkStats.delivery_report` snapshots."""
+    totals = {
+        name: after["totals"].get(name, 0) - before["totals"].get(name, 0)
+        for name in DELIVERY_COUNTERS
+    }
+    by_topic: dict[str, dict[str, int]] = {}
+    for topic, counters in after["by_topic"].items():
+        prior = before["by_topic"].get(topic, {})
+        delta = {name: counters.get(name, 0) - prior.get(name, 0) for name in DELIVERY_COUNTERS}
+        if any(delta.values()):
+            by_topic[topic] = delta
+    return {"totals": totals, "by_topic": by_topic}
 
 
 class Network:
     """An in-process broadcast network connecting miner nodes.
 
     Nodes register a handler per topic; ``broadcast`` synchronously invokes the
-    handler of every *other* registered node in sorted node-id order, which
-    keeps simulations deterministic.
+    handler of every *other* registered node through the installed transport —
+    in sorted node-id order under the default deterministic transport, which
+    keeps simulations byte-identical to the historical network.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, transport: Transport | None = None) -> None:
         self._handlers: dict[str, dict[str, Callable[[str, Any], Any]]] = defaultdict(dict)
         self._node_ids: set[str] = set()
         self.stats = NetworkStats()
+        self.transport: Transport = transport or DeterministicTransport()
+
+    def install_transport(self, transport: Transport) -> Transport:
+        """Swap the delivery layer (e.g. to start injecting faults mid-run)."""
+        self.transport = transport
+        return transport
+
+    @property
+    def faulty(self) -> bool:
+        """Whether deliveries can currently fail (drives retry/failover paths)."""
+        return self.transport.faulty
+
+    def begin_round(self, label: Any) -> None:
+        """Advance the transport's simulated clock by one round attempt."""
+        self.transport.begin_round(label)
 
     def join(self, node_id: str) -> None:
         """Register a node on the network."""
@@ -77,27 +184,50 @@ class Network:
         except Exception:  # noqa: BLE001 - size accounting must never break delivery
             return len(repr(payload))
 
+    def broadcast_detailed(self, sender_id: str, topic: str, payload: Any) -> BroadcastReport:
+        """Deliver ``payload`` to every other subscriber; full per-recipient report."""
+        if sender_id not in self._node_ids:
+            raise BlockchainError(f"unknown sender {sender_id!r}")
+        handlers = {
+            node_id: handler
+            for node_id, handler in self._handlers.get(topic, {}).items()
+            if node_id != sender_id
+        }
+        self.stats.record(topic, self._payload_size(payload), len(handlers))
+        return self.transport.deliver_broadcast(sender_id, topic, payload, handlers, self.stats)
+
     def broadcast(self, sender_id: str, topic: str, payload: Any) -> dict[str, Any]:
         """Deliver ``payload`` to every other subscriber of ``topic``.
 
         Returns the per-recipient handler results (used for vote collection).
+        A recipient whose handler raised appears as a
+        :class:`~repro.blockchain.transport.HandlerFailure` instead of aborting
+        delivery to the remaining recipients mid-loop.
         """
-        if sender_id not in self._node_ids:
-            raise BlockchainError(f"unknown sender {sender_id!r}")
-        handlers = self._handlers.get(topic, {})
-        recipients = [node_id for node_id in sorted(handlers) if node_id != sender_id]
-        self.stats.record(topic, self._payload_size(payload), len(recipients))
-        results = {}
-        for node_id in recipients:
-            results[node_id] = handlers[node_id](sender_id, payload)
-        return results
+        return self.broadcast_detailed(sender_id, topic, payload).results()
 
-    def send(self, sender_id: str, recipient_id: str, topic: str, payload: Any) -> Any:
-        """Point-to-point delivery to a single node."""
+    def send_detailed(
+        self, sender_id: str, recipient_id: str, topic: str, payload: Any
+    ) -> Delivery:
+        """Point-to-point delivery to a single node; full delivery outcome."""
         if sender_id not in self._node_ids:
             raise BlockchainError(f"unknown sender {sender_id!r}")
         handlers = self._handlers.get(topic, {})
         if recipient_id not in handlers:
             raise BlockchainError(f"node {recipient_id!r} is not subscribed to {topic!r}")
         self.stats.record(topic, self._payload_size(payload), 1)
-        return handlers[recipient_id](sender_id, payload)
+        return self.transport.deliver_send(
+            sender_id, recipient_id, topic, payload, handlers[recipient_id], self.stats
+        )
+
+    def send(self, sender_id: str, recipient_id: str, topic: str, payload: Any) -> Any:
+        """Point-to-point delivery to a single node (handler result or raise)."""
+        delivery = self.send_detailed(sender_id, recipient_id, topic, payload)
+        if delivery.status == ERROR and delivery.exception is not None:
+            raise delivery.exception
+        if delivery.status != DELIVERED:
+            raise BlockchainError(
+                f"message to {recipient_id!r} on {topic!r} not delivered "
+                f"({delivery.status}): {delivery.error}"
+            )
+        return delivery.result

@@ -4,6 +4,13 @@ Every data owner in the paper's framework runs a miner.  A
 :class:`MinerNode` keeps its own chain replica and mempool, gossips
 transactions, proposes blocks when selected as leader, verifies other leaders'
 proposals by re-execution, and commits blocks that reach a majority.
+
+Under a fault-injecting transport the node additionally recovers from
+delivery failures: gossip is retried with exponential backoff, vote
+collection treats unreachable miners as abstains (counted in the quorum
+denominator) instead of hanging, and a replica that detects it fell behind —
+a proposal or commit arriving above its height — resyncs from a peer via the
+chain's succinct-commitment fast-sync path.
 """
 
 from __future__ import annotations
@@ -17,11 +24,13 @@ from repro.blockchain.contracts.base import ContractRuntime
 from repro.blockchain.mempool import Mempool
 from repro.blockchain.network import Network
 from repro.blockchain.transaction import Transaction
-from repro.exceptions import ConsensusError, InvalidBlockError
+from repro.blockchain.transport import DELIVERED, ERROR, BroadcastReport
+from repro.exceptions import BlockchainError, ConsensusError, InvalidBlockError
 
 TOPIC_TRANSACTIONS = "tx"
 TOPIC_PROPOSAL = "proposal"
 TOPIC_COMMIT = "commit"
+TOPIC_SYNC = "sync"
 
 
 class MinerNode:
@@ -34,7 +43,13 @@ class MinerNode:
         runtime_factory: Callable[[], ContractRuntime],
         byzantine: bool = False,
         state_root_version: int = 1,
+        max_retries: int = 2,
+        retry_backoff: int = 2,
     ) -> None:
+        if max_retries < 0:
+            raise BlockchainError("max_retries must be non-negative")
+        if retry_backoff < 1:
+            raise BlockchainError("retry_backoff must be at least 1 tick")
         self.node_id = node_id
         self.network = network
         self.chain = Blockchain(
@@ -44,10 +59,15 @@ class MinerNode:
         )
         self.mempool = Mempool()
         self.byzantine = byzantine
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        #: Completed resyncs: {"peer", "from_height", "to_height", "blocks"}.
+        self.resyncs: list[dict[str, Any]] = []
         network.join(node_id)
         network.subscribe(node_id, TOPIC_TRANSACTIONS, self._on_transaction)
         network.subscribe(node_id, TOPIC_PROPOSAL, self._on_proposal)
         network.subscribe(node_id, TOPIC_COMMIT, self._on_commit)
+        network.subscribe(node_id, TOPIC_SYNC, self._on_sync_request)
 
     # ------------------------------------------------------------------
     # Network handlers
@@ -65,10 +85,14 @@ class MinerNode:
 
         A Byzantine miner votes to reject everything, modelling the paper's
         assumption that dishonest miners cannot stall the chain unless they are
-        a majority.
+        a majority.  A proposal arriving more than one block above the local
+        height means this replica missed a commit (e.g. behind a healed
+        partition); it resyncs from a peer before judging the proposal.
         """
         if self.byzantine:
             return {"vote": False, "error": "byzantine rejection"}
+        if block.height > self.chain.height + 1:
+            self.try_resync()
         try:
             # Verify against a throwaway copy of the local chain so the vote
             # does not mutate local state before commit.
@@ -79,21 +103,66 @@ class MinerNode:
             return {"vote": False, "error": str(exc)}
 
     def _on_commit(self, sender_id: str, block: Block) -> bool:
-        """Commit handler: append a block that reached majority acceptance."""
+        """Commit handler: append a block that reached majority acceptance.
+
+        Duplicate commits (redelivered gossip) are idempotently acknowledged,
+        and a commit arriving above the next height triggers a peer resync to
+        fill the gap before the block is applied.
+        """
+        if block.height <= self.chain.height:
+            # Already have a block at that height; ack iff it is the same one.
+            return self.chain.blocks[block.height].block_hash == block.block_hash
+        if block.height > self.chain.height + 1:
+            self.try_resync()
+            if block.height <= self.chain.height:
+                return self.chain.blocks[block.height].block_hash == block.block_hash
+            if block.height > self.chain.height + 1:
+                return False
         try:
             self.commit_block(block)
             return True
         except InvalidBlockError:
             return False
 
+    def _on_sync_request(self, sender_id: str, payload: Any) -> Blockchain:
+        """Serve this replica's chain to a peer that fell behind."""
+        return self.chain
+
     # ------------------------------------------------------------------
     # Active behaviour
     # ------------------------------------------------------------------
 
-    def submit_transaction(self, tx: Transaction) -> None:
-        """Add a transaction locally and gossip it to every peer."""
+    def _broadcast_with_retry(self, topic: str, payload: Any) -> BroadcastReport:
+        """Broadcast, then retry undelivered recipients with exponential backoff.
+
+        Per-recipient retries are bounded by ``max_retries``; each retry sweep
+        "waits" ``retry_backoff`` ticks longer than the previous one (recorded
+        on the report — the single-threaded simulation does not sleep).  A
+        recipient whose handler *ran* (delivered or raised) is never retried.
+        """
+        report = self.network.broadcast_detailed(self.node_id, topic, payload)
+        pending = report.undelivered()
+        backoff = self.retry_backoff
+        for _ in range(self.max_retries):
+            if not pending:
+                break
+            report.retry_backoffs.append(backoff)
+            self.network.stats.record_retries(topic, len(pending))
+            still_pending = []
+            for recipient_id in pending:
+                delivery = self.network.send_detailed(self.node_id, recipient_id, topic, payload)
+                delivery.attempts = report.deliveries[recipient_id].attempts + 1
+                report.deliveries[recipient_id] = delivery
+                if delivery.status not in (DELIVERED, ERROR):
+                    still_pending.append(recipient_id)
+            pending = still_pending
+            backoff *= 2
+        return report
+
+    def submit_transaction(self, tx: Transaction) -> BroadcastReport:
+        """Add a transaction locally and gossip it to every peer (with retries)."""
         self.mempool.add(tx)
-        self.network.broadcast(self.node_id, TOPIC_TRANSACTIONS, tx)
+        return self._broadcast_with_retry(TOPIC_TRANSACTIONS, tx)
 
     def propose_block(self, limit: int | None = None, view: int | None = None) -> Block:
         """Leader role: build the next block from the local mempool.
@@ -109,21 +178,79 @@ class MinerNode:
         block = staging.propose_block(self.node_id, txs, view=view)
         return block
 
-    def collect_votes(self, block: Block) -> tuple[dict[str, bool], dict[str, str]]:
-        """Broadcast a proposal and gather per-miner votes."""
-        responses = self.network.broadcast(self.node_id, TOPIC_PROPOSAL, block)
+    def collect_votes(
+        self, block: Block
+    ) -> tuple[dict[str, bool], dict[str, str], dict[str, str]]:
+        """Broadcast a proposal and gather per-miner votes.
+
+        Proposals get exactly one broadcast — one timeout window per vote
+        round, no retries — so a vote that does not come back within the
+        window is an *abstain*: recorded as a ``False`` vote (it stays in the
+        quorum denominator, so an isolated proposer cannot commit on its own
+        1/1 "majority") with the delivery status in the ``unreachable`` map.
+        """
+        report = self.network.broadcast_detailed(self.node_id, TOPIC_PROPOSAL, block)
         votes = {self.node_id: True}
         rejections: dict[str, str] = {}
-        for node_id, response in responses.items():
-            votes[node_id] = bool(response.get("vote", False))
-            if not votes[node_id]:
-                rejections[node_id] = str(response.get("error", ""))
-        return votes, rejections
+        unreachable: dict[str, str] = {}
+        for node_id, delivery in sorted(report.deliveries.items()):
+            if delivery.status == DELIVERED:
+                response = delivery.result
+                votes[node_id] = bool(response.get("vote", False))
+                if not votes[node_id]:
+                    rejections[node_id] = str(response.get("error", ""))
+            else:
+                votes[node_id] = False
+                rejections[node_id] = f"no vote received ({delivery.status})"
+                unreachable[node_id] = delivery.status
+        return votes, rejections, unreachable
 
     def commit_block(self, block: Block) -> None:
         """Append an accepted block to the local replica and drop included txs."""
         self.chain.verify_and_append(block)
         self.mempool.remove([tx.tx_hash for tx in block.transactions])
+
+    def try_resync(self) -> bool:
+        """Catch up from the first peer that is ahead with a compatible chain.
+
+        Uses the chain's fast-sync path (structure + header-commitment
+        verification, same trust model as ``fast_sync_from``): the peer's
+        blocks are validated and version roots recomputed before adoption, and
+        the local prefix must match byte for byte.  Transactions contained in
+        adopted blocks are dropped from the mempool.  Returns whether any
+        blocks were adopted.
+        """
+        for peer_id in self.network.peers():
+            if peer_id == self.node_id:
+                continue
+            try:
+                delivery = self.network.send_detailed(
+                    self.node_id, peer_id, TOPIC_SYNC, {"height": self.chain.height}
+                )
+            except BlockchainError:
+                continue  # peer does not serve sync requests
+            if delivery.status != DELIVERED or delivery.result is None:
+                continue
+            peer_chain = delivery.result
+            if peer_chain.height <= self.chain.height:
+                continue
+            from_height = self.chain.height
+            try:
+                adopted = self.chain.catch_up_from(peer_chain)
+            except Exception:  # noqa: BLE001 - an invalid/diverged peer: try the next
+                continue
+            for block in adopted:
+                self.mempool.remove([tx.tx_hash for tx in block.transactions])
+            self.resyncs.append(
+                {
+                    "peer": peer_id,
+                    "from_height": from_height,
+                    "to_height": self.chain.height,
+                    "blocks": len(adopted),
+                }
+            )
+            return True
+        return False
 
     def run_consensus_round(
         self,
@@ -139,14 +266,16 @@ class MinerNode:
         majority acceptance — commits locally and broadcasts the commit.  A
         rejected proposal raises :class:`ConsensusError` without touching any
         replica, which is what lets the caller fall through a view change to
-        the next scheduled proposer.
+        the next scheduled proposer.  Unreachable miners abstain (reject) but
+        stay in the quorum denominator, and the commit broadcast is retried so
+        a transiently lossy link cannot strand a replica behind the swarm.
         """
         block = self.propose_block(view=view)
-        votes, rejections = self.collect_votes(block)
-        result = ConsensusEngine.tally(block, votes, rejections)
+        votes, rejections, unreachable = self.collect_votes(block)
+        result = ConsensusEngine.tally(block, votes, rejections, unreachable=unreachable)
         if result.accepted:
             self.commit_block(block)
-            self.network.broadcast(self.node_id, TOPIC_COMMIT, block)
+            self._broadcast_with_retry(TOPIC_COMMIT, block)
         else:
             raise ConsensusError(
                 f"block {block.height} proposed by {self.node_id} was rejected by "

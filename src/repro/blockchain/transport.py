@@ -1,0 +1,571 @@
+"""Pluggable message transports: deterministic delivery and seeded fault injection.
+
+The :class:`~repro.blockchain.network.Network` owns the membership and topic
+tables; *how* a payload crosses the wire is delegated to a :class:`Transport`.
+Two implementations ship:
+
+* :class:`DeterministicTransport` — today's synchronous, sorted-order,
+  loss-free delivery, byte-for-byte identical to the historical network loop
+  (pinned by the transport-parity tests against pre-transport chain hashes).
+* :class:`FaultInjectingTransport` — delivery driven by a seeded, declarative
+  :class:`FaultPlan`: per-link drop probability, duplication, latency with a
+  reordering window, per-broadcast response timeouts, and named partitions
+  (full or directional) that can heal mid-run.
+
+Determinism is the design invariant: the simulation is single-threaded, so a
+fixed plan (seed included) consumes its RNG in one reproducible sequence and
+two runs of the same faulty scenario produce identical chains, delivery
+reports, and settlement tables.  Simulated time advances in *ticks* — one per
+round attempt (``Network.begin_round``) — which is what partition windows and
+retry backoff schedules are expressed in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import BlockchainError
+
+# Delivery outcome statuses.
+DELIVERED = "delivered"
+DROPPED = "dropped"
+PARTITIONED = "partitioned"
+TIMEOUT = "timeout"
+ERROR = "error"
+
+#: Statuses for which the message never reached (or never answered) — the
+#: sender may retry these; a handler *error* did reach and must not be retried
+#: blindly.
+UNDELIVERED_STATUSES = (DROPPED, PARTITIONED, TIMEOUT)
+
+PARTITION_DIRECTIONS = ("both", "inbound", "outbound")
+
+
+@dataclass
+class Delivery:
+    """The outcome of delivering one payload to one recipient.
+
+    Attributes:
+        recipient: the receiving node id.
+        status: one of ``delivered`` / ``dropped`` / ``partitioned`` /
+            ``timeout`` (the handler ran but its response was lost to the
+            sender) / ``error`` (the handler raised).
+        result: the handler's return value (``delivered`` only).
+        error: human-readable failure description for non-delivered statuses.
+        exception: the raised exception object for ``error`` deliveries (kept
+            so :meth:`Network.send` can preserve raise-through semantics).
+        attempts: total send attempts for this recipient (1 + retries).
+        duplicates: extra copies the transport delivered (handler re-invoked).
+        latency: simulated delivery latency in ticks.
+    """
+
+    recipient: str
+    status: str
+    result: Any = None
+    error: str = ""
+    exception: Exception | None = None
+    attempts: int = 1
+    duplicates: int = 0
+    latency: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == DELIVERED
+
+
+@dataclass(frozen=True)
+class HandlerFailure:
+    """Recorded in a broadcast's result map when a recipient's handler raised.
+
+    Pre-transport, a raising handler aborted the delivery loop mid-way:
+    earlier recipients had applied the message, later ones never saw it, and
+    nothing recorded the failure.  Now every recipient is attempted and the
+    failure is first-class data in the result map.
+    """
+
+    recipient: str
+    error: str
+
+
+@dataclass
+class BroadcastReport:
+    """Everything one broadcast produced: per-recipient deliveries + retries."""
+
+    topic: str
+    sender: str
+    deliveries: dict[str, Delivery] = field(default_factory=dict)
+    #: Simulated exponential-backoff waits (in ticks) the sender sat through
+    #: between retry sweeps; accounting only — the simulation does not sleep.
+    retry_backoffs: list[int] = field(default_factory=list)
+
+    def results(self) -> dict[str, Any]:
+        """The legacy result map: handler results, plus recorded handler failures."""
+        results: dict[str, Any] = {}
+        for recipient, delivery in self.deliveries.items():
+            if delivery.status == DELIVERED:
+                results[recipient] = delivery.result
+            elif delivery.status == ERROR:
+                results[recipient] = HandlerFailure(recipient, delivery.error)
+        return results
+
+    def undelivered(self) -> list[str]:
+        """Recipients the message never (confirmably) reached, sorted."""
+        return sorted(
+            recipient
+            for recipient, delivery in self.deliveries.items()
+            if delivery.status in UNDELIVERED_STATUSES
+        )
+
+
+# ----------------------------------------------------------------------
+# Declarative fault plans
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Fault overrides for one directed link (``sender -> recipient``).
+
+    ``topics`` scopes the fault to specific topics (empty = all).
+    ``response_timeout`` forces the *response-lost* path: the payload is
+    delivered and the handler runs, but the sender never sees the return
+    value — exactly how a vote is lost without the proposal being lost.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    latency_ticks: int = 0
+    response_timeout: bool = False
+    topics: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise BlockchainError(f"LinkFault.{name} must be in [0, 1], got {value}")
+        if self.latency_ticks < 0:
+            raise BlockchainError("LinkFault.latency_ticks must be non-negative")
+        object.__setattr__(self, "topics", tuple(self.topics))
+
+    def applies_to(self, topic: str) -> bool:
+        return not self.topics or topic in self.topics
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "drop_probability": self.drop_probability,
+            "duplicate_probability": self.duplicate_probability,
+            "latency_ticks": self.latency_ticks,
+            "response_timeout": self.response_timeout,
+            "topics": list(self.topics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LinkFault":
+        return cls(
+            drop_probability=float(payload.get("drop_probability", 0.0)),
+            duplicate_probability=float(payload.get("duplicate_probability", 0.0)),
+            latency_ticks=int(payload.get("latency_ticks", 0)),
+            response_timeout=bool(payload.get("response_timeout", False)),
+            topics=tuple(payload.get("topics", ())),
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A named network partition over explicit cells of nodes.
+
+    Nodes not listed in any cell form one implicit cell of their own; traffic
+    between different cells is blocked.  ``direction`` refines the block for
+    eclipse-style attacks: ``inbound`` only blocks messages *into* explicit
+    cells (an eclipsed victim can still talk out), ``outbound`` only messages
+    *out of* them.  ``start_tick`` / ``heal_tick`` bound the partition's
+    lifetime on the transport's tick clock (``heal_tick=None`` = never heals
+    by schedule; scenarios may still heal it explicitly).
+    """
+
+    name: str
+    cells: tuple[tuple[str, ...], ...]
+    direction: str = "both"
+    start_tick: int = 0
+    heal_tick: int | None = None
+
+    def __post_init__(self) -> None:
+        cells = tuple(tuple(cell) for cell in self.cells)
+        if not cells or any(not cell for cell in cells):
+            raise BlockchainError(f"partition {self.name!r} needs at least one non-empty cell")
+        seen: set[str] = set()
+        for cell in cells:
+            for node in cell:
+                if node in seen:
+                    raise BlockchainError(
+                        f"partition {self.name!r}: node {node!r} appears in two cells"
+                    )
+                seen.add(node)
+        if self.direction not in PARTITION_DIRECTIONS:
+            raise BlockchainError(
+                f"partition {self.name!r}: direction must be one of {PARTITION_DIRECTIONS}"
+            )
+        if self.heal_tick is not None and self.heal_tick <= self.start_tick:
+            raise BlockchainError(f"partition {self.name!r}: heal_tick must follow start_tick")
+        object.__setattr__(self, "cells", cells)
+
+    def active_at(self, tick: int) -> bool:
+        if tick < self.start_tick:
+            return False
+        return self.heal_tick is None or tick < self.heal_tick
+
+    def cell_of(self, node_id: str) -> int | None:
+        """Index of the explicit cell holding ``node_id`` (None = implicit cell)."""
+        for index, cell in enumerate(self.cells):
+            if node_id in cell:
+                return index
+        return None
+
+    def blocks(self, sender: str, recipient: str) -> bool:
+        """Whether this partition blocks a ``sender -> recipient`` delivery."""
+        sender_cell = self.cell_of(sender)
+        recipient_cell = self.cell_of(recipient)
+        if sender_cell == recipient_cell:
+            # Same explicit cell, or both in the implicit cell: no boundary.
+            return False
+        if self.direction == "inbound":
+            return recipient_cell is not None
+        if self.direction == "outbound":
+            return sender_cell is not None
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "cells": [list(cell) for cell in self.cells],
+            "direction": self.direction,
+            "start_tick": self.start_tick,
+            "heal_tick": self.heal_tick,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PartitionSpec":
+        return cls(
+            name=str(payload["name"]),
+            cells=tuple(tuple(cell) for cell in payload["cells"]),
+            direction=str(payload.get("direction", "both")),
+            start_tick=int(payload.get("start_tick", 0)),
+            heal_tick=None if payload.get("heal_tick") is None else int(payload["heal_tick"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative description of everything that goes wrong.
+
+    Plan-wide defaults apply to every delivery; ``links`` overrides them per
+    directed link, keyed ``"sender->recipient"`` with ``*`` wildcards on
+    either side (most specific match wins: exact, then ``sender->*``, then
+    ``*->recipient``).  ``timeout_ticks`` is the per-broadcast response
+    window: a delivery whose drawn latency exceeds it still runs the
+    recipient's handler, but the sender records a ``timeout`` instead of the
+    response.  Deliveries of one broadcast are applied in ``(latency,
+    recipient)`` order — the reordering window.
+
+    The plan (seed included) fully determines the fault sequence: the
+    simulation is single-threaded and draws from one ``random.Random(seed)``
+    stream, so identical plans yield identical runs.
+    """
+
+    seed: int = 0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    latency_ticks: int = 0
+    timeout_ticks: int = 2
+    partitions: tuple[PartitionSpec, ...] = ()
+    links: tuple[tuple[str, LinkFault], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise BlockchainError(f"FaultPlan.{name} must be in [0, 1], got {value}")
+        if self.latency_ticks < 0 or self.timeout_ticks < 0:
+            raise BlockchainError("FaultPlan tick parameters must be non-negative")
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        links = self.links.items() if isinstance(self.links, Mapping) else self.links
+        normalized = []
+        for key, fault in links:
+            if "->" not in key:
+                raise BlockchainError(f"link key {key!r} must look like 'sender->recipient'")
+            normalized.append((str(key), fault))
+        object.__setattr__(self, "links", tuple(normalized))
+
+    def link_fault(self, sender: str, recipient: str, topic: str) -> LinkFault | None:
+        """The most specific link override matching a delivery, if any."""
+        table = dict(self.links)
+        for key in (f"{sender}->{recipient}", f"{sender}->*", f"*->{recipient}"):
+            fault = table.get(key)
+            if fault is not None and fault.applies_to(topic):
+                return fault
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "drop_probability": self.drop_probability,
+            "duplicate_probability": self.duplicate_probability,
+            "latency_ticks": self.latency_ticks,
+            "timeout_ticks": self.timeout_ticks,
+            "partitions": [spec.to_dict() for spec in self.partitions],
+            "links": {key: fault.to_dict() for key, fault in self.links},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        links = payload.get("links", {})
+        link_items = links.items() if isinstance(links, Mapping) else links
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            drop_probability=float(payload.get("drop_probability", 0.0)),
+            duplicate_probability=float(payload.get("duplicate_probability", 0.0)),
+            latency_ticks=int(payload.get("latency_ticks", 0)),
+            timeout_ticks=int(payload.get("timeout_ticks", 2)),
+            partitions=tuple(
+                PartitionSpec.from_dict(spec) for spec in payload.get("partitions", ())
+            ),
+            links=tuple((str(key), LinkFault.from_dict(fault)) for key, fault in link_items),
+        )
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+class Transport:
+    """How payloads cross the simulated wire.
+
+    The :class:`~repro.blockchain.network.Network` resolves membership and
+    handler tables, then hands each broadcast/send to the transport, which
+    decides per-recipient outcomes and records them on the shared
+    :class:`~repro.blockchain.network.NetworkStats`.
+    """
+
+    name = "transport"
+    #: Whether deliveries can fail; retry/failover paths key off this so the
+    #: deterministic transport stays byte-identical to the historical network.
+    faulty = False
+
+    def begin_round(self, label: Any) -> None:
+        """Advance the transport's simulated clock (one tick per round attempt)."""
+
+    def deliver_broadcast(
+        self,
+        sender_id: str,
+        topic: str,
+        payload: Any,
+        handlers: Mapping[str, Callable[[str, Any], Any]],
+        stats: "NetworkStats",
+    ) -> BroadcastReport:
+        raise NotImplementedError
+
+    def deliver_send(
+        self,
+        sender_id: str,
+        recipient_id: str,
+        topic: str,
+        payload: Any,
+        handler: Callable[[str, Any], Any],
+        stats: "NetworkStats",
+    ) -> Delivery:
+        raise NotImplementedError
+
+
+def _invoke(recipient_id: str, handler, sender_id: str, payload: Any) -> Delivery:
+    """Run one handler, capturing an exception as an ``error`` delivery."""
+    try:
+        return Delivery(recipient_id, DELIVERED, result=handler(sender_id, payload))
+    except Exception as exc:  # noqa: BLE001 - a raising handler must not abort the sweep
+        return Delivery(recipient_id, ERROR, error=str(exc), exception=exc)
+
+
+class DeterministicTransport(Transport):
+    """Synchronous, loss-free, sorted-order delivery — the historical semantics.
+
+    Every recipient is attempted (a raising handler no longer aborts the loop
+    mid-way; the failure is captured per recipient instead), delivery order is
+    sorted node id, and nothing is ever dropped, duplicated, or delayed.
+    Chains produced under this transport are byte-identical to pre-transport
+    runs, which the parity tests pin against recorded head hashes.
+    """
+
+    name = "deterministic"
+    faulty = False
+
+    def deliver_broadcast(self, sender_id, topic, payload, handlers, stats) -> BroadcastReport:
+        report = BroadcastReport(topic=topic, sender=sender_id)
+        for recipient_id in sorted(handlers):
+            delivery = _invoke(recipient_id, handlers[recipient_id], sender_id, payload)
+            report.deliveries[recipient_id] = delivery
+            stats.record_outcome(topic, delivery)
+        return report
+
+    def deliver_send(self, sender_id, recipient_id, topic, payload, handler, stats) -> Delivery:
+        delivery = _invoke(recipient_id, handler, sender_id, payload)
+        stats.record_outcome(topic, delivery)
+        return delivery
+
+
+class FaultInjectingTransport(Transport):
+    """Delivery under a seeded :class:`FaultPlan`, plus scenario-driven faults.
+
+    Scheduled faults come from the plan (tick-windowed partitions, plan-wide
+    and per-link probabilities); scenarios can additionally steer the
+    transport imperatively — :meth:`set_partition` / :meth:`heal` for named
+    partitions and :meth:`add_link_fault` / :meth:`remove_link_fault` for
+    link overrides — which keeps fault windows aligned with protocol rounds
+    rather than guessing tick numbers.
+    """
+
+    name = "faulty"
+    faulty = True
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+        self._rng = random.Random(int(self.plan.seed))
+        self.tick = 0
+        self.phase: Any = None
+        self._dynamic_partitions: dict[str, PartitionSpec] = {}
+        self._dynamic_links: dict[str, LinkFault] = {}
+        #: Heal log: partition name -> tick it was healed at (reporting only).
+        self.healed: dict[str, int] = {}
+
+    # -- clock and dynamic fault control --------------------------------
+
+    def begin_round(self, label: Any) -> None:
+        self.tick += 1
+        self.phase = label
+
+    def set_partition(self, spec: PartitionSpec) -> None:
+        """Activate (or replace) a named partition immediately."""
+        self._dynamic_partitions[spec.name] = replace(spec, start_tick=0, heal_tick=None)
+        self.healed.pop(spec.name, None)
+
+    def heal(self, name: str) -> None:
+        """Remove a dynamically set partition (no-op if absent)."""
+        if self._dynamic_partitions.pop(name, None) is not None:
+            self.healed[name] = self.tick
+
+    def heal_all(self) -> None:
+        for name in list(self._dynamic_partitions):
+            self.heal(name)
+
+    def add_link_fault(self, key: str, fault: LinkFault) -> None:
+        if "->" not in key:
+            raise BlockchainError(f"link key {key!r} must look like 'sender->recipient'")
+        self._dynamic_links[key] = fault
+
+    def remove_link_fault(self, key: str) -> None:
+        self._dynamic_links.pop(key, None)
+
+    def active_partitions(self) -> list[PartitionSpec]:
+        active = [spec for spec in self.plan.partitions if spec.active_at(self.tick)]
+        active.extend(self._dynamic_partitions.values())
+        return active
+
+    # -- per-delivery decisions -----------------------------------------
+
+    def _blocking_partition(self, sender: str, recipient: str) -> str | None:
+        for spec in self.active_partitions():
+            if spec.blocks(sender, recipient):
+                return spec.name
+        return None
+
+    def _effective_fault(self, sender: str, recipient: str, topic: str) -> LinkFault:
+        for key in (f"{sender}->{recipient}", f"{sender}->*", f"*->{recipient}"):
+            fault = self._dynamic_links.get(key)
+            if fault is not None and fault.applies_to(topic):
+                return fault
+        override = self.plan.link_fault(sender, recipient, topic)
+        if override is not None:
+            return override
+        return LinkFault(
+            drop_probability=self.plan.drop_probability,
+            duplicate_probability=self.plan.duplicate_probability,
+            latency_ticks=self.plan.latency_ticks,
+        )
+
+    def _plan_delivery(self, sender: str, recipient: str, topic: str):
+        """Draw one recipient's fate: a failed Delivery, or (latency, dup, lost)."""
+        blocked = self._blocking_partition(sender, recipient)
+        if blocked is not None:
+            return Delivery(recipient, PARTITIONED, error=f"partitioned by {blocked!r}"), None
+        fault = self._effective_fault(sender, recipient, topic)
+        if fault.drop_probability and self._rng.random() < fault.drop_probability:
+            return Delivery(recipient, DROPPED, error="dropped in transit"), None
+        latency = self._rng.randint(0, fault.latency_ticks) if fault.latency_ticks else 0
+        duplicates = (
+            1
+            if fault.duplicate_probability and self._rng.random() < fault.duplicate_probability
+            else 0
+        )
+        response_lost = fault.response_timeout or latency > self.plan.timeout_ticks
+        return None, (latency, duplicates, response_lost)
+
+    def _deliver_one(
+        self, sender, recipient, topic, payload, handler, latency, duplicates, response_lost
+    ) -> Delivery:
+        delivery = _invoke(recipient, handler, sender, payload)
+        for _ in range(duplicates):
+            # Duplicate copies re-invoke the handler; their results are
+            # discarded, exactly like redundant gossip on a real network.
+            _invoke(recipient, handler, sender, payload)
+        delivery.latency = latency
+        delivery.duplicates = duplicates
+        if response_lost and delivery.status == DELIVERED:
+            delivery = Delivery(
+                recipient,
+                TIMEOUT,
+                error=f"response lost after {latency} tick(s) (> timeout "
+                f"{self.plan.timeout_ticks})",
+                latency=latency,
+                duplicates=duplicates,
+            )
+        return delivery
+
+    # -- Transport interface --------------------------------------------
+
+    def deliver_broadcast(self, sender_id, topic, payload, handlers, stats) -> BroadcastReport:
+        report = BroadcastReport(topic=topic, sender=sender_id)
+        failed: list[Delivery] = []
+        queued: list[tuple[int, str, tuple[int, int, bool]]] = []
+        for recipient_id in sorted(handlers):
+            failure, outcome = self._plan_delivery(sender_id, recipient_id, topic)
+            if failure is not None:
+                failed.append(failure)
+            else:
+                latency, duplicates, response_lost = outcome
+                queued.append((latency, recipient_id, (latency, duplicates, response_lost)))
+        for delivery in failed:
+            report.deliveries[delivery.recipient] = delivery
+            stats.record_outcome(topic, delivery)
+        # The reordering window: deliveries land in (latency, recipient) order,
+        # so a slow link really does apply the message after a faster peer's.
+        for _, recipient_id, (latency, duplicates, response_lost) in sorted(
+            queued, key=lambda item: (item[0], item[1])
+        ):
+            delivery = self._deliver_one(
+                sender_id, recipient_id, topic, payload,
+                handlers[recipient_id], latency, duplicates, response_lost,
+            )
+            report.deliveries[recipient_id] = delivery
+            stats.record_outcome(topic, delivery)
+        return report
+
+    def deliver_send(self, sender_id, recipient_id, topic, payload, handler, stats) -> Delivery:
+        failure, outcome = self._plan_delivery(sender_id, recipient_id, topic)
+        if failure is not None:
+            stats.record_outcome(topic, failure)
+            return failure
+        latency, duplicates, response_lost = outcome
+        delivery = self._deliver_one(
+            sender_id, recipient_id, topic, payload, handler, latency, duplicates, response_lost
+        )
+        stats.record_outcome(topic, delivery)
+        return delivery

@@ -36,15 +36,22 @@ from repro.analysis.tradeoff import sweep_group_counts
 from repro.core.audit import audit_chain
 from repro.core.config import ProtocolConfig
 from repro.core.adversary import AdversaryBehavior
+from repro.blockchain.transport import FaultPlan
 from repro.core.pipeline import (
     AdversarialSubmissionScenario,
     AdversaryInjectionScenario,
     ChurnScenario,
+    ComposedScenario,
     DropoutScenario,
+    DuplicateStormScenario,
+    EclipseScenario,
+    FaultScenario,
     JoinScenario,
     LateJoinScenario,
     LeaderDropoutScenario,
     LeaveScenario,
+    LossyGossipScenario,
+    PartitionAndHealScenario,
     RoundScheduler,
     Scenario,
     StragglerScenario,
@@ -83,12 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(
             "none", "dropout", "straggler", "adversarial-claim", "late-join",
             "adversary-window", "join", "leave", "churn", "leader-dropout",
+            "partition-heal", "eclipse", "lossy-gossip", "duplicate-storm",
         ),
         default="none",
         help="pipeline scenario to run (dropout recovery, straggler delay, "
         "rejected adversarial group claim, orchestration-level late join, "
         "round-windowed adversary injection, on-chain cohort join/leave/churn, "
-        "or a silent block proposer forcing consensus view changes)",
+        "a silent block proposer forcing consensus view changes, or a "
+        "transport fault family: network partition with heal, eclipsed "
+        "victim, seeded message loss, or duplicate storm)",
     )
     run.add_argument(
         "--scenario-owner", type=str, default=None,
@@ -112,7 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--authority-rotation", action="store_true",
         help="propose round blocks under the epoch-authority schedule (leaders "
         "drawn from the round's cohort, view-change failover, auditable view "
-        "numbers); implied by --scenario leader-dropout",
+        "numbers); implied by --scenario leader-dropout/partition-heal/eclipse",
+    )
+    run.add_argument(
+        "--transport", choices=("deterministic", "faulty"), default="deterministic",
+        help="message delivery layer: deterministic (loss-free, byte-identical "
+        "chains — the default) or faulty (seeded fault injection; implied by "
+        "--fault-plan and the fault scenarios)",
+    )
+    run.add_argument(
+        "--fault-plan", type=str, default=None, metavar="JSON",
+        help="FaultPlan as inline JSON or a path to a JSON file (seed, "
+        "drop_probability, duplicate_probability, latency_ticks, "
+        "timeout_ticks, partitions, links); implies --transport faulty",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault-injecting transport's RNG (ignored when "
+        "--fault-plan provides its own)",
+    )
+    run.add_argument(
+        "--delivery-report-out", type=str, default=None, metavar="PATH",
+        help="write the run's delivery report (per-topic outcomes, per-round "
+        "rows, per-node resyncs) to a JSON file",
     )
 
     sweep = subparsers.add_parser("sweep-groups", help="privacy/resolution trade-off over the group count")
@@ -175,8 +207,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_scenario(kind: str, owner_id: str, n_rounds: int, joiner_dataset=None) -> Scenario | None:
+#: Scenarios that install the fault-injecting transport themselves.
+FAULT_SCENARIOS = ("partition-heal", "eclipse", "lossy-gossip", "duplicate-storm")
+
+#: Scenarios that only exist under the epoch-authority schedule.
+ROTATION_SCENARIOS = ("leader-dropout", "partition-heal", "eclipse")
+
+
+def _build_scenario(
+    kind: str,
+    owner_id: str,
+    n_rounds: int,
+    joiner_dataset=None,
+    fault_plan: FaultPlan | None = None,
+    fault_seed: int = 0,
+) -> Scenario | None:
     """Construct the pipeline scenario requested on the command line."""
+    plan = fault_plan or FaultPlan(seed=fault_seed)
+    if kind == "partition-heal":
+        return PartitionAndHealScenario(round_number=1, heal_after_attempts=1, plan=plan)
+    if kind == "eclipse":
+        return EclipseScenario(owner_id, rounds=(max(1, n_rounds - 1),), plan=plan)
+    if kind == "lossy-gossip":
+        return LossyGossipScenario(drop_probability=0.08, seed=plan.seed)
+    if kind == "duplicate-storm":
+        return DuplicateStormScenario(duplicate_probability=0.5, seed=plan.seed)
     if kind == "dropout":
         return DropoutScenario(owner_id, round_number=0, offline_ticks=2)
     if kind == "straggler":
@@ -204,13 +259,25 @@ def _build_scenario(kind: str, owner_id: str, n_rounds: int, joiner_dataset=None
     return None
 
 
+def _load_fault_plan(spec: str) -> FaultPlan:
+    """Parse ``--fault-plan``: inline JSON first, then a JSON file path."""
+    try:
+        payload = json.loads(spec)
+    except json.JSONDecodeError:
+        with open(spec, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    return FaultPlan.from_dict(payload)
+
+
 def _command_run(args: argparse.Namespace) -> int:
-    if args.scenario in ("join", "leave", "churn", "adversary-window", "leader-dropout") and args.rounds < 2:
+    guarded = ("join", "leave", "churn", "adversary-window", "leader-dropout",
+               "partition-heal", "eclipse")
+    if args.scenario in guarded and args.rounds < 2:
         # Membership changes take effect at a later round boundary, the
-        # adversary window opens at round 1, and the default leader-dropout
-        # target is only scheduled to propose from round 1 on — a single-round
-        # run would silently degenerate to a plain run while reporting the
-        # scenario.
+        # adversary window opens at round 1, the default leader-dropout
+        # target is only scheduled to propose from round 1 on, and the
+        # partition/eclipse windows target round 1 — a single-round run would
+        # silently degenerate to a plain run while reporting the scenario.
         print(f"error: --scenario {args.scenario} needs at least 2 rounds")
         return 2
     # Churn is exempt: its joiner enters at or before the leave boundary, so
@@ -238,7 +305,7 @@ def _command_run(args: argparse.Namespace) -> int:
         permutation_seed=args.seed,
         sv_assembly_version=args.sv_assembly_version,
         state_root_version=args.state_root_version,
-        authority_rotation=args.authority_rotation or args.scenario == "leader-dropout",
+        authority_rotation=args.authority_rotation or args.scenario in ROTATION_SCENARIOS,
     )
     protocol = BlockchainFLProtocol(
         owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
@@ -249,7 +316,17 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"error: --scenario-owner {target!r} is not one of the generated owners "
               f"({', '.join(owner_ids)})")
         return 2
-    scenario = _build_scenario(args.scenario, target, args.rounds, joiner_dataset)
+    fault_plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    scenario = _build_scenario(
+        args.scenario, target, args.rounds, joiner_dataset,
+        fault_plan=fault_plan, fault_seed=args.fault_seed,
+    )
+    if (args.transport == "faulty" or fault_plan is not None) and args.scenario not in FAULT_SCENARIOS:
+        # A generic faulty run: install the plan's transport after setup and
+        # assert post-heal convergence + audit at settlement, composing with
+        # whatever base scenario was requested.
+        faulty = FaultScenario(fault_plan or FaultPlan(seed=args.fault_seed), round_retries=2)
+        scenario = faulty if scenario is None else ComposedScenario([scenario, faulty])
     scheduler = RoundScheduler(protocol, scenario)
     result = scheduler.run()
 
@@ -265,6 +342,18 @@ def _command_run(args: argparse.Namespace) -> int:
         elif args.scenario == "leader-dropout":
             print(f"scenario: leader-dropout — {target} never proposes; "
                   "view changes hand its slots to the next scheduled owner")
+        elif args.scenario == "partition-heal":
+            print("scenario: partition-heal — the swarm splits in half for round 1's "
+                  "first attempt, heals, and the retry commits the identical block")
+        elif args.scenario == "eclipse":
+            print(f"scenario: eclipse — {target} is cut off from all inbound traffic, "
+                  "falls behind, and resyncs from an honest peer after the heal")
+        elif args.scenario == "lossy-gossip":
+            print("scenario: lossy-gossip — every link drops messages (seeded); "
+                  "retries, redelivery, and failover absorb the loss")
+        elif args.scenario == "duplicate-storm":
+            print("scenario: duplicate-storm — links duplicate messages (seeded); "
+                  "dedup keeps the chain byte-identical to a clean run")
         else:
             print(f"scenario: {args.scenario} targeting {target}")
         for ctx in scheduler.contexts:
@@ -287,12 +376,77 @@ def _command_run(args: argparse.Namespace) -> int:
                 changed,
             ])
         print(render_table(["round", "block", "view", "view changes"], rows))
+
+    totals = result.delivery_report.get("totals", {})
+    print(f"\ntransport delivery ({protocol.network.transport.name}): "
+          f"{totals.get('attempted', 0)} attempted, {totals.get('delivered', 0)} delivered, "
+          f"{totals.get('dropped', 0) + totals.get('partitioned', 0)} lost, "
+          f"{totals.get('duplicated', 0)} duplicated, {totals.get('timed_out', 0)} timed out, "
+          f"{totals.get('retries', 0)} retries")
+    if protocol.network.faulty:
+        rows = []
+        for ctx in scheduler.contexts:
+            delta = ctx.metadata.get("delivery", {}).get("totals", {})
+            rows.append([
+                ctx.round_number,
+                ctx.metadata.get("attempt", 0),
+                delta.get("attempted", 0),
+                delta.get("delivered", 0),
+                delta.get("dropped", 0) + delta.get("partitioned", 0),
+                delta.get("duplicated", 0),
+                delta.get("timed_out", 0),
+                delta.get("retries", 0),
+                "committed" if ctx.result is not None else "aborted",
+            ])
+        print(render_table(
+            ["round", "attempt", "attempted", "delivered", "lost", "dup",
+             "timeout", "retries", "outcome"],
+            rows,
+        ))
+        resyncs = {
+            owner: protocol.participants[owner].node.resyncs
+            for owner in protocol.owner_ids
+            if protocol.participants[owner].node.resyncs
+        }
+        if resyncs:
+            detail = ", ".join(
+                f"{owner} ({sum(r['blocks'] for r in records)} block(s) from "
+                f"{records[-1]['peer']})"
+                for owner, records in sorted(resyncs.items())
+            )
+            print(f"resynced replicas: {detail}")
+
     rows = [
         [record.round_number, f"{record.global_utility:.4f}", len(record.groups),
          sum(len(group) for group in record.groups)]
         for record in result.rounds
     ]
     print(render_table(["round", "global utility", "groups", "cohort"], rows))
+
+    if args.delivery_report_out:
+        payload = {
+            "transport": protocol.network.transport.name,
+            "fault_seed": args.fault_seed,
+            "fault_plan": _load_fault_plan(args.fault_plan).to_dict() if args.fault_plan else None,
+            "scenario": args.scenario,
+            "report": result.delivery_report,
+            "rounds": [
+                {
+                    "round": ctx.round_number,
+                    "attempt": ctx.metadata.get("attempt", 0),
+                    "committed": ctx.result is not None,
+                    "delivery": ctx.metadata.get("delivery", {}),
+                }
+                for ctx in scheduler.contexts
+            ],
+            "resyncs": {
+                owner: protocol.participants[owner].node.resyncs
+                for owner in protocol.owner_ids
+            },
+        }
+        with open(args.delivery_report_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"delivery report written to {args.delivery_report_out}")
 
     if result.epoch_settlements:
         print("\ncohort epochs (per-epoch settlement):")

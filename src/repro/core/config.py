@@ -47,6 +47,18 @@ class ProtocolConfig:
             so — like ``sv_assembly_version`` — it is pinned on the registry
             at setup: every miner and every auditor commits and verifies the
             same root format.
+        gossip_max_retries: bounded retry budget per gossip recipient (tx and
+            commit broadcasts) when the transport can lose messages.  A
+            delivery-layer knob only — it never appears in
+            :meth:`on_chain_params`, so tuning it cannot change chain hashes.
+        gossip_retry_backoff: initial backoff between retry sweeps in
+            simulated ticks, doubled per sweep (recorded for reporting; the
+            single-threaded simulation does not sleep).  Off-chain like
+            ``gossip_max_retries``.
+        round_retries: how many times the scheduler re-attempts a round whose
+            block could not commit under delivery faults (e.g. mid-partition).
+            An aborted attempt touches nothing, so the retry re-stages the
+            identical round.  Off-chain; fault scenarios may raise it further.
         authority_rotation: when True, training-round blocks are proposed
             under the epoch-authority schedule — the eligible proposers of
             round ``r`` are the registry's ``active_cohort(r)``, rotated
@@ -75,6 +87,9 @@ class ProtocolConfig:
     sv_assembly_version: int = 1
     state_root_version: int = 1
     authority_rotation: bool = False
+    gossip_max_retries: int = 2
+    gossip_retry_backoff: int = 2
+    round_retries: int = 0
 
     def __post_init__(self) -> None:
         if self.n_owners < 2:
@@ -93,6 +108,12 @@ class ProtocolConfig:
             raise ConfigurationError("sv_assembly_version must be 1 (scalar) or 2 (vectorized)")
         if self.state_root_version not in (1, 2):
             raise ConfigurationError("state_root_version must be 1 (flat hash) or 2 (Merkle)")
+        if self.gossip_max_retries < 0:
+            raise ConfigurationError("gossip_max_retries must be non-negative")
+        if self.gossip_retry_backoff < 1:
+            raise ConfigurationError("gossip_retry_backoff must be at least 1 tick")
+        if self.round_retries < 0:
+            raise ConfigurationError("round_retries must be non-negative")
 
     def on_chain_params(self, model_dimension: int) -> dict[str, Any]:
         """The parameter dict pinned on the registry contract."""

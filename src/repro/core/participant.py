@@ -45,6 +45,8 @@ class Participant:
         byzantine: bool = False,
         adversary: AdversaryBehavior | None = None,
         state_root_version: int = 1,
+        gossip_max_retries: int = 2,
+        gossip_retry_backoff: int = 2,
     ) -> None:
         self.owner_id = data.owner_id
         self.client = DataOwner(
@@ -66,6 +68,8 @@ class Participant:
             runtime_factory,
             byzantine=byzantine,
             state_root_version=state_root_version,
+            max_retries=gossip_max_retries,
+            retry_backoff=gossip_retry_backoff,
         )
         self.adversary = adversary or AdversaryBehavior(kind="honest")
         self._peer_public_keys: dict[str, int] = {}

@@ -85,6 +85,10 @@ class ProtocolResult:
     total_transactions: int = 0
     total_gas: int = 0
     network_stats: dict = field(default_factory=dict)
+    # Per-topic delivery outcomes (attempted/delivered/dropped/duplicated/...)
+    # from NetworkStats.delivery_report(); all-delivered under the default
+    # deterministic transport.
+    delivery_report: dict = field(default_factory=dict)
     # Dynamic-membership runs only: one entry per cohort epoch with the epoch's
     # round range, cohort, SV mass, and settled reward pool (empty otherwise).
     epoch_settlements: list[dict] = field(default_factory=list)
@@ -186,10 +190,15 @@ class Scenario:
     A scenario whose behaviour only exists under the epoch-authority schedule
     sets :attr:`requires_authority_rotation`; the scheduler refuses to run it
     on a non-rotation protocol instead of silently degenerating to a plain
-    run.
+    run.  A scenario that expects delivery faults to abort whole rounds (e.g.
+    a partition that only heals on a later attempt) sets :attr:`round_retries`
+    — the scheduler re-attempts an aborted round that many extra times, and an
+    aborted attempt touches nothing, so the retry re-stages the identical
+    round.
     """
 
     requires_authority_rotation: bool = False
+    round_retries: int = 0
 
     def on_setup(self, protocol: "BlockchainFLProtocol") -> None:
         """Called once after the setup block commits."""
@@ -248,6 +257,9 @@ class ComposedScenario(Scenario):
         self.scenarios = list(scenarios)
         self.requires_authority_rotation = any(
             scenario.requires_authority_rotation for scenario in scenarios
+        )
+        self.round_retries = max(
+            (getattr(scenario, "round_retries", 0) for scenario in scenarios), default=0
         )
 
     def on_setup(self, protocol) -> None:
@@ -582,6 +594,218 @@ class LeaderDropoutScenario(Scenario):
 
 
 # ----------------------------------------------------------------------
+# Fault-injection scenarios (transport layer)
+# ----------------------------------------------------------------------
+
+class FaultScenario(Scenario):
+    """Base for scenarios that run the swarm over a fault-injecting transport.
+
+    On setup (after the setup block commits — registration traffic stays
+    clean and deterministic) the scenario swaps the protocol's network onto a
+    :class:`~repro.blockchain.transport.FaultInjectingTransport` built from
+    its seeded :class:`~repro.blockchain.transport.FaultPlan`.  At settlement
+    it asserts the paper's convergence obligation: every remaining fault is
+    healed, lagging replicas resync via the chain's fast-sync recovery path,
+    every miner must hold the same head hash, and the reference chain must
+    pass a full transparency audit (:func:`repro.core.audit.audit_chain`) —
+    a healed swarm converges to one audited chain or the run fails loudly.
+    """
+
+    def __init__(self, plan: "FaultPlan | None" = None, round_retries: int = 0) -> None:
+        from repro.blockchain.transport import FaultPlan
+
+        self.plan = plan or FaultPlan()
+        self.round_retries = int(round_retries)
+        self.protocol: "BlockchainFLProtocol | None" = None
+        self.transport: "FaultInjectingTransport | None" = None
+
+    def on_setup(self, protocol: "BlockchainFLProtocol") -> None:
+        from repro.blockchain.transport import FaultInjectingTransport
+
+        self.protocol = protocol
+        self.transport = protocol.network.install_transport(FaultInjectingTransport(self.plan))
+
+    def on_settlement(self, result: ProtocolResult) -> None:
+        protocol = self.protocol
+        if protocol is None or self.transport is None:
+            raise ProtocolError("fault scenario settled without on_setup having run")
+        self.transport.heal_all()
+        resynced = protocol.resync_lagging_replicas()
+        heads = {
+            owner: protocol.participants[owner].node.chain.head.block_hash
+            for owner in protocol.owner_ids
+        }
+        if len(set(heads.values())) != 1:
+            raise ProtocolError(
+                f"swarm did not converge after heal: distinct heads {sorted(set(heads.values()))} "
+                f"across {heads}"
+            )
+        from repro.core.audit import audit_chain
+
+        report = audit_chain(
+            protocol._reference_chain(),
+            protocol.validation_features,
+            protocol.validation_labels,
+            protocol.n_classes,
+        )
+        if not report.passed:
+            raise ProtocolError(
+                f"post-heal transparency audit failed: {len(report.mismatches)} mismatch(es)"
+            )
+        # Resync traffic ran after the settlement stage snapshotted the stats;
+        # refresh so the reported numbers include the recovery.
+        result.network_stats = protocol.network.stats.as_dict()
+        result.delivery_report = protocol.network.stats.delivery_report()
+        result.network_stats.setdefault("resyncs", {})
+        for owner in resynced:
+            result.network_stats["resyncs"][owner] = list(
+                protocol.participants[owner].node.resyncs
+            )
+
+
+class PartitionAndHealScenario(FaultScenario):
+    """Split the swarm into cells for a round's first attempts, then heal.
+
+    While the partition is open no leader can assemble the full submission
+    set (secure aggregation needs every cohort member), so every scheduled
+    proposer fails, the round aborts untouched, and the scheduler re-attempts
+    it; once the partition heals the retry commits a block byte-identical to
+    an undisturbed run's (pinned by tests).
+
+    Args:
+        round_number: the round whose first attempts run partitioned.
+        heal_after_attempts: how many attempts fail before the heal.
+        cells: explicit partition cells (default: the cohort split in half).
+        plan: optional baseline fault plan (seed etc.) for the transport.
+    """
+
+    requires_authority_rotation = True
+
+    def __init__(
+        self,
+        round_number: int = 1,
+        heal_after_attempts: int = 1,
+        cells: Sequence[Sequence[str]] | None = None,
+        plan: "FaultPlan | None" = None,
+    ) -> None:
+        if heal_after_attempts < 1:
+            raise ProtocolError("heal_after_attempts must be at least 1")
+        super().__init__(plan=plan, round_retries=heal_after_attempts + 1)
+        self.round_number = int(round_number)
+        self.heal_after_attempts = int(heal_after_attempts)
+        self.cells = None if cells is None else tuple(tuple(cell) for cell in cells)
+        self._attempts_seen = 0
+        self.partition_name = "partition:split"
+
+    def _default_cells(self) -> tuple[tuple[str, ...], ...]:
+        owners = self.protocol.owner_ids
+        half = max(1, len(owners) // 2)
+        return (tuple(owners[:half]), tuple(owners[half:]))
+
+    def on_round_start(self, ctx: RoundContext) -> None:
+        from repro.blockchain.transport import PartitionSpec
+
+        if ctx.round_number != self.round_number:
+            return
+        if self._attempts_seen < self.heal_after_attempts:
+            cells = self.cells or self._default_cells()
+            self.transport.set_partition(PartitionSpec(self.partition_name, cells))
+        else:
+            self.transport.heal(self.partition_name)
+        self._attempts_seen += 1
+
+
+class EclipseScenario(FaultScenario):
+    """One victim is eclipsed: honest peers' messages to it are all blocked.
+
+    The partition is *inbound-only*: the victim's own submissions still reach
+    the leaders (rounds finalize on schedule for everyone else), but it sees
+    no proposals or commits and silently falls behind the swarm.  When the
+    eclipse lifts, the victim detects the gap from the next message above its
+    height (or the post-run convergence sweep) and resyncs from an honest
+    peer via the chain's fast-sync recovery path — ending byte-identical to
+    the replicas that never left.
+
+    The victim must not be the protocol's reference replica (the first sorted
+    owner), which the convergence checks and auditors read from.
+    """
+
+    requires_authority_rotation = True
+
+    def __init__(
+        self,
+        victim: str,
+        rounds: Sequence[int] = (1,),
+        plan: "FaultPlan | None" = None,
+    ) -> None:
+        super().__init__(plan=plan, round_retries=1)
+        self.victim = victim
+        self.rounds = {int(r) for r in rounds}
+        if not self.rounds:
+            raise ProtocolError("EclipseScenario needs at least one target round")
+        self.partition_name = f"eclipse:{victim}"
+
+    def on_setup(self, protocol: "BlockchainFLProtocol") -> None:
+        super().on_setup(protocol)
+        if self.victim not in protocol.owner_ids:
+            raise ProtocolError(f"eclipse victim {self.victim!r} is not a participant")
+        if self.victim == protocol.owner_ids[0]:
+            raise ProtocolError(
+                "the eclipse victim cannot be the reference replica "
+                f"({protocol.owner_ids[0]!r}): reads and audits go through it"
+            )
+
+    def on_round_start(self, ctx: RoundContext) -> None:
+        from repro.blockchain.transport import PartitionSpec
+
+        if ctx.round_number in self.rounds:
+            self.transport.set_partition(
+                PartitionSpec(self.partition_name, ((self.victim,),), direction="inbound")
+            )
+        else:
+            self.transport.heal(self.partition_name)
+
+    def on_round_end(self, ctx: RoundContext) -> None:
+        if ctx.round_number == max(self.rounds):
+            self.transport.heal(self.partition_name)
+
+
+class LossyGossipScenario(FaultScenario):
+    """Every link drops messages with a fixed probability (seeded).
+
+    Gossip retries with exponential backoff, point-to-point redelivery to
+    would-be leaders, leader failover, and round re-attempts absorb the loss;
+    the run must still converge to one audited chain.  Two runs with the same
+    seed are identical down to the delivery report (pinned by tests).
+    """
+
+    def __init__(self, drop_probability: float = 0.1, seed: int = 0) -> None:
+        from repro.blockchain.transport import FaultPlan
+
+        super().__init__(
+            plan=FaultPlan(seed=seed, drop_probability=drop_probability), round_retries=2
+        )
+
+
+class DuplicateStormScenario(FaultScenario):
+    """Every link duplicates messages with a fixed probability (seeded).
+
+    Duplicates are the benign fault: mempools deduplicate by tx hash,
+    re-probed proposals discard the duplicate verdict, and a duplicate commit
+    is acknowledged idempotently — so the chain is byte-identical to a clean
+    run's (pinned by tests), with the storm visible only in the delivery
+    report's ``duplicated`` counters.
+    """
+
+    def __init__(self, duplicate_probability: float = 0.5, seed: int = 0) -> None:
+        from repro.blockchain.transport import FaultPlan
+
+        super().__init__(
+            plan=FaultPlan(seed=seed, duplicate_probability=duplicate_probability)
+        )
+
+
+# ----------------------------------------------------------------------
 # Stages
 # ----------------------------------------------------------------------
 
@@ -789,26 +1013,38 @@ class BlockProposalStage(RoundStage):
                     f"round {ctx.round_number}: every scheduled proposer "
                     f"({', '.join(proposers)}) is offline; nothing was committed"
                 )
-        for owner_id in sorted(ctx.submissions):
-            protocol._submit(ctx.submissions[owner_id])
-        for tx in ctx.closing_transactions:
+        staged = [ctx.submissions[owner_id] for owner_id in sorted(ctx.submissions)]
+        staged.extend(ctx.closing_transactions)
+        for tx in staged:
             protocol._submit(tx)
+
+        def withdraw_staged() -> None:
+            # Every available proposer's block was rejected post-gossip:
+            # withdraw the round's transactions from all mempools so the
+            # abort still leaves nothing behind.
+            hashes = [tx.tx_hash for tx in staged]
+            for participant in protocol.participants.values():
+                participant.node.mempool.remove(hashes)
+
         if rotation:
             try:
                 ctx.consensus, view, view_changes = protocol._commit_round_block(
-                    ctx.round_number, silent
+                    ctx.round_number, silent, required=staged
                 )
             except ConsensusError as exc:
-                # Every available proposer's block was rejected post-gossip:
-                # withdraw the round's transactions from all mempools so the
-                # abort still leaves nothing behind.
-                staged = [tx.tx_hash for tx in ctx.submissions.values()]
-                staged.extend(tx.tx_hash for tx in ctx.closing_transactions)
-                for participant in protocol.participants.values():
-                    participant.node.mempool.remove(staged)
+                withdraw_staged()
                 raise RoundError(str(exc)) from exc
             ctx.metadata["view"] = view
             ctx.metadata["view_changes"] = view_changes
+        elif protocol.network.faulty:
+            # Under delivery faults the static-leader commit fails over across
+            # the round-robin; if no leader can assemble and commit the round's
+            # block, abort the round without leaving staged txs behind.
+            try:
+                ctx.consensus = protocol._commit_block(required=staged)
+            except ConsensusError as exc:
+                withdraw_staged()
+                raise RoundError(str(exc)) from exc
         else:
             ctx.consensus = protocol._commit_block()
 
@@ -901,7 +1137,7 @@ class SettlementStage:
             nonce=protocol._next_nonce(closer),
         )
         protocol._submit(reward_tx)
-        protocol._commit_block()
+        protocol._commit_block(required=[reward_tx])
 
         chain = protocol._reference_chain()
         if chain.state.get("reward", "distribution/final") is None:
@@ -919,6 +1155,7 @@ class SettlementStage:
         result.total_transactions = chain.total_transactions()
         result.total_gas = chain.total_gas()
         result.network_stats = protocol.network.stats.as_dict()
+        result.delivery_report = protocol.network.stats.delivery_report()
         if has_membership:
             result.epoch_settlements = self._epoch_summaries(protocol, chain)
         scenario.on_settlement(result)
@@ -964,6 +1201,7 @@ class RoundScheduler:
         scenario: Scenario | None = None,
         round_stages: Sequence[RoundStage] | None = None,
         max_wait_ticks: int = 8,
+        round_retries: int | None = None,
     ) -> None:
         self.protocol = protocol
         self.scenario = scenario or Scenario()
@@ -975,6 +1213,12 @@ class RoundScheduler:
             )
         self.round_stages = tuple(round_stages) if round_stages is not None else DEFAULT_ROUND_STAGES
         self.max_wait_ticks = int(max_wait_ticks)
+        if round_retries is None:
+            round_retries = max(
+                getattr(self.scenario, "round_retries", 0),
+                getattr(protocol.config, "round_retries", 0),
+            )
+        self.round_retries = int(round_retries)
         self.contexts: list[RoundContext] = []
 
     def build_context(self, round_number: int, global_parameters: ModelParameters) -> RoundContext:
@@ -1010,17 +1254,44 @@ class RoundScheduler:
     def run_round(self, round_number: int, global_parameters: ModelParameters) -> RoundResult:
         """Execute one full on-chain round through the stage pipeline.
 
-        A :class:`~repro.exceptions.RoundError` means the round aborted with
-        nothing committed; the scheduler then rewinds the protocol's off-chain
-        nonce counters to the round start so a retry (or a later run) is not
-        permanently ahead of the chain.
+        A :class:`~repro.exceptions.RoundError` means an attempt aborted with
+        nothing committed; since an aborted attempt touches nothing, the
+        scheduler may simply re-attempt the round (:attr:`round_retries`
+        extra times — the recovery path for rounds lost to delivery faults,
+        e.g. while a partition is still open).  Each attempt advances the
+        transport's simulated clock by one tick.  The last attempt's
+        :class:`~repro.exceptions.RoundError` propagates unchanged.
         """
         if not self.protocol._setup_done:
             raise ProtocolError("setup() must run before training rounds")
+        last_error: RoundError | None = None
+        for attempt in range(self.round_retries + 1):
+            self.protocol.network.begin_round(round_number)
+            try:
+                return self._attempt_round(round_number, global_parameters, attempt)
+            except RoundError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _attempt_round(
+        self, round_number: int, global_parameters: ModelParameters, attempt: int = 0
+    ) -> RoundResult:
+        """One attempt of a round; aborts rewind the off-chain nonce counters.
+
+        Every attempt appends its own :class:`RoundContext` to
+        :attr:`contexts` (an aborted attempt's ``result`` stays ``None``) and
+        records the attempt number and the delivery activity it caused in
+        ``ctx.metadata["attempt"]`` / ``["delivery"]``.
+        """
+        from repro.blockchain.network import delivery_report_delta
+
         ctx = self.build_context(round_number, global_parameters)
+        ctx.metadata["attempt"] = attempt
         self.contexts.append(ctx)
         self.scenario.on_round_start(ctx)
         nonce_snapshot = dict(self.protocol._nonces)
+        report_before = self.protocol.network.stats.delivery_report()
         try:
             for stage in self.round_stages:
                 stage.run(self.protocol, ctx, self.scenario)
@@ -1029,7 +1300,13 @@ class RoundScheduler:
             # nothing was committed, so the nonces staged by earlier stages
             # (submission building, closing calls) must rewind with it.
             self.protocol._nonces = nonce_snapshot
+            ctx.metadata["delivery"] = delivery_report_delta(
+                report_before, self.protocol.network.stats.delivery_report()
+            )
             raise
+        ctx.metadata["delivery"] = delivery_report_delta(
+            report_before, self.protocol.network.stats.delivery_report()
+        )
         if ctx.result is None:
             raise RoundError(f"round {round_number}: pipeline finished without a result")
         return ctx.result

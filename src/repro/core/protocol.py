@@ -177,6 +177,8 @@ class BlockchainFLProtocol:
             byzantine=data.owner_id in self.config.byzantine_miners,
             adversary=self._adversaries.get(data.owner_id),
             state_root_version=self.config.state_root_version,
+            gossip_max_retries=self.config.gossip_max_retries,
+            gossip_retry_backoff=self.config.gossip_retry_backoff,
         )
 
     def _next_nonce(self, owner_id: str) -> int:
@@ -188,11 +190,70 @@ class BlockchainFLProtocol:
         """Submit a transaction through its sender's own node (gossips to all)."""
         self.participants[tx.sender].node.submit_transaction(tx)
 
-    def _commit_block(self) -> VerificationResult:
-        """Run one consensus round: leader proposes all pending txs, miners vote."""
-        leader_id = self.consensus.select_leader(self.owner_ids)
-        leader = self.participants[leader_id]
-        return leader.node.run_consensus_round(self.consensus, self.owner_ids)
+    def _redeliver_transactions(
+        self, leader_id: str, txs: Sequence[Transaction]
+    ) -> list[Transaction]:
+        """Point-to-point redelivery of required txs a leader's mempool is missing.
+
+        Gossip under a faulty transport may have dropped a transaction on the
+        link to the would-be leader; before giving up on the leader the sender
+        retries it directly (bounded by the sender's retry budget).  Returns
+        the transactions that still could not be delivered.
+        """
+        from repro.blockchain.node import TOPIC_TRANSACTIONS
+        from repro.blockchain.transport import DELIVERED
+
+        leader_node = self.participants[leader_id].node
+        missing = [tx for tx in txs if tx.tx_hash not in leader_node.mempool]
+        still_missing = []
+        for tx in missing:
+            sender_node = self.participants[tx.sender].node
+            delivered = False
+            for _ in range(sender_node.max_retries + 1):
+                self.network.stats.record_retries(TOPIC_TRANSACTIONS, 1)
+                delivery = self.network.send_detailed(
+                    tx.sender, leader_id, TOPIC_TRANSACTIONS, tx
+                )
+                if delivery.status == DELIVERED:
+                    delivered = True
+                    break
+            if not delivered:
+                still_missing.append(tx)
+        return still_missing
+
+    def _commit_block(
+        self, required: Sequence[Transaction] | None = None
+    ) -> VerificationResult:
+        """Run one consensus round: leader proposes all pending txs, miners vote.
+
+        Under a fault-injecting transport the commit fails over: a leader whose
+        mempool is missing a required transaction (even after point-to-point
+        redelivery) or whose proposal cannot reach quorum is skipped and the
+        next round-robin leader tries, up to one full rotation.  With the
+        deterministic transport this is exactly one attempt — byte-identical
+        to the historical behaviour.
+        """
+        attempts = len(self.owner_ids) if self.network.faulty else 1
+        last_error: ConsensusError | None = None
+        for _ in range(attempts):
+            leader_id = self.consensus.select_leader(self.owner_ids)
+            if self.network.faulty and required:
+                missing = self._redeliver_transactions(leader_id, required)
+                if missing:
+                    last_error = ConsensusError(
+                        f"leader {leader_id} is missing {len(missing)} required "
+                        "transaction(s) after redelivery"
+                    )
+                    continue
+            leader = self.participants[leader_id]
+            try:
+                return leader.node.run_consensus_round(self.consensus, self.owner_ids)
+            except ConsensusError as exc:
+                last_error = exc
+                continue
+        raise last_error if last_error is not None else ConsensusError(
+            "no leader could commit the block"
+        )
 
     def round_proposers(self, round_number: int) -> list[str]:
         """The FL round's eligible proposers in view order (pure chain state).
@@ -207,14 +268,20 @@ class BlockchainFLProtocol:
         return self.consensus.schedule.proposers_for_round(round_number)
 
     def _commit_round_block(
-        self, round_number: int, silent_leaders: frozenset[str] | set[str] = frozenset()
+        self,
+        round_number: int,
+        silent_leaders: frozenset[str] | set[str] = frozenset(),
+        required: Sequence[Transaction] = (),
     ) -> tuple[VerificationResult, int, list[dict]]:
         """Commit an FL round's block under the epoch-authority schedule.
 
         Walks the round's view sequence: a silent scheduled leader (as declared
         by the scenario — the simulation's stand-in for a proposal timeout)
         advances the view without network traffic; a leader whose proposal the
-        miner vote rejects advances it after the failed consensus attempt.
+        miner vote rejects — or, under a faulty transport, whose mempool is
+        missing a ``required`` round transaction even after point-to-point
+        redelivery (an incomplete leader block would seal failed secure-
+        aggregation receipts) — advances it after the failed attempt.
         Returns the verification result, the winning view, and the view-change
         log.  Raises :class:`ConsensusError` when every view is exhausted.
         """
@@ -224,6 +291,17 @@ class BlockchainFLProtocol:
             if leader_id in silent_leaders:
                 view_changes.append({"view": view, "leader": leader_id, "reason": "silent"})
                 continue
+            if self.network.faulty and required:
+                missing = self._redeliver_transactions(leader_id, required)
+                if missing:
+                    view_changes.append(
+                        {
+                            "view": view,
+                            "leader": leader_id,
+                            "reason": f"missing {len(missing)} round transaction(s)",
+                        }
+                    )
+                    continue
             leader = self.participants[leader_id]
             try:
                 result = leader.node.run_consensus_round(self.consensus, view=view)
@@ -244,6 +322,22 @@ class BlockchainFLProtocol:
     def _reference_chain(self):
         """Any honest replica (the first owner's chain) used for reads."""
         return self.participants[self.owner_ids[0]].node.chain
+
+    def resync_lagging_replicas(self) -> list[str]:
+        """Catch up every replica that fell behind the reference head.
+
+        Used after a partition heals: stranded nodes adopt the majority chain
+        via the fast-sync recovery path
+        (:meth:`~repro.blockchain.chain.Blockchain.catch_up_from`).  Returns
+        the owners that resynced.
+        """
+        reference = self._reference_chain()
+        resynced = []
+        for owner_id in self.owner_ids:
+            node = self.participants[owner_id].node
+            if node.chain.height < reference.height and node.try_resync():
+                resynced.append(owner_id)
+        return resynced
 
     # ------------------------------------------------------------------
     # Phase 1: setup

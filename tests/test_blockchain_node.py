@@ -91,10 +91,11 @@ class TestConsensusRound:
         _, nodes = build_cluster(3, byzantine=("node-2",))
         nodes["node-0"].submit_transaction(counter_tx("node-0", 0))
         block = nodes["node-0"].propose_block()
-        votes, rejections = nodes["node-0"].collect_votes(block)
+        votes, rejections, unreachable = nodes["node-0"].collect_votes(block)
         assert votes["node-1"] is True
         assert votes["node-2"] is False
         assert "node-2" in rejections
+        assert unreachable == {}
 
     def test_proposal_does_not_mutate_leader_state_before_commit(self):
         _, nodes = build_cluster(3)
@@ -102,3 +103,133 @@ class TestConsensusRound:
         nodes["node-0"].propose_block()
         assert nodes["node-0"].chain.height == 0
         assert nodes["node-0"].chain.state.get("counter", "value") is None
+
+
+def build_faulty_cluster(plan, n_nodes=4):
+    from repro.blockchain.transport import FaultInjectingTransport
+
+    network = Network(FaultInjectingTransport(plan))
+    nodes = {}
+    for i in range(n_nodes):
+        node_id = f"node-{i}"
+        nodes[node_id] = MinerNode(node_id, network, counter_runtime_factory)
+    return network, nodes
+
+
+class TestGossipRetry:
+    def test_dropped_gossip_is_recovered_by_retry(self):
+        from repro.blockchain.transport import FaultPlan, LinkFault
+
+        # Seed 1 drops node-0 -> node-1 on the first attempt and delivers on
+        # the first retry (the draws are deterministic under the plan seed).
+        plan = FaultPlan(seed=1, links={
+            "node-0->node-1": LinkFault(drop_probability=0.6, topics=("tx",)),
+        })
+        network, nodes = build_faulty_cluster(plan, n_nodes=3)
+        tx = counter_tx("node-0", 0)
+        report = nodes["node-0"].submit_transaction(tx)
+        delivery = report.deliveries["node-1"]
+        assert delivery.delivered
+        assert delivery.attempts == 2
+        assert network.stats.delivery_by_topic["tx"]["retries"] == 1
+        assert report.retry_backoffs == [2]
+        assert tx.tx_hash in nodes["node-1"].mempool
+
+    def test_retry_budget_is_bounded(self):
+        from repro.blockchain.transport import FaultPlan, LinkFault
+
+        plan = FaultPlan(links={
+            "node-0->node-1": LinkFault(drop_probability=1.0, topics=("tx",)),
+        })
+        network, nodes = build_faulty_cluster(plan, n_nodes=3)
+        tx = counter_tx("node-0", 0)
+        report = nodes["node-0"].submit_transaction(tx)
+        delivery = report.deliveries["node-1"]
+        assert not delivery.delivered
+        assert delivery.attempts == 3  # initial broadcast + max_retries (2)
+        assert report.retry_backoffs == [2, 4]  # exponential backoff schedule
+        assert tx.tx_hash not in nodes["node-1"].mempool
+        assert tx.tx_hash in nodes["node-2"].mempool  # unaffected link delivered
+
+
+class TestQuorumUnderFaults:
+    def test_unreachable_voter_counts_as_abstain_not_hang(self):
+        from repro.blockchain.transport import FaultPlan, PartitionSpec
+
+        network, nodes = build_faulty_cluster(FaultPlan())
+        network.transport.set_partition(
+            PartitionSpec("eclipse", (("node-3",),), direction="inbound")
+        )
+        nodes["node-0"].submit_transaction(counter_tx("node-0", 0))
+        block = nodes["node-0"].propose_block()
+        votes, rejections, unreachable = nodes["node-0"].collect_votes(block)
+        assert votes == {
+            "node-0": True, "node-1": True, "node-2": True, "node-3": False,
+        }
+        assert unreachable == {"node-3": "partitioned"}
+        assert "no vote received" in rejections["node-3"]
+        # 3 of 4 accepts: the abstain does not block the majority.
+        engine = ConsensusEngine()
+        result = nodes["node-0"].run_consensus_round(engine)
+        assert result.accepted
+        assert result.unreachable == {"node-3": "partitioned"}
+
+    def test_majority_unreachable_rejects_the_round(self):
+        from repro.blockchain.transport import FaultPlan, PartitionSpec
+
+        network, nodes = build_faulty_cluster(FaultPlan())
+        network.transport.set_partition(
+            PartitionSpec("split", (("node-0", "node-1"), ("node-2", "node-3")))
+        )
+        nodes["node-0"].submit_transaction(counter_tx("node-0", 0))
+        engine = ConsensusEngine()
+        with pytest.raises(ConsensusError):
+            nodes["node-0"].run_consensus_round(engine)
+        assert all(node.chain.height == 0 for node in nodes.values())
+
+
+class TestResync:
+    def commit_block(self, nodes, nonce, amount):
+        nodes["node-0"].submit_transaction(counter_tx("node-0", nonce, amount=amount))
+        return nodes["node-0"].run_consensus_round(ConsensusEngine())
+
+    def test_explicit_resync_after_heal(self):
+        from repro.blockchain.transport import FaultPlan, PartitionSpec
+
+        network, nodes = build_faulty_cluster(FaultPlan())
+        network.transport.set_partition(
+            PartitionSpec("eclipse", (("node-3",),), direction="inbound")
+        )
+        self.commit_block(nodes, nonce=0, amount=5)
+        assert nodes["node-3"].chain.height == 0  # missed the commit entirely
+        network.transport.heal_all()
+        assert nodes["node-3"].try_resync() is True
+        assert nodes["node-3"].chain.height == 1
+        assert nodes["node-3"].chain.head.block_hash == nodes["node-0"].chain.head.block_hash
+        assert nodes["node-3"].chain.state.get("counter", "value") == 5
+        assert nodes["node-3"].resyncs == [
+            {"peer": "node-0", "from_height": 0, "to_height": 1, "blocks": 1}
+        ]
+
+    def test_gapped_commit_triggers_automatic_resync(self):
+        from repro.blockchain.transport import FaultPlan, PartitionSpec
+
+        network, nodes = build_faulty_cluster(FaultPlan())
+        network.transport.set_partition(
+            PartitionSpec("eclipse", (("node-3",),), direction="inbound")
+        )
+        self.commit_block(nodes, nonce=0, amount=5)
+        network.transport.heal_all()
+        # The next commit arrives above node-3's height: it must fill the gap
+        # from its peers instead of rejecting the block.
+        self.commit_block(nodes, nonce=1, amount=2)
+        assert nodes["node-3"].chain.height == 2
+        assert nodes["node-3"].chain.head.block_hash == nodes["node-0"].chain.head.block_hash
+        assert nodes["node-3"].resyncs and nodes["node-3"].resyncs[0]["peer"] == "node-0"
+
+    def test_resync_without_ahead_peer_reports_failure(self):
+        from repro.blockchain.transport import FaultPlan
+
+        _, nodes = build_faulty_cluster(FaultPlan())
+        assert nodes["node-0"].try_resync() is False
+        assert nodes["node-0"].resyncs == []

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro import __version__
@@ -177,3 +179,68 @@ class TestCommands:
         assert exit_code == 0
         assert "native SV" in output
         assert "owner-0" in output
+
+
+class TestFaultCli:
+    def test_transport_and_fault_flags_parse(self):
+        args = build_parser().parse_args([
+            "run", "--transport", "faulty", "--fault-seed", "5",
+            "--fault-plan", '{"drop_probability": 0.1}',
+            "--delivery-report-out", "report.json",
+        ])
+        assert args.transport == "faulty"
+        assert args.fault_seed == 5
+        assert args.fault_plan == '{"drop_probability": 0.1}'
+        assert args.delivery_report_out == "report.json"
+
+    def test_transport_defaults_to_deterministic(self):
+        args = build_parser().parse_args(["run"])
+        assert args.transport == "deterministic"
+        assert args.fault_plan is None
+        assert args.delivery_report_out is None
+
+    def test_fault_scenarios_are_selectable(self):
+        for name in ("partition-heal", "eclipse", "lossy-gossip", "duplicate-storm"):
+            assert build_parser().parse_args(["run", "--scenario", name]).scenario == name
+
+    def test_run_command_partition_heal_scenario(self, capsys, tmp_path):
+        report_path = tmp_path / "delivery.json"
+        exit_code = main([
+            "run", "--scenario", "partition-heal", "--owners", "4", "--groups", "2",
+            "--rounds", "2", "--samples", "320", "--local-epochs", "2",
+            "--fault-seed", "1", "--delivery-report-out", str(report_path),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "transport delivery (faulty):" in output
+        assert "round | attempt | attempted | delivered" in output  # per-round delivery table
+        assert "aborted" in output  # the partitioned attempt shows up
+        assert "transparency audit (replay): PASSED" in output
+
+        report = json.loads(report_path.read_text())
+        assert report["transport"] == "faulty"
+        assert report["scenario"] == "partition-heal"
+        assert report["report"]["totals"]["partitioned"] > 0
+        committed = [row["committed"] for row in report["rounds"]]
+        assert committed.count(False) == 1  # exactly one aborted attempt
+        assert "delivery report written to" in output
+
+    def test_run_command_generic_faulty_transport(self, capsys):
+        exit_code = main([
+            "run", "--owners", "3", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "2", "--seed", "3",
+            "--fault-plan", '{"seed": 5, "drop_probability": 0.1}',
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "transport delivery (faulty):" in output
+        assert "transparency audit (replay): PASSED" in output
+
+    def test_deterministic_run_prints_clean_delivery_summary(self, capsys):
+        exit_code = main([
+            "run", "--owners", "3", "--groups", "2", "--rounds", "1",
+            "--samples", "240", "--local-epochs", "2", "--sigma", "0.1", "--seed", "3",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "transport delivery (deterministic):" in output
