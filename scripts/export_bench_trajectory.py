@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Collapse pytest-benchmark JSON dumps into one canonical trajectory artifact.
+
+The CI benchmark job writes one ``bench-artifacts/bench_*.json`` per suite in
+pytest-benchmark's verbose format (machine info, full stats, nested
+``extra_info``).  This script distils them into a single small
+``BENCH_shapley.json`` keyed by benchmark name, carrying only what a
+perf-trajectory comparison needs: the commit, the date, wall-clock per
+benchmark, and each suite's ``extra_info`` payload (speedups, mask counts,
+estimator error).  Successive commits' artifacts can then be diffed or plotted
+directly without re-parsing the pytest-benchmark schema.
+
+Stdlib-only, so it runs in any job without the test toolchain.
+
+Usage::
+
+    python scripts/export_bench_trajectory.py [bench-artifacts] [BENCH_shapley.json]
+
+Exit code 0 on success, 1 when the input directory has no benchmark dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def summarise_run(raw: dict) -> list[dict]:
+    """One trajectory entry per benchmark in a pytest-benchmark dump."""
+    entries = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        entries.append(
+            {
+                "name": bench.get("name"),
+                "fullname": bench.get("fullname"),
+                "mean_s": stats.get("mean"),
+                "min_s": stats.get("min"),
+                "rounds": stats.get("rounds"),
+                "extra_info": bench.get("extra_info", {}),
+            }
+        )
+    return entries
+
+
+def build_trajectory(artifact_dir: Path) -> dict:
+    dumps = sorted(artifact_dir.glob("bench_*.json"))
+    benchmarks: list[dict] = []
+    commit_info: dict = {}
+    datetime_stamp: str | None = None
+    for dump in dumps:
+        raw = json.loads(dump.read_text())
+        benchmarks.extend(summarise_run(raw))
+        # Every dump in one CI run shares a commit; keep the first seen.
+        commit_info = commit_info or raw.get("commit_info", {})
+        datetime_stamp = datetime_stamp or raw.get("datetime")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "commit": commit_info.get("id"),
+        "branch": commit_info.get("branch"),
+        "datetime": datetime_stamp,
+        "suites": [dump.name for dump in dumps],
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str]) -> int:
+    artifact_dir = Path(argv[1]) if len(argv) > 1 else Path("bench-artifacts")
+    output = Path(argv[2]) if len(argv) > 2 else artifact_dir / "BENCH_shapley.json"
+    trajectory = build_trajectory(artifact_dir)
+    if not trajectory["benchmarks"]:
+        print(f"error: no bench_*.json dumps under {artifact_dir}", file=sys.stderr)
+        return 1
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {output} — {len(trajectory['benchmarks'])} benchmark(s) "
+        f"from {len(trajectory['suites'])} suite(s) at commit {trajectory['commit']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

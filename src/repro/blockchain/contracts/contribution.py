@@ -25,9 +25,14 @@ import numpy as np
 
 from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
 from repro.blockchain.contracts.fl_training import read_round_record
-from repro.blockchain.contracts.registry import read_epochs, read_protocol_params
+from repro.blockchain.contracts.registry import (
+    pinned_sv_estimator,
+    read_epochs,
+    read_protocol_params,
+)
 from repro.exceptions import ContractStateError, ValidationError
 from repro.shapley.engine import coalition_utility_table
+from repro.shapley.estimator import estimator_seed_for_round, sampled_group_shapley
 from repro.shapley.group import assemble_group_values
 from repro.shapley.utility import AccuracyUtility
 
@@ -89,26 +94,62 @@ class ContributionContract(Contract):
 
         m = len(groups)
         labels = [f"group-{j}" for j in range(m)]
+        estimator_name, sv_samples = pinned_sv_estimator(params)
 
-        # Line 4: coalition models are plain averages of the member group
-        # models.  The bitmask engine builds all 2^m averages with one
-        # subset-sum DP and scores them in a single batched pass (with a
-        # constant-memory scalar fallback past the engine's budgets).
-        utilities: dict[tuple[str, ...], float] = coalition_utility_table(
-            dict(zip(labels, group_models)), self._scorer
-        )
+        if estimator_name == "sampled":
+            # Sampled GroupSV: the estimator seed is a pure function of the
+            # pinned permutation seed and the round, so the proposer cannot
+            # shop for a favourable sample and auditors re-derive it from
+            # chain state.  The receipt carries the per-group half-widths and
+            # the estimator metadata; the audit re-runs the estimator and
+            # checks "within bound" instead of exact equality.
+            seed = estimator_seed_for_round(int(params["permutation_seed"]), round_number)
+            estimate = sampled_group_shapley(
+                labels,
+                dict(zip(labels, group_models)),
+                self._scorer,
+                n_permutations=sv_samples,
+                seed=seed,
+            )
+            group_values = [estimate.values[label] for label in labels]
+            group_half_widths = [estimate.half_widths[label] for label in labels]
+            global_utility = estimate.grand_utility
+            evaluation_extras: dict[str, Any] = {
+                "estimator": {
+                    "name": "sampled",
+                    "n_samples": int(estimate.n_permutations),
+                    "seed": int(estimate.seed),
+                    "confidence": float(estimate.confidence),
+                    "tolerance": float(estimate.tolerance),
+                },
+                "group_half_widths": [float(w) for w in group_half_widths],
+            }
+            utilities: dict[tuple[str, ...], float] = {}
+        else:
+            # Line 4: coalition models are plain averages of the member group
+            # models.  The bitmask engine builds all 2^m averages with one
+            # subset-sum DP and scores them in a single batched pass (with a
+            # constant-memory scalar fallback past the engine's budgets).
+            utilities = coalition_utility_table(dict(zip(labels, group_models)), self._scorer)
 
-        # Lines 5-6: group-level Shapley values from the utility table, using
-        # the assembly version pinned on the registry at setup (v1 = scalar
-        # reference formula, bit-for-bit the historical receipts; v2 = the
-        # vectorized bitmask assembly for large m).  The evaluation is
-        # deterministic for a given software stack (code version + BLAS
-        # backend, which the protocol already assumes is shared), so honest
-        # miners compute identical receipts; regression tests pin the values
-        # against the pre-engine implementation on seeded workloads.
-        sv_assembly_version = int(params.get("sv_assembly_version", 1))
-        group_value_map = assemble_group_values(labels, utilities, sv_assembly_version)
-        group_values = [group_value_map[label] for label in labels]
+            # Lines 5-6: group-level Shapley values from the utility table,
+            # using the assembly version pinned on the registry at setup (v1 =
+            # scalar reference formula, bit-for-bit the historical receipts;
+            # v2 = the vectorized bitmask assembly for large m).  The
+            # evaluation is deterministic for a given software stack (code
+            # version + BLAS backend, which the protocol already assumes is
+            # shared), so honest miners compute identical receipts; regression
+            # tests pin the values against the pre-engine implementation on
+            # seeded workloads.
+            sv_assembly_version = int(params.get("sv_assembly_version", 1))
+            group_value_map = assemble_group_values(labels, utilities, sv_assembly_version)
+            group_values = [group_value_map[label] for label in labels]
+            group_half_widths = []
+            # Coalition keys are sorted tuples; tuple(labels) is numeric
+            # order, which stops matching once "group-10" sorts before
+            # "group-2".
+            global_utility = utilities[tuple(sorted(labels))]
+            evaluation_extras = {}
 
         # Line 7: split each group's value equally among its members.
         user_values: dict[str, float] = {}
@@ -116,10 +157,14 @@ class ContributionContract(Contract):
             share = value / len(group)
             for owner in group:
                 user_values[owner] = share
-
-        # Coalition keys are sorted tuples; tuple(labels) is numeric order,
-        # which stops matching once "group-10" sorts before "group-2".
-        grand_coalition = tuple(sorted(labels))
+        if group_half_widths:
+            # An owner's share is value/|group|, so its bound shrinks the
+            # same way — the estimator's CI is linear in the scaling.
+            user_half_widths: dict[str, float] = {}
+            for group, width in zip(groups, group_half_widths):
+                for owner in group:
+                    user_half_widths[owner] = float(width) / len(group)
+            evaluation_extras["user_half_widths"] = user_half_widths
 
         totals = ctx.get("totals", {})
         for owner, value in user_values.items():
@@ -137,7 +182,8 @@ class ContributionContract(Contract):
                     for coalition, value in utilities.items()
                     if coalition
                 },
-                "global_utility": float(utilities[grand_coalition]),
+                "global_utility": float(global_utility),
+                **evaluation_extras,
             },
         )
         ctx.set("totals", totals)
@@ -146,7 +192,7 @@ class ContributionContract(Contract):
             "RoundEvaluated",
             round=round_number,
             by=ctx.sender,
-            global_utility=float(utilities[grand_coalition]),
+            global_utility=float(global_utility),
         )
         return {"status": "evaluated", "round": round_number, "user_values": user_values}
 

@@ -21,8 +21,13 @@ from typing import Any
 import numpy as np
 
 from repro.blockchain.contracts.base import Contract, ContractContext, contract_method
-from repro.blockchain.contracts.registry import read_active_cohort, read_protocol_params
+from repro.blockchain.contracts.registry import (
+    pinned_aggregation_topology,
+    read_active_cohort,
+    read_protocol_params,
+)
 from repro.crypto.fixed_point import FixedPointCodec
+from repro.crypto.sharding import shard_group
 from repro.exceptions import ContractStateError
 from repro.shapley.group import group_members, make_groups
 
@@ -55,6 +60,7 @@ class FLTrainingContract(Contract):
         group_id: int,
         payload: np.ndarray,
         n_samples: int = 0,
+        shard_id: int | None = None,
     ) -> dict[str, Any]:
         """Record the sender's masked local model for a round.
 
@@ -63,6 +69,13 @@ class FLTrainingContract(Contract):
         this round (derived from the pinned permutation seed over the round's
         *active cohort* — the registry's epoch view), and double submissions
         are rejected.  Owners outside the round's cohort cannot submit.
+
+        Under the sharded topology the sender must also claim its ``shard_id``,
+        checked against the canonical shard assignment (contiguous balanced
+        slices of the group's dealt order — :func:`repro.crypto.sharding.shard_group`);
+        masks only cancel within the correct shard, so a wrong claim would
+        corrupt two shard sums at once.  Flat chains reject shard claims and
+        keep byte-identical update records.
         """
         params = read_protocol_params(ctx)
         round_number = int(round_number)
@@ -84,6 +97,21 @@ class FLTrainingContract(Contract):
                 f"permutation assigns it to group {expected_group}"
             )
 
+        topology, shard_size = pinned_aggregation_topology(params)
+        expected_shard: int | None = None
+        if topology == "sharded":
+            shards = shard_group(groups[expected_group], shard_size)
+            expected_shard = next(
+                index for index, shard in enumerate(shards) if ctx.sender in shard
+            )
+            if shard_id is None or int(shard_id) != expected_shard:
+                raise ContractStateError(
+                    f"{ctx.sender} claims shard {shard_id} but the canonical assignment "
+                    f"puts it in shard {expected_shard} of group {expected_group}"
+                )
+        elif shard_id is not None:
+            raise ContractStateError("shard claims are invalid under the flat aggregation topology")
+
         update_key = f"update/{round_number}/{ctx.sender}"
         if ctx.contains(update_key):
             raise ContractStateError(f"{ctx.sender} already submitted an update for round {round_number}")
@@ -93,16 +121,16 @@ class FLTrainingContract(Contract):
             raise ContractStateError(
                 f"payload has dimension {payload.size}, expected {expected_dim}"
             )
-        ctx.set(
-            update_key,
-            {
-                "owner": ctx.sender,
-                "round": round_number,
-                "group": expected_group,
-                "payload": payload,
-                "n_samples": int(n_samples),
-            },
-        )
+        record = {
+            "owner": ctx.sender,
+            "round": round_number,
+            "group": expected_group,
+            "payload": payload,
+            "n_samples": int(n_samples),
+        }
+        if expected_shard is not None:
+            record["shard"] = expected_shard
+        ctx.set(update_key, record)
         submitted = ctx.get(f"submitted/{round_number}", [])
         ctx.set(f"submitted/{round_number}", sorted(submitted + [ctx.sender]))
         ctx.emit("MaskedUpdateSubmitted", owner=ctx.sender, round=round_number, group=expected_group)
@@ -135,31 +163,44 @@ class FLTrainingContract(Contract):
 
         codec = _codec_from_params(params)
         groups = make_groups(owners, int(params["n_groups"]), int(params["permutation_seed"]), round_number)
+        topology, shard_size = pinned_aggregation_topology(params)
+
+        round_shards: list[list[list[str]]] | None = None
+        if topology == "sharded":
+            round_shards = [shard_group(group, shard_size) for group in groups]
 
         group_models: list[np.ndarray] = []
         group_sizes: list[int] = []
-        for group in groups:
+        for group_index, group in enumerate(groups):
+            # Flat: one running sum over the group.  Sharded: sum each
+            # committee, then sum the shard sums — ring addition is
+            # associative, so the masks (which cancel per shard) vanish either
+            # way and the decoded group model is identical to the flat path.
+            summands = [list(group)] if round_shards is None else round_shards[group_index]
             total: np.ndarray | None = None
-            for owner in group:
-                update = ctx.get(f"update/{round_number}/{owner}")
-                payload = np.asarray(update["payload"], dtype=np.uint64)
-                total = payload if total is None else codec.add(total, payload)
-            # The pairwise masks within the group cancel in this sum; decoding
-            # yields the plain sum of the members' weights.
+            for shard in summands:
+                shard_total: np.ndarray | None = None
+                for owner in shard:
+                    update = ctx.get(f"update/{round_number}/{owner}")
+                    payload = np.asarray(update["payload"], dtype=np.uint64)
+                    shard_total = payload if shard_total is None else codec.add(shard_total, payload)
+                total = shard_total if total is None else codec.add(total, shard_total)
             group_sum = codec.decode_sum(total, n_summands=len(group))
             group_models.append(group_sum / float(len(group)))
             group_sizes.append(len(group))
 
         global_model = np.mean(np.stack(group_models, axis=0), axis=0)
-        ctx.set(
-            f"round/{round_number}",
-            {
-                "groups": [list(group) for group in groups],
-                "group_sizes": group_sizes,
-                "group_models": [model for model in group_models],
-                "global_model": global_model,
-            },
-        )
+        round_record: dict[str, Any] = {
+            "groups": [list(group) for group in groups],
+            "group_sizes": group_sizes,
+            "group_models": [model for model in group_models],
+            "global_model": global_model,
+        }
+        if round_shards is not None:
+            round_record["shards"] = [
+                [list(shard) for shard in group_shards] for group_shards in round_shards
+            ]
+        ctx.set(f"round/{round_number}", round_record)
         ctx.set(f"finalized/{round_number}", True)
         ctx.set("latest_round", round_number)
         ctx.emit("RoundFinalized", round=round_number, n_groups=len(groups), by=ctx.sender)

@@ -421,6 +421,31 @@ def pinned_state_root_version(state) -> int:
     return int(params.get("state_root_version", 1))
 
 
+def pinned_aggregation_topology(params: dict[str, Any]) -> tuple[str, int | None]:
+    """The pinned ``(aggregation_topology, shard_size)`` of a parameter record.
+
+    Chains that never opted into sharding carry no topology keys at all (so
+    their parameter records — and block hashes — are byte-identical to
+    pre-sharding chains); absence means the flat topology.
+    """
+    topology = str(params.get("aggregation_topology", "flat"))
+    if topology == "flat":
+        return "flat", None
+    return topology, int(params["shard_size"])
+
+
+def pinned_sv_estimator(params: dict[str, Any]) -> tuple[str, int]:
+    """The pinned ``(sv_estimator, sv_samples)`` of a parameter record.
+
+    Absent keys mean the exact assembly (the historical behaviour); the sample
+    count only matters under the sampled estimator.
+    """
+    estimator = str(params.get("sv_estimator", "exact"))
+    if estimator == "exact":
+        return "exact", 0
+    return estimator, int(params["sv_samples"])
+
+
 def has_membership_events(state) -> bool:
     """Whether any join/leave has been recorded (False on fixed-cohort chains)."""
     return bool(state.get(CONTRACT_NAME, "membership_index", []))

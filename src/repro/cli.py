@@ -91,18 +91,40 @@ def build_parser() -> argparse.ArgumentParser:
             "none", "dropout", "straggler", "adversarial-claim", "late-join",
             "adversary-window", "join", "leave", "churn", "leader-dropout",
             "partition-heal", "eclipse", "lossy-gossip", "duplicate-storm",
+            "cross-device-uniform", "cross-device-linear", "cross-device-quadratic",
         ),
         default="none",
         help="pipeline scenario to run (dropout recovery, straggler delay, "
         "rejected adversarial group claim, orchestration-level late join, "
         "round-windowed adversary injection, on-chain cohort join/leave/churn, "
-        "a silent block proposer forcing consensus view changes, or a "
+        "a silent block proposer forcing consensus view changes, a "
         "transport fault family: network partition with heal, eclipsed "
-        "victim, seeded message loss, or duplicate storm)",
+        "victim, seeded message loss, or duplicate storm, or a cross-device "
+        "simulation at --owners scale under a uniform/linear/quadratic "
+        "device-quality distribution)",
     )
     run.add_argument(
         "--scenario-owner", type=str, default=None,
         help="owner targeted by the scenario (default: the second owner)",
+    )
+    run.add_argument(
+        "--shard-size", type=int, default=None, metavar="K",
+        help="shard the aggregation cohort into committees of at most K "
+        "members (pins aggregation_topology=sharded on the registry); masks "
+        "are pairwise within a committee, so each client derives O(K) masks "
+        "instead of O(group)",
+    )
+    run.add_argument(
+        "--sv-estimator", choices=("exact", "sampled"), default=None,
+        help="GroupSV assembly: exact 2^m enumeration (the default) or the "
+        "stratified+truncated permutation estimator with per-owner confidence "
+        "intervals (the default for cross-device scenarios, and the only "
+        "feasible choice once committees outnumber the exact engine's cap)",
+    )
+    run.add_argument(
+        "--sv-samples", type=int, default=128,
+        help="permutations the sampled estimator draws (rounded up to whole "
+        "stratification blocks; ignored under --sv-estimator exact)",
     )
     run.add_argument(
         "--sv-assembly-version", type=int, choices=(1, 2), default=1,
@@ -269,7 +291,61 @@ def _load_fault_plan(spec: str) -> FaultPlan:
     return FaultPlan.from_dict(payload)
 
 
+def _command_cross_device(args: argparse.Namespace) -> int:
+    """Run the cross-device simulation harness for a cross-device-* scenario."""
+    from repro.core.crossdevice import CrossDeviceConfig, simulate_cross_device
+    from repro.exceptions import ShapleyError, ValidationError
+
+    distribution = args.scenario.removeprefix("cross-device-")
+    try:
+        config = CrossDeviceConfig(
+            n_devices=args.owners,
+            shard_size=args.shard_size or 32,
+            distribution=distribution,
+            sv_estimator=args.sv_estimator or "sampled",
+            sv_samples=args.sv_samples,
+            n_rounds=args.rounds,
+            seed=args.seed,
+        )
+        result = simulate_cross_device(config)
+    except (ShapleyError, ValidationError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"cross-device simulation ({distribution} quality): "
+          f"{config.n_devices} devices, shard size {config.shard_size}, "
+          f"{len(result.rounds[0].shards)} committees, {config.n_rounds} round(s)")
+    print(f"per-device pairwise masks: {result.max_mask_count} max "
+          f"(flat aggregation would need {config.n_devices - 1})")
+    rows = []
+    for record in result.rounds:
+        rows.append([
+            record.round_number,
+            f"{record.global_utility:.4f}",
+            len(record.shards),
+            f"{record.seconds_masking:.2f}",
+            f"{record.seconds_aggregation:.2f}",
+            f"{record.seconds_shapley:.2f}",
+        ])
+    print(render_table(
+        ["round", "global utility", "committees", "mask s", "agg s", "sv s"], rows
+    ))
+    if result.rounds[0].estimator is not None:
+        meta = result.rounds[0].estimator
+        print(f"sampled GroupSV: {meta['n_samples']} permutations, seed {meta['seed']}, "
+              f"{meta['confidence']:.0%} confidence, {meta['evaluations']} coalition "
+              "evaluations in round 0")
+    ordered = sorted(result.total_contributions.items(), key=lambda kv: kv[1], reverse=True)
+    print("\ntop devices by accumulated contribution:")
+    for device, value in ordered[:10]:
+        width = result.rounds[-1].user_half_widths.get(device, 0.0)
+        bound = f" ± {width:.6f}" if width else ""
+        print(f"  {device}: {value:.6f}{bound} (quality {result.quality[device]:.3f})")
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    if args.scenario.startswith("cross-device-"):
+        return _command_cross_device(args)
     guarded = ("join", "leave", "churn", "adversary-window", "leader-dropout",
                "partition-heal", "eclipse")
     if args.scenario in guarded and args.rounds < 2:
@@ -303,6 +379,10 @@ def _command_run(args: argparse.Namespace) -> int:
         learning_rate=args.learning_rate,
         reward_pool=args.reward_pool,
         permutation_seed=args.seed,
+        aggregation_topology="sharded" if args.shard_size else "flat",
+        shard_size=args.shard_size,
+        sv_estimator=args.sv_estimator or "exact",
+        sv_samples=args.sv_samples,
         sv_assembly_version=args.sv_assembly_version,
         state_root_version=args.state_root_version,
         authority_rotation=args.authority_rotation or args.scenario in ROTATION_SCENARIOS,

@@ -31,11 +31,15 @@ from repro.blockchain.consensus import committed_round_of_block, scheduled_propo
 from repro.blockchain.contracts.registry import (
     cohort_for_round_from_state,
     epochs_from_state,
+    pinned_aggregation_topology,
     pinned_state_root_version,
+    pinned_sv_estimator,
 )
 from repro.blockchain.contracts.reward import mass_proportional_pools, proportional_payouts
+from repro.crypto.sharding import shard_group
 from repro.exceptions import AuditError
 from repro.shapley.engine import coalition_utility_table
+from repro.shapley.estimator import estimator_seed_for_round, sampled_group_shapley
 from repro.shapley.group import assemble_group_values
 
 
@@ -54,6 +58,9 @@ class AuditReport:
         proposers_checked: round numbers whose block proposer (and, on
             authority-rotation chains, view number) was recomputed from the
             registry's epoch-authority schedule and matched the header.
+        estimators_checked: sampled-estimator rounds whose receipts — the
+            estimator seed/sample-count metadata, the re-run estimate, and
+            the recorded confidence bounds — all verified from chain state.
         mismatches: human-readable descriptions of any discrepancy found.
         recomputed_totals: the auditor's own accumulated per-owner contributions.
         recomputed_epoch_totals: the auditor's per-epoch accumulated contributions
@@ -65,6 +72,7 @@ class AuditReport:
     rounds_checked: list[int] = field(default_factory=list)
     epochs_checked: list[int] = field(default_factory=list)
     proposers_checked: list[int] = field(default_factory=list)
+    estimators_checked: list[int] = field(default_factory=list)
     mismatches: list[str] = field(default_factory=list)
     recomputed_totals: dict[str, float] = field(default_factory=dict)
     recomputed_epoch_totals: dict[int, dict[str, float]] = field(default_factory=dict)
@@ -99,6 +107,112 @@ def _recompute_round(scorer, round_record: dict, sv_assembly_version: int = 1) -
     return user_values
 
 
+def _audit_sampled_round(
+    scorer,
+    round_record: dict,
+    stored: dict,
+    permutation_seed: int,
+    sv_samples: int,
+    report: AuditReport,
+    tolerance: float,
+) -> bool:
+    """Verify one sampled-estimator round's receipts from chain state alone.
+
+    Three layers, each defeating a different way a proposer could cheat:
+
+    1. The recorded estimator metadata (seed, sample count) must be the
+       canonical chain-state derivation — no shopping for a favourable sample.
+    2. The recorded half-widths must match the re-run estimator's — no
+       inflating the bound until any value "verifies".
+    3. The recorded estimates must lie within the *verified* bound of the
+       auditor's own re-run — "estimate ± bound" instead of exact equality,
+       absorbing residual cross-stack numeric drift without trusting the
+       proposer's arithmetic.
+
+    The per-user receipts are then an arithmetic consequence of the group
+    receipts (equal split), checked exactly.  Returns True when every layer
+    verified.
+    """
+    round_number = int(stored["round"])
+    groups = [list(group) for group in round_record["groups"]]
+    group_models = [np.asarray(model, dtype=np.float64) for model in round_record["group_models"]]
+    labels = [f"group-{j}" for j in range(len(groups))]
+    ok = True
+    tol = max(tolerance * 10, 1e-8)
+
+    meta = stored.get("estimator") or {}
+    expected_seed = estimator_seed_for_round(permutation_seed, round_number)
+    if meta.get("name") != "sampled" or int(meta.get("seed", -1)) != expected_seed:
+        report.mismatches.append(
+            f"round {round_number}: estimator receipt {meta!r} is not the canonical "
+            f"sampled estimator with seed {expected_seed}"
+        )
+        ok = False
+    estimate = sampled_group_shapley(
+        labels,
+        dict(zip(labels, group_models)),
+        scorer,
+        n_permutations=sv_samples,
+        seed=expected_seed,
+    )
+    if int(meta.get("n_samples", -1)) != estimate.n_permutations:
+        report.mismatches.append(
+            f"round {round_number}: receipt records {meta.get('n_samples')} permutations "
+            f"but the pinned sample count re-runs as {estimate.n_permutations}"
+        )
+        ok = False
+
+    stored_values = [float(value) for value in stored.get("group_values", [])]
+    stored_widths = [float(width) for width in stored.get("group_half_widths", [])]
+    if len(stored_values) != len(labels) or len(stored_widths) != len(labels):
+        report.mismatches.append(
+            f"round {round_number}: sampled receipt is missing group values or half-widths"
+        )
+        return False
+    for label, value, width in zip(labels, stored_values, stored_widths):
+        if abs(width - estimate.half_widths[label]) > tol:
+            report.mismatches.append(
+                f"round {round_number}: {label} records half-width {width:.6g} but the "
+                f"re-run estimator gives {estimate.half_widths[label]:.6g}"
+            )
+            ok = False
+        if abs(value - estimate.values[label]) > estimate.half_widths[label] + tol:
+            report.mismatches.append(
+                f"round {round_number}: {label} stored {value:.6f}, outside the verified "
+                f"±{estimate.half_widths[label]:.6g} bound of the re-run estimate "
+                f"{estimate.values[label]:.6f}"
+            )
+            ok = False
+    if abs(float(stored.get("global_utility", 0.0)) - estimate.grand_utility) > tol:
+        report.mismatches.append(
+            f"round {round_number}: stored global utility "
+            f"{float(stored.get('global_utility', 0.0)):.6f} but the re-run gives "
+            f"{estimate.grand_utility:.6f}"
+        )
+        ok = False
+
+    # Per-user receipts follow from the group receipts by the equal split.
+    stored_users = {owner: float(value) for owner, value in stored.get("user_values", {}).items()}
+    stored_user_widths = {
+        owner: float(width) for owner, width in stored.get("user_half_widths", {}).items()
+    }
+    expected_owners = {owner for group in groups for owner in group}
+    if set(stored_users) != expected_owners or set(stored_user_widths) != expected_owners:
+        report.mismatches.append(f"round {round_number}: user receipts cover different owners")
+        return False
+    for group, value, width in zip(groups, stored_values, stored_widths):
+        for owner in group:
+            if abs(stored_users[owner] - value / len(group)) > tol or (
+                abs(stored_user_widths[owner] - width / len(group)) > tol
+            ):
+                report.mismatches.append(
+                    f"round {round_number}: owner {owner}'s receipt is not the equal "
+                    f"split of its group's (value, bound)"
+                )
+                ok = False
+    return ok
+
+
 def audit_chain(
     chain: Blockchain,
     validation_features: np.ndarray,
@@ -116,7 +230,11 @@ def audit_chain(
     ``state_root`` against the replica's retained per-block state versions
     (``mode="incremental"``, O(Δ) per block on Merkle-rooted chains) — (2)
     every round's GroupSV evaluation is recomputed from the published group
-    models under the pinned ``sv_assembly_version``, (3) the accumulated
+    models under the pinned ``sv_assembly_version`` (on sampled-estimator
+    chains the estimator is re-run from the chain-derived seed and the
+    receipts checked within their verified confidence bounds; on sharded
+    chains the recorded committee assignment is checked against the canonical
+    derivation), (3) the accumulated
     per-owner totals must match the contract's, (4) cohort epochs, per-epoch
     SV mass, and every recorded settlement are re-derived and checked, and
     (5) every round block's proposer — plus its consensus view on
@@ -182,6 +300,8 @@ def audit_chain(
             f"but this replica commits version {chain.state_root_version}"
         )
     sv_assembly_version = int(pinned_params.get("sv_assembly_version", 1))
+    topology, shard_size = pinned_aggregation_topology(pinned_params)
+    estimator_name, sv_samples = pinned_sv_estimator(pinned_params)
     evaluated_rounds = sorted(
         int(key.split("/", 1)[1])
         for key in state.keys("contribution")
@@ -204,18 +324,53 @@ def audit_chain(
                 f"round {round_number}: published groups cover {grouped} but the "
                 f"registry's active cohort is {cohort}"
             )
-        recomputed = _recompute_round(scorer, round_record, sv_assembly_version)
-        round_values[round_number] = recomputed
-        stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
-        if set(recomputed) != set(stored_values):
-            report.mismatches.append(f"round {round_number}: contribution covers different owners")
+        # On a sharded chain the round block records the committee assignment
+        # it aggregated under; it must be the canonical chain-state derivation
+        # (and a flat chain must not record one at all).
+        if topology == "sharded":
+            canonical_shards = [
+                [list(shard) for shard in shard_group(list(group), shard_size)]
+                for group in round_record["groups"]
+            ]
+            recorded_shards = round_record.get("shards")
+            if recorded_shards != canonical_shards:
+                report.mismatches.append(
+                    f"round {round_number}: recorded shards differ from the canonical "
+                    f"chain-state assignment"
+                )
+        elif "shards" in round_record:
+            report.mismatches.append(
+                f"round {round_number}: records shards on a flat-topology chain"
+            )
+        if estimator_name == "sampled":
+            # Sampled receipts: verify the estimator metadata is the canonical
+            # derivation, re-run the estimator, and check the stored values
+            # lie within the *verified* bounds — exact accumulation is then
+            # checked downstream against the stored per-round receipts.
+            if _audit_sampled_round(
+                scorer,
+                round_record,
+                stored,
+                int(pinned_params["permutation_seed"]),
+                sv_samples,
+                report,
+                tolerance,
+            ):
+                report.estimators_checked.append(round_number)
+            recomputed = {owner: float(value) for owner, value in stored["user_values"].items()}
         else:
-            for owner, value in recomputed.items():
-                if abs(value - stored_values[owner]) > tolerance:
-                    report.mismatches.append(
-                        f"round {round_number}: owner {owner} stored {stored_values[owner]:.6f} "
-                        f"but recomputation gives {value:.6f}"
-                    )
+            recomputed = _recompute_round(scorer, round_record, sv_assembly_version)
+            stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
+            if set(recomputed) != set(stored_values):
+                report.mismatches.append(f"round {round_number}: contribution covers different owners")
+            else:
+                for owner, value in recomputed.items():
+                    if abs(value - stored_values[owner]) > tolerance:
+                        report.mismatches.append(
+                            f"round {round_number}: owner {owner} stored {stored_values[owner]:.6f} "
+                            f"but recomputation gives {value:.6f}"
+                        )
+        round_values[round_number] = recomputed
         for owner, value in recomputed.items():
             report.recomputed_totals[owner] = report.recomputed_totals.get(owner, 0.0) + value
         report.rounds_checked.append(round_number)

@@ -69,6 +69,31 @@ class ProtocolConfig:
             round-robin over the full replica set and byte-identical chains:
             headers carry no view and hash exactly as before.  Pinned on chain
             at setup like every other consensus-relevant parameter.
+        aggregation_topology: ``"flat"`` (the default) masks every update
+            against the whole aggregation group — O(group) pairwise masks per
+            client.  ``"sharded"`` splits each group into committees of at
+            most ``shard_size`` members (:mod:`repro.crypto.sharding`), masks
+            within the committee only — O(shard_size) masks per client — and
+            sums the shard aggregates; ring arithmetic makes the decoded
+            group model bit-identical to the flat path.  Consensus-relevant
+            (it changes which submissions are valid and what the round block
+            records), so it is pinned on the registry; flat chains pin
+            nothing extra and keep byte-identical hashes.
+        shard_size: committee size for the sharded topology (≥ 2; ``None``
+            under the flat topology).  Pinned alongside
+            ``aggregation_topology``.
+        sv_estimator: ``"exact"`` (the default) runs the pinned exact-SV
+            assembly over the full 2^m group game.  ``"sampled"`` runs the
+            stratified + truncated permutation estimator
+            (:mod:`repro.shapley.estimator`) whose receipts carry
+            ``(estimate, half_width, n_samples, seed)`` — the audit re-runs
+            the estimator from the chain-derived seed and checks the stored
+            values lie within the stored bounds instead of exact equality.
+            This is what retires the ``MAX_PLAYERS`` ceiling for large group
+            counts.  Pinned on the registry; exact chains pin nothing extra.
+        sv_samples: permutations the sampled estimator draws per round
+            (rounded up to a whole number of size-m stratification blocks).
+            Pinned alongside ``sv_estimator``.
     """
 
     n_owners: int = 9
@@ -90,6 +115,10 @@ class ProtocolConfig:
     gossip_max_retries: int = 2
     gossip_retry_backoff: int = 2
     round_retries: int = 0
+    aggregation_topology: str = "flat"
+    shard_size: int | None = None
+    sv_estimator: str = "exact"
+    sv_samples: int = 128
 
     def __post_init__(self) -> None:
         if self.n_owners < 2:
@@ -114,10 +143,29 @@ class ProtocolConfig:
             raise ConfigurationError("gossip_retry_backoff must be at least 1 tick")
         if self.round_retries < 0:
             raise ConfigurationError("round_retries must be non-negative")
+        if self.aggregation_topology not in ("flat", "sharded"):
+            raise ConfigurationError("aggregation_topology must be 'flat' or 'sharded'")
+        if self.aggregation_topology == "sharded":
+            if self.shard_size is None or self.shard_size < 2:
+                raise ConfigurationError(
+                    "the sharded topology requires shard_size >= 2 "
+                    "(a singleton shard would submit an unmasked update)"
+                )
+        elif self.shard_size is not None:
+            raise ConfigurationError("shard_size is only meaningful with aggregation_topology='sharded'")
+        if self.sv_estimator not in ("exact", "sampled"):
+            raise ConfigurationError("sv_estimator must be 'exact' or 'sampled'")
+        if self.sv_samples < 2:
+            raise ConfigurationError("sv_samples must be at least 2 (sample variance needs it)")
 
     def on_chain_params(self, model_dimension: int) -> dict[str, Any]:
-        """The parameter dict pinned on the registry contract."""
-        return {
+        """The parameter dict pinned on the registry contract.
+
+        New consensus-relevant knobs are included only when they differ from
+        their defaults, so chains that never use them keep byte-identical
+        parameter records (and thus block hashes) with pre-knob chains.
+        """
+        params = {
             "n_owners": self.n_owners,
             "n_groups": self.n_groups,
             "n_rounds": self.n_rounds,
@@ -133,3 +181,10 @@ class ProtocolConfig:
             "state_root_version": self.state_root_version,
             "authority_rotation": bool(self.authority_rotation),
         }
+        if self.aggregation_topology != "flat":
+            params["aggregation_topology"] = self.aggregation_topology
+            params["shard_size"] = int(self.shard_size)
+        if self.sv_estimator != "exact":
+            params["sv_estimator"] = self.sv_estimator
+            params["sv_samples"] = int(self.sv_samples)
+        return params

@@ -115,30 +115,48 @@ class Participant:
         group: list[str],
         group_id: int,
         nonce: int,
+        shard: list[str] | None = None,
+        shard_id: int | None = None,
     ) -> Transaction:
-        """Mask the local model against the round's group cohort and build the submit tx.
+        """Mask the local model against the round's mask cohort and build the submit tx.
 
-        Masks are pairwise within the group: only the group members' updates are
-        summed together on chain, so only their masks must cancel.
+        Masks are pairwise within the mask cohort: the set of owners whose
+        payloads are summed together on chain, so only their masks must
+        cancel.  Under the flat topology that is the whole group; under the
+        sharded topology the caller passes the owner's shard (a subset of the
+        group) and its claimed ``shard_id``, cutting the per-client mask count
+        from O(group) to O(shard).
         """
-        if self.owner_id not in group:
-            raise ProtocolError(f"{self.owner_id} asked to mask for a group it does not belong to")
-        missing = [peer for peer in group if peer != self.owner_id and peer not in self._peer_public_keys]
+        mask_cohort = group if shard is None else shard
+        if (shard is None) != (shard_id is None):
+            raise ProtocolError("shard and shard_id must be provided together")
+        if self.owner_id not in mask_cohort:
+            raise ProtocolError(f"{self.owner_id} asked to mask for a cohort it does not belong to")
+        if shard is not None and any(peer not in group for peer in shard):
+            raise ProtocolError(f"{self.owner_id}'s shard is not a subset of its group")
+        missing = [
+            peer for peer in mask_cohort if peer != self.owner_id and peer not in self._peer_public_keys
+        ]
         if missing:
             raise ProtocolError(f"{self.owner_id} is missing public keys for peers: {missing}")
-        cohort_keys = {peer: self._peer_public_keys[peer] for peer in group if peer != self.owner_id}
+        cohort_keys = {
+            peer: self._peer_public_keys[peer] for peer in mask_cohort if peer != self.owner_id
+        }
         masker = PairwiseMasker(self.owner_id, self.keypair, cohort_keys, codec=self.codec)
         masked = masker.mask(local_parameters.to_vector(), round_number, group_id=group_id)
+        args = {
+            "round_number": round_number,
+            "group_id": group_id,
+            "payload": np.asarray(masked.payload, dtype=np.uint64),
+            "n_samples": self.client.n_samples,
+        }
+        if shard_id is not None:
+            args["shard_id"] = int(shard_id)
         return Transaction(
             sender=self.owner_id,
             contract="fl_training",
             method="submit_masked_update",
-            args={
-                "round_number": round_number,
-                "group_id": group_id,
-                "payload": np.asarray(masked.payload, dtype=np.uint64),
-                "n_samples": self.client.n_samples,
-            },
+            args=args,
             nonce=nonce,
         )
 

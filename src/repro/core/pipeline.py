@@ -3,8 +3,9 @@
 The protocol of the paper used to live in one monolithic ``run`` loop.  This
 module decomposes it into explicit stages driven by a :class:`RoundScheduler`:
 
-    Setup -> LocalTraining -> Masking/Submission -> SecureAggregation
-          -> Evaluation -> Membership -> BlockProposal -> Settlement
+    Setup -> Sharding -> LocalTraining -> Masking/Submission
+          -> SecureAggregation -> Evaluation -> Membership
+          -> BlockProposal -> Settlement
 
 Every stage reads and writes one :class:`RoundContext` — the complete state of
 a round in flight (cohort, grouping, local models, staged transactions,
@@ -47,6 +48,7 @@ from repro.blockchain.consensus import VerificationResult
 from repro.blockchain.contracts.registry import epochs_from_state, has_membership_events
 from repro.blockchain.transaction import Transaction
 from repro.core.adversary import AdversaryBehavior, apply_adversary
+from repro.crypto.sharding import shard_cohort, shard_membership
 from repro.exceptions import ConsensusError, ProtocolError, RoundError
 from repro.fl.model import ModelParameters
 from repro.shapley.group import group_members, make_groups
@@ -71,6 +73,10 @@ class RoundResult:
     global_utility: float
     global_parameters: ModelParameters
     consensus: VerificationResult | None = None
+    # Sampled-estimator rounds only: per-owner CI half-widths and the
+    # estimator metadata recorded in the round's evaluation receipt.
+    user_half_widths: dict[str, float] = field(default_factory=dict)
+    estimator: dict[str, Any] | None = None
 
 
 @dataclass
@@ -131,6 +137,11 @@ class RoundContext:
     groups: tuple[tuple[str, ...], ...]
     membership: dict[str, int]
     max_wait_ticks: int = 8
+    # Sharded-topology runs only (set by ShardingStage): per group, its
+    # committees, plus owner -> (group index, shard index).  None / empty
+    # under the flat topology.
+    shards: tuple[tuple[tuple[str, ...], ...], ...] | None = None
+    shard_assignment: dict[str, tuple[int, int]] = field(default_factory=dict)
     local_models: dict[str, ModelParameters] = field(default_factory=dict)
     submissions: dict[str, Transaction] = field(default_factory=dict)
     withheld: dict[str, str] = field(default_factory=dict)
@@ -818,6 +829,30 @@ class RoundStage:
         raise NotImplementedError
 
 
+class ShardingStage(RoundStage):
+    """Derive the round's canonical shard (committee) assignment.
+
+    A no-op under the flat topology (flat rounds keep byte-identical behaviour
+    and chains).  Under ``aggregation_topology="sharded"`` the stage splits
+    each group into committees of at most ``shard_size`` members — a pure
+    function of the round's chain-derived grouping, so every miner and every
+    auditor re-derives the same assignment (:mod:`repro.crypto.sharding`) —
+    and records it on the context for the masking stage and gossip validation.
+    """
+
+    name = "sharding"
+
+    def run(self, protocol, ctx, scenario) -> None:
+        if protocol.config.aggregation_topology != "sharded":
+            return
+        shards = shard_cohort(ctx.groups, protocol.config.shard_size)
+        ctx.shards = tuple(tuple(tuple(shard) for shard in group_shards) for group_shards in shards)
+        ctx.shard_assignment = shard_membership(shards)
+        ctx.metadata["shard_sizes"] = [
+            [len(shard) for shard in group_shards] for group_shards in ctx.shards
+        ]
+
+
 class LocalTrainingStage(RoundStage):
     """Every owner trains locally from the current global model."""
 
@@ -851,6 +886,16 @@ def validate_submission(ctx: RoundContext, tx: Transaction, model_dimension: int
         )
     if int(tx.args.get("round_number", -1)) != ctx.round_number:
         return f"{tx.sender} submitted for the wrong round"
+    claimed_shard = tx.args.get("shard_id")
+    if ctx.shards is not None:
+        expected_shard = ctx.shard_assignment[tx.sender][1]
+        if claimed_shard is None or int(claimed_shard) != expected_shard:
+            return (
+                f"{tx.sender} claims shard {claimed_shard} but the round-{ctx.round_number} "
+                f"assignment puts it in shard {expected_shard}"
+            )
+    elif claimed_shard is not None:
+        return f"{tx.sender} claims a shard on a flat-topology round"
     payload = np.asarray(tx.args.get("payload"))
     if payload.size != model_dimension:
         return f"payload has dimension {payload.size}, expected {model_dimension}"
@@ -878,12 +923,19 @@ class MaskingSubmissionStage(RoundStage):
             participant = protocol.participants[owner_id]
             group_id = ctx.membership[owner_id]
             nonce = protocol._next_nonce(owner_id)
+            shard: list[str] | None = None
+            shard_id: int | None = None
+            if ctx.shards is not None:
+                shard_id = ctx.shard_assignment[owner_id][1]
+                shard = list(ctx.shards[group_id][shard_id])
             honest = participant.masked_update_transaction(
                 ctx.local_models[owner_id],
                 ctx.round_number,
                 group=list(ctx.groups[group_id]),
                 group_id=group_id,
                 nonce=nonce,
+                shard=shard,
+                shard_id=shard_id,
             )
             tampered_args = scenario.tamper_submission(ctx, owner_id, dict(honest.args))
             # Rebuilding from the (possibly tampered) args is exact: identical
@@ -1084,11 +1136,14 @@ class BlockProposalStage(RoundStage):
             global_utility=float(evaluation["global_utility"]),
             global_parameters=new_global,
             consensus=ctx.consensus,
+            user_half_widths=dict(evaluation.get("user_half_widths", {})),
+            estimator=evaluation.get("estimator"),
         )
         scenario.on_round_end(ctx)
 
 
 DEFAULT_ROUND_STAGES: tuple[RoundStage, ...] = (
+    ShardingStage(),
     LocalTrainingStage(),
     MaskingSubmissionStage(),
     SecureAggregationStage(),

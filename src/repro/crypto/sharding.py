@@ -1,0 +1,90 @@
+"""Deterministic shard (committee) assignment for hierarchical secure aggregation.
+
+Cross-silo rounds mask every update against the whole aggregation cohort: each
+client derives O(cohort) pairwise masks, which stops scaling long before
+cross-device cohort sizes.  Sharding splits each aggregation cohort (a GroupSV
+group) into committees of at most ``shard_size`` members.  Masks are pairwise
+*within a shard* only — O(shard_size) per client — and because ring addition is
+associative and commutative, the sum of the shard sums equals the sum over the
+whole group: every shard's masks cancel among its own members, so the decoded
+group model is bit-identical to the flat aggregation.
+
+The assignment is a pure function of the round's canonical grouping (itself
+derived from the registry's pinned permutation seed) and the pinned
+``shard_size``: shards are contiguous, size-balanced slices of each group's
+permutation-dealt member order.  Any miner, and any auditor, re-derives the
+same shards from chain state alone; the round's block records them so the
+audit can check the claim (see :func:`repro.core.audit.audit_chain`).
+
+A shard of one member would submit an unmasked update, so the balanced split
+never produces a singleton unless the *group* itself has a single member
+(which is already unmasked under the flat topology).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import GroupingError
+
+
+def shard_count(n_members: int, shard_size: int) -> int:
+    """Number of shards a cohort of ``n_members`` splits into."""
+    if n_members < 1:
+        raise GroupingError("cannot shard an empty cohort")
+    if shard_size < 2:
+        raise GroupingError("shard_size must be at least 2 (a singleton shard is unmasked)")
+    return -(-n_members // shard_size)
+
+
+def shard_sizes(n_members: int, shard_size: int) -> list[int]:
+    """Balanced shard sizes: each ≤ ``shard_size``, any two differ by ≤ 1.
+
+    Balancing (instead of filling shards to ``shard_size`` and leaving a
+    remainder shard) is what keeps the minimum shard size at
+    ``n_members // shard_count`` — never 1 for ``n_members ≥ 2``.
+    """
+    n_shards = shard_count(n_members, shard_size)
+    base, remainder = divmod(n_members, n_shards)
+    return [base + 1 if index < remainder else base for index in range(n_shards)]
+
+
+def shard_group(members: Sequence[str], shard_size: int) -> list[list[str]]:
+    """Split one group's member list into contiguous, size-balanced shards.
+
+    The input order is the canonical permutation-dealt order from
+    :func:`repro.shapley.group.make_groups`, so the slicing is deterministic
+    in chain state.  Member ids must be unique.
+    """
+    members = list(members)
+    if len(set(members)) != len(members):
+        raise GroupingError("member ids must be unique")
+    shards: list[list[str]] = []
+    cursor = 0
+    for size in shard_sizes(len(members), shard_size):
+        shards.append(members[cursor : cursor + size])
+        cursor += size
+    return shards
+
+
+def shard_cohort(
+    groups: Sequence[Sequence[str]], shard_size: int
+) -> list[list[list[str]]]:
+    """Canonical shard assignment for a whole round: per group, its shards."""
+    if not groups:
+        raise GroupingError("at least one group is required")
+    return [shard_group(group, shard_size) for group in groups]
+
+
+def shard_membership(
+    shards: Sequence[Sequence[Sequence[str]]],
+) -> dict[str, tuple[int, int]]:
+    """Invert a shard assignment: owner → (group index, shard index)."""
+    membership: dict[str, tuple[int, int]] = {}
+    for group_index, group_shards in enumerate(shards):
+        for shard_index, shard in enumerate(group_shards):
+            for owner in shard:
+                if owner in membership:
+                    raise GroupingError(f"owner {owner!r} appears in more than one shard")
+                membership[owner] = (group_index, shard_index)
+    return membership

@@ -1,0 +1,272 @@
+"""Sampled GroupSV: a stratified + truncated permutation estimator with receipts.
+
+Exact GroupSV enumerates all 2^m group coalitions, which caps the number of
+aggregation groups at :data:`repro.shapley.engine.MAX_PLAYERS`.  Cross-device
+rounds shard a large cohort into dozens-to-hundreds of committees, so the
+contribution contract needs an estimator whose cost is chosen, not exponential
+— *and* whose output can still be audited from chain state alone.
+
+This module provides that estimator and the receipt type the contract and
+:func:`repro.core.audit.audit_chain` share:
+
+* **Position stratification.**  Permutations are drawn in blocks of ``m``
+  cyclic rotations of one uniform permutation, so within every block each
+  player occupies each position exactly once.  A cyclic shift of a uniform
+  random permutation is itself uniform, so the estimator stays unbiased while
+  the across-position component of the marginal variance is removed from each
+  block.
+* **Truncation.**  Once a permutation's running utility is within
+  ``tolerance`` of the grand coalition's utility, the remaining marginals are
+  zeroed (Ghorbani & Zou's TMC rule).  Unlike
+  :func:`repro.shapley.montecarlo.truncated_monte_carlo_shapley`, all prefixes
+  are still *evaluated* — model scoring here is one batched GEMM over flat
+  vectors, so skipping rows would save little and would break the one
+  ``evaluate_batch`` call per block.  Truncation is applied purely as
+  variance reduction on the accumulated marginals.
+* **Confidence intervals.**  Per-player marginal samples accumulate sum and
+  sum-of-squares, yielding a normal-approximation half-width
+  ``z · s / sqrt(N)``.  The half-width is part of the on-chain receipt: the
+  audit re-runs the estimator from the recorded seed and checks the stored
+  estimate lies within the stored bound, instead of exact equality.
+
+Everything here is deterministic in ``(players, member vectors, n_samples,
+seed)`` — the properties the audit relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapleyError, UtilityError, ValidationError
+from repro.shapley.montecarlo import _prefix_coalitions
+from repro.shapley.utility import CachedUtility, UtilityFunction
+from repro.utils.rng import spawn_rng
+
+# Normal-quantile table for the supported confidence levels.  Hard-coded so the
+# estimator needs no scipy; values are z such that P(|Z| <= z) = confidence.
+_Z_SCORES = {
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.99: 2.5758293035489004,
+}
+
+# Truncation tolerance and confidence level are properties of the estimator
+# *code version* (like the assembly algorithm itself), not registry-pinned
+# knobs: the chain pins (estimator name, n_samples) and the audit recomputes
+# with the constants of the code it runs.
+TRUNCATION_TOLERANCE = 1e-3
+DEFAULT_CONFIDENCE = 0.95
+
+
+def estimator_seed_for_round(permutation_seed: int, round_number: int) -> int:
+    """The canonical estimator seed for a round — a pure function of chain state.
+
+    Derived from the registry's pinned ``permutation_seed`` and the round
+    number, so the proposer has no freedom to shop for a favourable sample and
+    the auditor can re-derive the seed without trusting the record.
+    """
+    return (int(permutation_seed) * 1_000_003 + int(round_number) * 7919) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ShapleyEstimate:
+    """A sampled-SV result: point estimates plus everything a receipt needs."""
+
+    values: dict[str, float]
+    half_widths: dict[str, float]
+    n_permutations: int
+    seed: int
+    confidence: float
+    tolerance: float
+    grand_utility: float
+    evaluations: int = field(default=0, compare=False)
+
+    def within_bounds(self, other: Mapping[str, float]) -> bool:
+        """Whether ``other``'s per-player values all lie inside this estimate's CI."""
+        if set(other) != set(self.values):
+            return False
+        return all(
+            abs(float(other[player]) - self.values[player]) <= self.half_widths[player]
+            for player in self.values
+        )
+
+
+class VectorModelUtility(UtilityFunction):
+    """u(S) = score of the plain average of S's member *flat parameter vectors*.
+
+    The contribution contract holds flat vectors (the on-chain representation),
+    not :class:`~repro.fl.model.ModelParameters`; this utility works on them
+    directly, with the same sorted left-to-right ``fold_mean`` accumulation as
+    :class:`~repro.shapley.utility.CoalitionModelUtility` so the two agree bit
+    for bit on shared coalitions.  ``evaluate_coalitions`` scores the whole
+    batch in one pass, which is what lets the block estimator above evaluate a
+    block's m² prefixes with a single GEMM.
+    """
+
+    def __init__(self, member_vectors: Mapping[str, np.ndarray], scorer) -> None:
+        if not member_vectors:
+            raise ValidationError("at least one member vector is required")
+        self.member_vectors = {
+            member: np.asarray(vector, dtype=np.float64).ravel()
+            for member, vector in member_vectors.items()
+        }
+        dimensions = {vector.size for vector in self.member_vectors.values()}
+        if len(dimensions) != 1:
+            raise ValidationError("member vectors disagree on dimension")
+        self.scorer = scorer
+        self._evaluations = 0
+
+    def _check_coalition(self, coalition: tuple[str, ...]) -> tuple[str, ...]:
+        coalition = tuple(sorted(coalition))
+        unknown = [member for member in coalition if member not in self.member_vectors]
+        if unknown:
+            raise UtilityError(f"coalition names unknown members: {unknown}")
+        return coalition
+
+    def __call__(self, coalition: tuple[str, ...]) -> float:
+        from repro.shapley.engine import fold_mean, score_vectors
+
+        coalition = self._check_coalition(coalition)
+        if not coalition:
+            return self.empty_value
+        self._evaluations += 1
+        mean = fold_mean(np.stack([self.member_vectors[member] for member in coalition]))
+        return float(score_vectors(self.scorer, mean[None, :])[0])
+
+    def evaluations(self) -> int:
+        return self._evaluations
+
+    def evaluate_coalitions(self, coalitions: Sequence[tuple[str, ...]]) -> list[float]:
+        from repro.shapley.engine import fold_mean, score_vectors
+
+        if not coalitions:
+            return []
+        keys = [self._check_coalition(coalition) for coalition in coalitions]
+        non_empty = [key for key in keys if key]
+        if not non_empty:
+            return [self.empty_value] * len(keys)
+        dimension = next(iter(self.member_vectors.values())).size
+        rows = np.empty((len(non_empty), dimension), dtype=np.float64)
+        for slot, coalition in enumerate(non_empty):
+            rows[slot] = fold_mean(
+                np.stack([self.member_vectors[member] for member in coalition])
+            )
+        self._evaluations += len(non_empty)
+        scores = iter(score_vectors(self.scorer, rows))
+        return [float(next(scores)) if key else self.empty_value for key in keys]
+
+
+def stratified_permutation_shapley(
+    players: Sequence[str],
+    utility: UtilityFunction | Callable[[tuple[str, ...]], float],
+    n_permutations: int = 128,
+    seed: int = 0,
+    confidence: float = DEFAULT_CONFIDENCE,
+    tolerance: float = TRUNCATION_TOLERANCE,
+) -> ShapleyEstimate:
+    """Position-stratified, truncated permutation sampling with a CI per player.
+
+    Permutations are consumed in blocks of ``m = len(players)`` cyclic
+    rotations of one uniform draw; ``n_permutations`` is rounded *up* to a
+    whole number of blocks and the actual count is reported in the returned
+    estimate (receipts must record the actual count, not the request).  Each
+    block's m² prefix coalitions are evaluated in one
+    :meth:`~repro.shapley.utility.CachedUtility.evaluate_batch` call.
+
+    Args:
+        players: participant identifiers (at least one).
+        utility: coalition utility ``u(S)`` (wrapped in a cache if needed).
+        n_permutations: requested number of sampled permutations (≥ 2, so the
+            sample variance is defined).
+        seed: RNG seed; the estimate is a pure function of the arguments.
+        confidence: CI level — one of 0.90 / 0.95 / 0.99.
+        tolerance: truncation threshold on ``|u(grand) − u(prefix)|``; 0
+            disables truncation.
+    """
+    if not players:
+        raise ShapleyError("at least one player is required")
+    if n_permutations < 2:
+        raise ShapleyError("n_permutations must be at least 2 (sample variance needs it)")
+    if tolerance < 0:
+        raise ShapleyError("tolerance must be non-negative")
+    z_score = _Z_SCORES.get(float(confidence))
+    if z_score is None:
+        raise ShapleyError(
+            f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence!r}"
+        )
+    players = sorted(players)
+    if len(set(players)) != len(players):
+        raise ShapleyError("player ids must be unique")
+    m = len(players)
+    cached = utility if isinstance(utility, CachedUtility) else CachedUtility(utility)
+    empty_value = cached.empty_value
+    grand_utility = float(cached(tuple(players)))
+    index = {player: position for position, player in enumerate(players)}
+    n_blocks = -(-n_permutations // m)
+    total = n_blocks * m
+    rng = spawn_rng("stratified-shapley", seed, m, n_permutations)
+    sums = np.zeros(m, dtype=np.float64)
+    sums_of_squares = np.zeros(m, dtype=np.float64)
+    for _ in range(n_blocks):
+        base = [players[i] for i in rng.permutation(m)]
+        orders = [base[rotation:] + base[:rotation] for rotation in range(m)]
+        stacked = [prefix for order in orders for prefix in _prefix_coalitions(order)]
+        prefix_utilities = cached.evaluate_batch(stacked).reshape(m, m)
+        marginals = np.diff(prefix_utilities, axis=1, prepend=empty_value)
+        if tolerance > 0:
+            within = np.abs(grand_utility - prefix_utilities) <= tolerance
+            for row in range(m):
+                hits = np.flatnonzero(within[row])
+                if hits.size:
+                    marginals[row, hits[0] + 1 :] = 0.0
+        # Per-permutation accumulation in draw order keeps every player's
+        # floating-point summation order independent of batching internals.
+        for row, order in enumerate(orders):
+            columns = [index[player] for player in order]
+            sums[columns] += marginals[row]
+            sums_of_squares[columns] += marginals[row] ** 2
+    means = sums / total
+    # Sample variance with ddof=1; clipped at zero against float cancellation.
+    variances = np.maximum(0.0, (sums_of_squares - total * means**2) / (total - 1))
+    half_widths = z_score * np.sqrt(variances / total)
+    return ShapleyEstimate(
+        values={player: float(means[index[player]]) for player in players},
+        half_widths={player: float(half_widths[index[player]]) for player in players},
+        n_permutations=total,
+        seed=int(seed),
+        confidence=float(confidence),
+        tolerance=float(tolerance),
+        grand_utility=grand_utility,
+        evaluations=cached.evaluations(),
+    )
+
+
+def sampled_group_shapley(
+    group_labels: Sequence[str],
+    group_vectors: Mapping[str, np.ndarray],
+    scorer,
+    n_permutations: int = 128,
+    seed: int = 0,
+    confidence: float = DEFAULT_CONFIDENCE,
+    tolerance: float = TRUNCATION_TOLERANCE,
+) -> ShapleyEstimate:
+    """Sampled GroupSV over aggregated group models (Algorithm 1, sampled).
+
+    The group game's players are the group labels; utilities average the
+    groups' flat model vectors and score the result, exactly as the exact path
+    does — only the SV assembly differs.  Deterministic in all arguments.
+    """
+    if sorted(group_labels) != sorted(group_vectors):
+        raise ShapleyError("group_labels and group_vectors must cover the same groups")
+    utility = CachedUtility(VectorModelUtility(group_vectors, scorer))
+    return stratified_permutation_shapley(
+        list(group_labels),
+        utility,
+        n_permutations=n_permutations,
+        seed=seed,
+        confidence=confidence,
+        tolerance=tolerance,
+    )

@@ -188,9 +188,13 @@ class RetrainUtility(UtilityFunction):
     scores match serial ones exactly regardless of scheduling.
     """
 
-    # Above this game size the full-power-set vector path (2^n retrainings)
-    # is refused so callers fall back to sampling estimators.
-    VECTOR_MAX_PLAYERS = 20
+    # Above this game size the full-power-set vector path (2^n retrainings) is
+    # refused so callers fall back to sampling estimators.  Kept equal to the
+    # engine's MAX_PLAYERS (a literal, because importing the engine at module
+    # level would be circular; a regression test pins the equality): below the
+    # cap a refusal would not save any work — callers fall back to the same
+    # 2^n retrainings, just unbatched — so the two ceilings must not diverge.
+    VECTOR_MAX_PLAYERS = 24
 
     def __init__(
         self,
@@ -263,6 +267,23 @@ class RetrainUtility(UtilityFunction):
     # Batched paths (routed through the evaluation backend)
     # ------------------------------------------------------------------
 
+    def vector_game_refusal(self, players: Sequence[str]) -> str | None:
+        """Why the full-power-set vector path refuses this game, or None.
+
+        Exposed separately from :meth:`coalition_utility_vector` so the
+        refusal logic is testable without enumerating 2^n coalitions.
+        """
+        ordered = sorted(set(players))
+        if not ordered:
+            return "the vector path needs at least one player"
+        if len(ordered) > self.VECTOR_MAX_PLAYERS:
+            return (
+                f"retraining 2^{len(ordered)} coalitions exceeds the "
+                f"{self.VECTOR_MAX_PLAYERS}-player exhaustive ceiling; "
+                "use a sampling estimator"
+            )
+        return None
+
     def coalition_utility_vector(self, players: Sequence[str]) -> np.ndarray | None:
         """All 2^n retrained-coalition utilities as a bitmask-indexed vector.
 
@@ -274,7 +295,7 @@ class RetrainUtility(UtilityFunction):
         from repro.shapley.engine import mask_coalition
 
         ordered = sorted(set(players))
-        if not ordered or len(ordered) > self.VECTOR_MAX_PLAYERS:
+        if self.vector_game_refusal(ordered) is not None:
             return None
         for player in ordered:
             if player not in self.owner_features:

@@ -1,0 +1,159 @@
+"""Tests for the cross-device simulation harness.
+
+The acceptance criteria this file pins: a 1 000-device sharded round completes
+where flat aggregation is infeasible, every device derives O(shard_size)
+pairwise masks, and the exact estimator refuses once committees outnumber the
+exact engine's player cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.crossdevice import (
+    DISTRIBUTIONS,
+    CrossDeviceConfig,
+    CrossDeviceResult,
+    quality_weights,
+    simulate_cross_device,
+)
+from repro.exceptions import ShapleyError, ValidationError
+from repro.shapley.engine import MAX_PLAYERS
+
+
+class TestQualityWeights:
+    def test_uniform_is_all_ones(self):
+        assert np.array_equal(quality_weights(5, "uniform"), np.ones(5))
+
+    def test_linear_decays_from_one_to_zero(self):
+        weights = quality_weights(5, "linear")
+        assert weights[0] == 1.0
+        assert weights[-1] == 0.0
+        assert np.all(np.diff(weights) < 0)
+
+    def test_quadratic_is_below_linear_in_the_interior(self):
+        linear = quality_weights(10, "linear")
+        quadratic = quality_weights(10, "quadratic")
+        assert np.all(quadratic[1:-1] < linear[1:-1])
+        assert quadratic[0] == 1.0 and quadratic[-1] == 0.0
+
+    def test_single_device_edge(self):
+        for distribution in DISTRIBUTIONS:
+            assert np.array_equal(quality_weights(1, distribution), np.ones(1))
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValidationError):
+            quality_weights(5, "bimodal")
+        with pytest.raises(ValidationError):
+            quality_weights(0, "uniform")
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValidationError):
+            CrossDeviceConfig(n_devices=1)
+        with pytest.raises(ValidationError):
+            CrossDeviceConfig(shard_size=1)
+        with pytest.raises(ValidationError):
+            CrossDeviceConfig(distribution="bimodal")
+        with pytest.raises(ValidationError):
+            CrossDeviceConfig(sv_estimator="bayesian")
+        with pytest.raises(ValidationError):
+            CrossDeviceConfig(sv_samples=1)
+        with pytest.raises(ValidationError):
+            CrossDeviceConfig(n_rounds=0)
+
+
+@pytest.fixture(scope="module")
+def thousand_device_run() -> CrossDeviceResult:
+    """The headline scale point: 1k devices, committees of 32, sampled SV."""
+    return simulate_cross_device(
+        CrossDeviceConfig(
+            n_devices=1000, shard_size=32, distribution="linear",
+            sv_estimator="sampled", sv_samples=32,
+        )
+    )
+
+
+class TestCrossDeviceScale:
+    def test_thousand_device_round_completes(self, thousand_device_run):
+        result = thousand_device_run
+        record = result.rounds[0]
+        assert len(record.shards) == 32  # ceil(1000 / 32)
+        assert sum(len(shard) for shard in record.shards) == 1000
+        assert len(record.user_values) == 1000
+        assert record.estimator is not None
+        assert record.estimator["name"] == "sampled"
+
+    def test_per_device_mask_count_is_o_shard_size(self, thousand_device_run):
+        result = thousand_device_run
+        record = result.rounds[0]
+        sizes = {device: len(shard) for shard in record.shards for device in shard}
+        for device, count in record.mask_counts.items():
+            assert count == sizes[device] - 1
+        # O(shard_size), never O(cohort): flat masking would need 999.
+        assert result.max_mask_count <= 31
+        assert min(record.mask_counts.values()) >= 2
+
+    def test_committee_values_carry_confidence_bounds(self, thousand_device_run):
+        record = thousand_device_run.rounds[0]
+        assert set(record.user_half_widths) == set(record.user_values)
+        assert all(width >= 0.0 for width in record.user_half_widths.values())
+
+    def test_exact_estimator_refuses_past_the_engine_cap(self):
+        config = CrossDeviceConfig(n_devices=100, shard_size=2, sv_estimator="exact")
+        with pytest.raises(ShapleyError, match="exact GroupSV"):
+            simulate_cross_device(config)
+
+    def test_exact_estimator_works_under_the_cap(self):
+        config = CrossDeviceConfig(
+            n_devices=12, shard_size=3, sv_estimator="exact", n_train=128, n_test=64
+        )
+        result = simulate_cross_device(config)
+        record = result.rounds[0]
+        assert len(record.shards) <= MAX_PLAYERS
+        # Exact SV is efficient: committee values sum to the grand utility.
+        assert sum(record.shard_values) == pytest.approx(record.global_utility)
+
+    def test_deterministic_in_the_config(self):
+        config = CrossDeviceConfig(n_devices=64, shard_size=8, sv_samples=16, n_train=128, n_test=64)
+        first = simulate_cross_device(config)
+        second = simulate_cross_device(config)
+        assert first.rounds[0].user_values == second.rounds[0].user_values
+        assert first.rounds[0].user_half_widths == second.rounds[0].user_half_widths
+
+    def test_uniform_quality_gives_symmetric_committees(self):
+        # Under uniform quality every device model equals the base model, so
+        # every committee model is identical and the stratified estimator
+        # resolves every committee to the same value.
+        result = simulate_cross_device(
+            CrossDeviceConfig(
+                n_devices=64, shard_size=8, distribution="uniform",
+                sv_samples=16, n_train=128, n_test=64,
+            )
+        )
+        values = result.rounds[0].shard_values
+        assert max(values) - min(values) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCrossDeviceCli:
+    def test_cross_device_scenario_runs(self, capsys):
+        code = main([
+            "run", "--scenario", "cross-device-uniform", "--owners", "64",
+            "--shard-size", "8", "--sv-samples", "16", "--rounds", "1", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cross-device simulation" in out
+        assert "per-device pairwise masks: 7 max" in out
+
+    def test_cross_device_exact_refusal_is_a_clean_error(self, capsys):
+        code = main([
+            "run", "--scenario", "cross-device-linear", "--owners", "100",
+            "--shard-size", "2", "--sv-estimator", "exact", "--rounds", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "error:" in out

@@ -550,3 +550,14 @@ class TestCachedUtilityBatching:
     def test_coalition_utility_vector_none_for_plain_callables(self):
         cached = CachedUtility(lambda s: float(len(s)))
         assert cached.coalition_utility_vector(["a", "b"]) is None
+
+
+class TestPlayerCapConsistency:
+    def test_vector_game_cap_matches_the_engine_cap(self):
+        # utility.VECTOR_MAX_PLAYERS is a literal copy of engine.MAX_PLAYERS
+        # (a top-level import would be circular); this regression test is what
+        # keeps the two from drifting apart again.
+        from repro.shapley import engine
+        from repro.shapley.utility import RetrainUtility
+
+        assert RetrainUtility.VECTOR_MAX_PLAYERS == engine.MAX_PLAYERS
