@@ -1,12 +1,18 @@
 """Microbenchmark — the versioned Merkle state store vs the flat deep-copy path.
 
-Three hot paths changed in the state layer:
+Four hot paths changed in the state layer:
 
 * ``state_root()``: the pre-Merkle store serialized and hashed the *entire*
   state dict per block (O(all keys)); the v2 store maintains per-namespace
   bucket trees incrementally, re-hashing only buckets touched since the last
-  root (O(keys changed)).  Measured at 1k–100k keys with a 1% churn ratio
-  against both baselines: the v1 flat hash and a from-scratch v2 recompute.
+  root (O(keys changed)).  Measured at 1k–100k keys (push to 1M via
+  ``REPRO_BENCH_STATE_KEYS=1000,...,1000000``) with a 1% churn ratio against
+  both baselines: the v1 flat hash and a from-scratch v2 recompute.
+* adaptive bucketing (``state_root_version=3``): the fixed 1024-bucket v2
+  layout saturates at six-figure key counts (1% churn of 100k keys dirties
+  most buckets); v3 widens the layout as a pure function of the namespace
+  size, keeping the incremental root O(Δ).  Measured at the same sizes
+  against the same two baselines.
 * snapshot/rollback: transaction rollback used to ``copy.deepcopy`` the whole
   world per transaction; the journal makes a snapshot O(1) and a rollback
   O(keys changed).
@@ -14,22 +20,34 @@ Three hot paths changed in the state layer:
   header's state root — timed so the verification cost a participant pays is
   on record.
 
+A fifth section times the persistence engine under the chain: per-block
+SQLite commit overhead (O(Δ) per sealed block) against a whole-store rewrite
+(O(state)), plus restore-on-reopen with and without pruned reverse deltas —
+each with parity asserts, so the bench doubles as a large-state regression
+test for the storage layer.
+
 The recorded ``speedup`` entries in ``benchmark.extra_info`` feed the
-benchmark-artifact trajectory; the asserts pin the acceptance floor from the
-state-store issue: ≥10x on ``state_root()`` at 10k keys with ≤1% churn
-against the full recompute.
+benchmark-artifact trajectory; the asserts pin the acceptance floors: ≥10x
+on ``state_root()`` at 10k keys with ≤1% churn against the full recompute,
+and ≥10x for the v3 adaptive root against the flat hash at 100k keys —
+where the fixed v2 layout no longer clears that bar.
 """
 
 from __future__ import annotations
 
 import copy
 import os
+import tempfile
 import time
 
 import numpy as np
 
 from benchmarks.common import format_table
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.contracts.base import Contract, ContractContext, ContractRuntime, contract_method
 from repro.blockchain.state import WorldState, verify_state_proof
+from repro.blockchain.storage import SQLiteBackend
+from repro.blockchain.transaction import Transaction
 
 # CI smoke runs shrink the workload through the environment (see the
 # benchmark-artifacts job in .github/workflows/ci.yml); defaults are the
@@ -38,6 +56,9 @@ KEY_COUNTS = tuple(
     int(n) for n in os.environ.get("REPRO_BENCH_STATE_KEYS", "1000,10000,100000").split(",")
 )
 CHURN_RATIO = float(os.environ.get("REPRO_BENCH_STATE_CHURN", "0.01"))
+# Storage-engine section: blocks committed and keys written per block.
+STORE_BLOCKS = int(os.environ.get("REPRO_BENCH_STATE_BLOCKS", "16"))
+STORE_WRITES = int(os.environ.get("REPRO_BENCH_STATE_WRITES", "250"))
 _NAMESPACES = ("fl_training", "contribution", "reward", "registry")
 
 
@@ -63,8 +84,24 @@ def _churn(state: WorldState, changed: int, tag: float) -> None:
         )
 
 
+def _incremental_root_time(n_keys: int, root_version: int, changed: int) -> float:
+    """Steady-state incremental ``state_root()`` latency under churn."""
+    state = _build_store(n_keys, root_version=root_version)
+    state.state_root()  # warm the trees so the loop measures steady state
+    repetitions = 5
+    start = time.perf_counter()
+    for repeat in range(repetitions):
+        _churn(state, changed, tag=float(repeat))
+        root = state.state_root()
+    elapsed = (time.perf_counter() - start) / repetitions
+    # Parity: the incremental root must equal a from-scratch recompute of
+    # the same data — the bench doubles as a large-state regression test.
+    assert WorldState(state.raw(), root_version=root_version).state_root() == root
+    return elapsed
+
+
 def _measure_roots():
-    """Flat v1 root and full v2 recompute vs the incremental v2 root per size."""
+    """Flat v1 root and full v2 recompute vs the incremental v2/v3 roots per size."""
     results = {}
     for n_keys in KEY_COUNTS:
         v1 = _build_store(n_keys, root_version=1)
@@ -76,30 +113,23 @@ def _measure_roots():
 
         raw = v2.raw()
         start = time.perf_counter()
-        full_root = WorldState(raw, root_version=2).state_root()
+        WorldState(raw, root_version=2).state_root()
         full_s = time.perf_counter() - start
 
-        v2.state_root()  # warm the trees so the loop measures steady state
         changed = max(1, int(n_keys * CHURN_RATIO))
-        repetitions = 5
-        start = time.perf_counter()
-        for repeat in range(repetitions):
-            _churn(v2, changed, tag=float(repeat))
-            incremental_root = v2.state_root()
-        incremental_s = (time.perf_counter() - start) / repetitions
-
-        # Parity: the incremental root must equal a from-scratch recompute of
-        # the same data — the bench doubles as a large-state regression test.
-        assert WorldState(v2.raw(), root_version=2).state_root() == incremental_root
-        assert full_root != incremental_root  # churn moved the root
+        incremental_s = _incremental_root_time(n_keys, 2, changed)
+        adaptive_s = _incremental_root_time(n_keys, 3, changed)
 
         results[n_keys] = {
             "changed_keys": changed,
             "flat_v1_s": flat_s,
             "full_merkle_s": full_s,
             "incremental_s": incremental_s,
+            "adaptive_s": adaptive_s,
             "speedup_vs_flat": flat_s / incremental_s,
             "speedup_vs_full": full_s / incremental_s,
+            "adaptive_speedup_vs_flat": flat_s / adaptive_s,
+            "adaptive_speedup_vs_full": full_s / adaptive_s,
         }
     return results
 
@@ -162,13 +192,98 @@ def _measure_proofs():
     }
 
 
+class _BulkWriterContract(Contract):
+    """Writes a fixed batch of keys per call (bench only)."""
+
+    name = "bulk"
+
+    @contract_method
+    def write(self, ctx: ContractContext, start: int, count: int, tag: int) -> int:
+        for i in range(int(start), int(start) + int(count)):
+            ctx.set(f"record/{i:06d}", {"tag": int(tag), "i": i})
+        return int(count)
+
+
+def _bulk_runtime() -> ContractRuntime:
+    runtime = ContractRuntime()
+    runtime.register(_BulkWriterContract())
+    return runtime
+
+
+def _grow_bulk_chain(chain: Blockchain, n_blocks: int, writes_per_block: int) -> float:
+    start = time.perf_counter()
+    for height in range(1, n_blocks + 1):
+        tx = Transaction(
+            sender="alice", contract="bulk", method="write",
+            args={"start": (height - 1) * writes_per_block, "count": writes_per_block,
+                  "tag": height},
+            nonce=chain.next_nonce("alice"),
+        )
+        chain.propose_block(f"owner-{height % 2}", [tx])
+    return time.perf_counter() - start
+
+
+def _fingerprint(chain: Blockchain) -> list[tuple[int, str, str]]:
+    return [(b.height, b.block_hash, b.header.state_root) for b in chain.blocks]
+
+
+def _measure_storage():
+    """Per-block SQLite commit overhead, whole-store rewrite, and reopen latency."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.db")
+        in_memory = Blockchain(_bulk_runtime, state_root_version=3)
+        memory_s = _grow_bulk_chain(in_memory, STORE_BLOCKS, STORE_WRITES)
+
+        persisted = Blockchain(
+            _bulk_runtime, state_root_version=3, storage=SQLiteBackend(path)
+        )
+        sqlite_s = _grow_bulk_chain(persisted, STORE_BLOCKS, STORE_WRITES)
+        # Parity: the backend is off-chain — byte-identical blocks either way.
+        assert _fingerprint(persisted) == _fingerprint(in_memory)
+
+        start = time.perf_counter()
+        persisted.storage.rewrite(persisted)  # O(state): the fast-sync snapshot path
+        rewrite_s = time.perf_counter() - start
+        persisted.storage.close()
+
+        start = time.perf_counter()
+        reopened = Blockchain(_bulk_runtime, state_root_version=3)
+        restored = reopened.attach_storage(SQLiteBackend(path))
+        restore_s = time.perf_counter() - start
+        assert restored and _fingerprint(reopened) == _fingerprint(in_memory)
+
+        pruned = reopened.prune(keep_last=2)
+        reopened.storage.close()
+        start = time.perf_counter()
+        pruned_chain = Blockchain(_bulk_runtime, state_root_version=3)
+        pruned_chain.attach_storage(SQLiteBackend(path))
+        restore_pruned_s = time.perf_counter() - start
+        assert _fingerprint(pruned_chain) == _fingerprint(in_memory)
+        assert pruned_chain.oldest_retained_version() == STORE_BLOCKS - 1
+        pruned_chain.storage.close()
+
+    return {
+        "n_blocks": STORE_BLOCKS,
+        "writes_per_block": STORE_WRITES,
+        "memory_build_s": memory_s,
+        "sqlite_build_s": sqlite_s,
+        "commit_overhead_s": max(0.0, sqlite_s - memory_s) / STORE_BLOCKS,
+        "rewrite_s": rewrite_s,
+        "restore_s": restore_s,
+        "restore_pruned_s": restore_pruned_s,
+        "deltas_pruned": len(pruned),
+    }
+
+
 def _run_all():
-    return _measure_roots(), _measure_rollback(), _measure_proofs()
+    return _measure_roots(), _measure_rollback(), _measure_proofs(), _measure_storage()
 
 
 def bench_state_store_vs_flat(benchmark):
-    """State-store speedups over the flat deep-copy path (roots + rollback + proofs)."""
-    roots, rollback, proofs = benchmark.pedantic(_run_all, rounds=1, iterations=1, warmup_rounds=0)
+    """State-store speedups over the flat deep-copy path (roots + rollback + proofs + storage)."""
+    roots, rollback, proofs, storage = benchmark.pedantic(
+        _run_all, rounds=1, iterations=1, warmup_rounds=0
+    )
 
     rows = [
         [
@@ -177,15 +292,16 @@ def bench_state_store_vs_flat(benchmark):
             f"{entry['flat_v1_s'] * 1e3:.1f}",
             f"{entry['full_merkle_s'] * 1e3:.1f}",
             f"{entry['incremental_s'] * 1e3:.2f}",
+            f"{entry['adaptive_s'] * 1e3:.2f}",
             f"{entry['speedup_vs_flat']:.1f}x",
-            f"{entry['speedup_vs_full']:.1f}x",
+            f"{entry['adaptive_speedup_vs_flat']:.1f}x",
         ]
         for n, entry in roots.items()
     ]
-    print("\nstate_root() — flat v1 hash and full Merkle recompute vs incremental root")
+    print("\nstate_root() — flat v1 hash and full Merkle recompute vs incremental roots")
     print(format_table(
-        ["keys", "changed", "flat v1 / ms", "full v2 / ms", "incremental / ms",
-         "vs flat", "vs full"],
+        ["keys", "changed", "flat v1 / ms", "full v2 / ms", "incr v2 / ms",
+         "adaptive v3 / ms", "v2 vs flat", "v3 vs flat"],
         rows,
     ))
     print(
@@ -198,12 +314,21 @@ def bench_state_store_vs_flat(benchmark):
         f"proofs at {proofs['n_keys']} keys: prove {proofs['prove_s'] * 1e3:.2f} ms, "
         f"verify {proofs['verify_s'] * 1e3:.3f} ms ({proofs['siblings']} sibling hashes)"
     )
+    print(
+        f"sqlite store over {storage['n_blocks']} blocks × "
+        f"{storage['writes_per_block']} writes: "
+        f"{storage['commit_overhead_s'] * 1e3:.2f} ms commit overhead per block "
+        f"(whole-store rewrite {storage['rewrite_s'] * 1e3:.1f} ms); reopen "
+        f"{storage['restore_s'] * 1e3:.1f} ms, after pruning "
+        f"{storage['deltas_pruned']:.0f} deltas {storage['restore_pruned_s'] * 1e3:.1f} ms"
+    )
 
     benchmark.extra_info["roots"] = {
         str(n): {key: float(value) for key, value in entry.items()} for n, entry in roots.items()
     }
     benchmark.extra_info["rollback"] = {key: float(value) for key, value in rollback.items()}
     benchmark.extra_info["proofs"] = {key: float(value) for key, value in proofs.items()}
+    benchmark.extra_info["storage"] = {key: float(value) for key, value in storage.items()}
 
     # Acceptance floor (issue 5): ≥10x on state_root() at 10k keys with ≤1%
     # churn against the O(all keys) full recompute of the same commitment
@@ -213,6 +338,16 @@ def bench_state_store_vs_flat(benchmark):
     if 10_000 in roots and CHURN_RATIO <= 0.01:
         assert roots[10_000]["speedup_vs_full"] >= 10.0
         assert roots[10_000]["speedup_vs_flat"] >= 5.0
+    # Acceptance floor (issue 8): at 100k keys the fixed 1024-bucket layout
+    # saturates (1% churn dirties most buckets) but the adaptive v3 layout
+    # must still clear ≥10x against the flat hash (measured ~13x, with v2 at
+    # ~5x).  Reduced-size env overrides that drop the 100k point skip it.
+    if 100_000 in roots and CHURN_RATIO <= 0.01:
+        assert roots[100_000]["adaptive_speedup_vs_flat"] >= 10.0
     # The journal must beat deepcopy-the-world snapshots by an order of
     # magnitude at any measured size.
     assert rollback["speedup"] >= 10.0
+    # Sealing a block into SQLite is O(Δ): it must cost less per block than
+    # one whole-store rewrite once the state dwarfs a single block's delta.
+    if STORE_BLOCKS >= 8:
+        assert storage["commit_overhead_s"] < storage["rewrite_s"]

@@ -25,14 +25,22 @@ that also supports per-entry inclusion proofs (see
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.blockchain.block import GENESIS_PARENT_HASH, Block
 from repro.blockchain.consensus import verify_block_authority
 from repro.blockchain.contracts.base import ContractRuntime
 from repro.blockchain.state import STATE_ROOT_V1, StateView, WorldState
 from repro.blockchain.transaction import Transaction, TransactionReceipt
-from repro.exceptions import ChainValidationError, InvalidBlockError, InvalidTransactionError
+from repro.exceptions import (
+    ChainValidationError,
+    InvalidBlockError,
+    InvalidTransactionError,
+    ValidationError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a module cycle
+    from repro.blockchain.storage import StorageBackend
 
 
 class Blockchain:
@@ -45,8 +53,13 @@ class Blockchain:
         chain_id: label distinguishing independent simulations.
         state_root_version: which state commitment block headers carry (1 =
             historical flat hash, 2 = incremental Merkle root with inclusion
-            proofs).  Every replica of one chain must agree on it, which is
-            why the protocol pins it on the registry at setup.
+            proofs, 3 = Merkle root with adaptive bucketing).  Every replica
+            of one chain must agree on it, which is why the protocol pins it
+            on the registry at setup.
+        storage: optional persistence backend (see
+            :mod:`repro.blockchain.storage`), attached via
+            :meth:`attach_storage`.  Strictly off-chain: it mirrors sealed
+            blocks to durable storage and never changes what gets committed.
     """
 
     def __init__(
@@ -54,6 +67,7 @@ class Blockchain:
         runtime_factory: Callable[[], ContractRuntime],
         chain_id: str = "repro-chain",
         state_root_version: int = STATE_ROOT_V1,
+        storage: "StorageBackend | None" = None,
     ) -> None:
         self.chain_id = chain_id
         self._runtime_factory = runtime_factory
@@ -62,7 +76,10 @@ class Blockchain:
         self.state = WorldState(root_version=self.state_root_version)
         self.blocks: list[Block] = []
         self._nonces: dict[str, int] = {}
+        self.storage: "StorageBackend | None" = None
         self._append_genesis()
+        if storage is not None:
+            self.attach_storage(storage)
 
     # ------------------------------------------------------------------
     # Genesis and basic accessors
@@ -80,6 +97,32 @@ class Blockchain:
         )
         self.blocks.append(genesis)
         self.state.seal_version(0)
+
+    def attach_storage(self, backend: "StorageBackend") -> bool:
+        """Attach a persistence backend; restore from it when it holds a chain.
+
+        Must be called with this replica fresh at genesis.  Returns ``True``
+        when the backend held a committed chain and this replica adopted it
+        (blocks, state with retained deltas, nonces — verified against the
+        stored headers), ``False`` when the backend was fresh and was
+        initialized from this replica instead.
+        """
+        if self.storage is not None:
+            raise ChainValidationError("a storage backend is already attached")
+        restored = backend.attach(self)
+        self.storage = backend
+        return restored
+
+    def _persist_commit(self, block: Block) -> None:
+        """Mirror one freshly sealed block to the attached backend (if any)."""
+        if self.storage is None:
+            return
+        delta = self.state._versions[block.height]
+        touched = {
+            full: (full in self.state._data, self.state._data.get(full))
+            for full in delta
+        }
+        self.storage.commit_block(block, touched, delta, dict(self._nonces))
 
     @property
     def height(self) -> int:
@@ -174,6 +217,7 @@ class Blockchain:
         )
         self.blocks.append(block)
         self.state.seal_version(block.height)
+        self._persist_commit(block)
         return block
 
     def verify_and_append(self, block: Block) -> None:
@@ -221,6 +265,7 @@ class Blockchain:
             raise InvalidBlockError(f"block {block.height}: re-execution failed: {exc}") from exc
         self.blocks.append(block)
         self.state.seal_version(block.height)
+        self._persist_commit(block)
 
     # ------------------------------------------------------------------
     # Validation and replay (transparency)
@@ -280,16 +325,63 @@ class Blockchain:
         """A read-only view of the world state as of committed block ``height``.
 
         Built from the retained per-block reverse deltas in O(keys changed
-        since ``height``) — no genesis re-execution.  The view borrows the
-        live state, so read it before the chain advances (take a fresh view
-        per use).
+        since ``height``) — no genesis re-execution.  Below the pruning
+        horizon (deltas dropped by :meth:`prune`) the O(Δ) overlay is gone,
+        so the view falls back to replaying the chain prefix on a scratch
+        replica — slower, but the answer stays available as long as the
+        blocks are.  The view borrows its backing state, so read it before
+        the chain advances (take a fresh view per use).
         """
         height = int(height)
         if not 0 <= height <= self.height:
             raise ChainValidationError(
                 f"no committed block at height {height} (chain head is {self.height})"
             )
-        return self.state.view_at(height)
+        try:
+            return self.state.view_at(height)
+        except ValidationError:
+            # Pruned below the horizon: snapshot+replay fallback.  The view
+            # holds a reference to the replica's state, keeping it alive.
+            return self.replay_prefix(height).state.view_at(height)
+
+    def replay_prefix(self, height: int) -> "Blockchain":
+        """Re-execute blocks 1..``height`` from genesis onto a fresh replica.
+
+        The snapshot+replay fallback for history below the pruning horizon:
+        ``verify_and_append`` re-checks every receipt and state root along the
+        way, so the result is verified, not trusted.
+        """
+        height = int(height)
+        if not 0 <= height <= self.height:
+            raise ChainValidationError(
+                f"no committed block at height {height} (chain head is {self.height})"
+            )
+        replica = Blockchain(
+            self._runtime_factory,
+            chain_id=f"{self.chain_id}-replay",
+            state_root_version=self.state_root_version,
+        )
+        for block in self.blocks[1 : height + 1]:
+            replica.verify_and_append(block)
+        return replica
+
+    def prune(self, keep_last: int) -> list[int]:
+        """Drop reverse deltas below a horizon of the last ``keep_last`` blocks.
+
+        Blocks, live state, and nonces are untouched — only the O(Δ) overlay
+        path below the horizon is given up.  :meth:`state_at` and the
+        incremental audit fall back to snapshot+replay there (and the audit
+        reports it).  The attached backend (if any) drops the same delta
+        rows.  Returns the pruned heights.
+        """
+        pruned = self.state.prune_versions(keep_last)
+        if self.storage is not None and pruned:
+            self.storage.prune(pruned)
+        return pruned
+
+    def oldest_retained_version(self) -> int | None:
+        """The lowest height whose reverse delta is retained (the pruning horizon)."""
+        return self.state.oldest_retained_version()
 
     def verify_version_roots(self) -> list[int]:
         """Check every committed header's ``state_root`` against the retained versions.
@@ -302,8 +394,13 @@ class Blockchain:
         ones the majority-voted headers committed, without re-executing a
         single transaction (``replay`` remains the full re-execution oracle).
 
+        On a pruned chain the backward walk stops at the oldest retained
+        delta: heights from the head down to one below the horizon are
+        verified (unwinding delta ``h`` lands the scratch copy *at* ``h-1``),
+        anything older has no retained version to check.
+
         Returns the verified heights (descending).  Raises
-        :class:`ChainValidationError` on any mismatch or missing version.
+        :class:`ChainValidationError` on any root mismatch.
         """
         scratch = self.state.copy()
         verified: list[int] = []
@@ -316,8 +413,12 @@ class Blockchain:
                     f"{block.header.state_root[:12]}"
                 )
             verified.append(block.height)
-            if block.height > 0:
-                scratch.unwind_latest_version()
+            if block.height == 0:
+                break
+            if not scratch.has_version(block.height):
+                # Pruned below the horizon: nothing older can be unwound.
+                break
+            scratch.unwind_latest_version()
         return verified
 
     def fast_sync_from(self, reference: "Blockchain") -> None:
@@ -354,6 +455,8 @@ class Blockchain:
         except Exception:
             self.blocks, self.state, self._nonces = saved
             raise
+        if self.storage is not None:
+            self.storage.rewrite(self)
 
     def catch_up_from(self, reference: "Blockchain") -> list[Block]:
         """Adopt a longer peer chain mid-flight after falling behind.
@@ -387,6 +490,8 @@ class Blockchain:
         self.blocks = scratch.blocks
         self.state = scratch.state
         self._nonces = scratch._nonces
+        if self.storage is not None:
+            self.storage.rewrite(self)
         return adopted
 
     # ------------------------------------------------------------------

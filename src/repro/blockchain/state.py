@@ -38,6 +38,7 @@ from repro.utils.serialization import canonical_dumps
 
 STATE_ROOT_V1 = 1
 STATE_ROOT_V2 = 2
+STATE_ROOT_V3 = 3
 
 # Buckets per namespace subtree (power of two).  Each key maps to one bucket
 # by key-hash prefix; a dirty key only re-hashes its bucket plus one
@@ -46,11 +47,40 @@ STATE_ROOT_V2 = 2
 N_STATE_BUCKETS = 1024
 _BUCKET_DEPTH = N_STATE_BUCKETS.bit_length() - 1
 
+# Version-3 adaptive bucketing: a namespace's bucket count grows (in powers of
+# two, never below the fixed v2 layout) to keep expected occupancy at or below
+# this many keys per bucket, so incremental re-hash cost per touched key stays
+# flat at six-figure key counts instead of degrading with bucket size.
+TARGET_KEYS_PER_BUCKET = 4
+
 # Hash cascade of an all-empty namespace tree, one entry per level: level 0 is
 # the empty-bucket root, level d+1 hashes two level-d defaults together.
+# Extended lazily by `_default_level` when adaptive trees grow deeper.
 _DEFAULT_LEVEL: list[str] = [EMPTY_ROOT]
 for _ in range(_BUCKET_DEPTH):
     _DEFAULT_LEVEL.append(hash_concat([_DEFAULT_LEVEL[-1], _DEFAULT_LEVEL[-1]]))
+
+
+def _default_level(depth: int) -> str:
+    """The root of an all-empty subtree of the given depth (memoized)."""
+    while len(_DEFAULT_LEVEL) <= depth:
+        _DEFAULT_LEVEL.append(hash_concat([_DEFAULT_LEVEL[-1], _DEFAULT_LEVEL[-1]]))
+    return _DEFAULT_LEVEL[depth]
+
+
+def _bucket_count_for(size: int) -> int:
+    """The v3 bucket count for a namespace of ``size`` keys.
+
+    A pure function of the key count (no hysteresis), so the committed root is
+    a function of state *content* alone — any replica arriving at the same
+    keys by any op sequence lands on the same layout, and rebuilds amortize to
+    O(1) per write because thresholds double.
+    """
+    if size <= N_STATE_BUCKETS * TARGET_KEYS_PER_BUCKET:
+        return N_STATE_BUCKETS
+    need = (size + TARGET_KEYS_PER_BUCKET - 1) // TARGET_KEYS_PER_BUCKET
+    return 1 << (need - 1).bit_length()
+
 
 _MISSING = object()
 
@@ -73,6 +103,11 @@ class StateProof:
     (``top_siblings``).  ``value_hash`` is the SHA-256 of the value's
     canonical serialization, so a verifier holding the claimed value can
     recompute it independently (see :func:`verify_state_proof`).
+
+    ``n_buckets`` records the namespace's bucket-tree width: always 1024 on
+    v2 roots, a power of two >= 1024 under v3 adaptive bucketing.  It is
+    serialized only when it differs from the fixed v2 layout, so v2 proof
+    files keep their historical byte shape.
     """
 
     namespace: str
@@ -85,10 +120,11 @@ class StateProof:
     top_index: int
     top_siblings: tuple[str, ...]
     root: str
+    n_buckets: int = N_STATE_BUCKETS
 
     def to_dict(self) -> dict[str, Any]:
         """A canonical-serializable form (for files, transactions, or CLIs)."""
-        return {
+        payload = {
             "namespace": self.namespace,
             "key": self.key,
             "value_hash": self.value_hash,
@@ -100,6 +136,9 @@ class StateProof:
             "top_siblings": list(self.top_siblings),
             "root": self.root,
         }
+        if self.n_buckets != N_STATE_BUCKETS:
+            payload["n_buckets"] = self.n_buckets
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "StateProof":
@@ -116,6 +155,7 @@ class StateProof:
                 top_index=int(payload["top_index"]),
                 top_siblings=tuple(str(s) for s in payload["top_siblings"]),
                 root=str(payload["root"]),
+                n_buckets=int(payload.get("n_buckets", N_STATE_BUCKETS)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"malformed state proof payload: {exc}") from exc
@@ -144,7 +184,13 @@ def verify_state_proof(root: str, proof: StateProof, value: Any = _MISSING) -> b
         full_key = WorldState._full_key(proof.namespace, proof.key)
     except ValidationError:
         return False
-    if proof.bucket_index != _bucket_of(sha256_hex(full_key)):
+    n_buckets = proof.n_buckets
+    # The claimed layout must be a valid one (power of two, at least the fixed
+    # v2 width); a forged layout cannot fold to a committed root anyway, this
+    # just fails fast with a clear structural reason.
+    if n_buckets < N_STATE_BUCKETS or n_buckets & (n_buckets - 1):
+        return False
+    if proof.bucket_index != _bucket_of(sha256_hex(full_key), n_buckets):
         return False
     if value is _MISSING:
         value_hash = proof.value_hash
@@ -156,35 +202,42 @@ def verify_state_proof(root: str, proof: StateProof, value: Any = _MISSING) -> b
         if value_hash != proof.value_hash:
             return False
     current = fold_proof_path(_leaf_for(full_key, value_hash), proof.leaf_index, proof.bucket_siblings)
-    if len(proof.namespace_siblings) != _BUCKET_DEPTH:
+    if len(proof.namespace_siblings) != n_buckets.bit_length() - 1:
         return False
     current = fold_proof_path(current, proof.bucket_index, proof.namespace_siblings)
     current = fold_proof_path(_namespace_leaf(proof.namespace, current), proof.top_index, proof.top_siblings)
     return current == root
 
 
-def _bucket_of(key_hash: str) -> int:
-    """Deterministic bucket assignment from a key's hex hash prefix."""
-    return int(key_hash[:8], 16) % N_STATE_BUCKETS
+def _bucket_of(key_hash: str, n_buckets: int = N_STATE_BUCKETS) -> int:
+    """Deterministic bucket assignment from a key's hex hash prefix.
+
+    The 8-hex-digit prefix is uniform over ``2**32``, so the modulus is
+    unbiased for any power-of-two bucket count up to ``2**32`` — and the v3
+    adaptive layout at 1024 buckets assigns exactly like the fixed v2 layout.
+    """
+    return int(key_hash[:8], 16) % n_buckets
 
 
 class _NamespaceTree:
     """A fixed-shape (power-of-two) Merkle tree over a namespace's bucket roots.
 
-    The shape never changes, so one bucket-root update re-hashes only its
-    O(log N_STATE_BUCKETS) path — the namespace root stays warm across blocks
-    that touch a handful of keys.
+    The shape only changes through an explicit rebuild (v3 adaptive growth),
+    so one bucket-root update re-hashes only its O(log n_buckets) path — the
+    namespace root stays warm across blocks that touch a handful of keys.
     """
 
-    __slots__ = ("levels",)
+    __slots__ = ("n_buckets", "depth", "levels")
 
-    def __init__(self, levels: list[list[str]] | None = None) -> None:
+    def __init__(self, n_buckets: int = N_STATE_BUCKETS, levels: list[list[str]] | None = None) -> None:
+        self.n_buckets = n_buckets
+        self.depth = n_buckets.bit_length() - 1
         if levels is not None:
             self.levels = levels
         else:
             self.levels = [
-                [_DEFAULT_LEVEL[depth]] * (N_STATE_BUCKETS >> depth)
-                for depth in range(_BUCKET_DEPTH + 1)
+                [_default_level(depth)] * (n_buckets >> depth)
+                for depth in range(self.depth + 1)
             ]
 
     @property
@@ -195,7 +248,7 @@ class _NamespaceTree:
         """Set one bucket root and re-hash its path to the namespace root."""
         self.levels[0][index] = bucket_root
         position = index
-        for depth in range(_BUCKET_DEPTH):
+        for depth in range(self.depth):
             parent = position // 2
             level = self.levels[depth]
             self.levels[depth + 1][parent] = hash_concat([level[parent * 2], level[parent * 2 + 1]])
@@ -205,13 +258,13 @@ class _NamespaceTree:
         """Sibling hashes from the bucket at ``index`` up to the namespace root."""
         siblings = []
         position = index
-        for depth in range(_BUCKET_DEPTH):
+        for depth in range(self.depth):
             siblings.append(self.levels[depth][position ^ 1])
             position //= 2
         return siblings
 
     def copy(self) -> "_NamespaceTree":
-        return _NamespaceTree([list(level) for level in self.levels])
+        return _NamespaceTree(self.n_buckets, [list(level) for level in self.levels])
 
 
 class StateView:
@@ -293,7 +346,7 @@ class WorldState:
     and (``root_version=2``) an incrementally maintained Merkle state root."""
 
     def __init__(self, initial: dict[str, Any] | None = None, root_version: int = STATE_ROOT_V1) -> None:
-        if root_version not in (STATE_ROOT_V1, STATE_ROOT_V2):
+        if root_version not in (STATE_ROOT_V1, STATE_ROOT_V2, STATE_ROOT_V3):
             raise ValidationError(f"unknown state root version {root_version!r}")
         self._root_version = int(root_version)
         self._data: dict[str, Any] = {}
@@ -304,12 +357,13 @@ class WorldState:
         # {full_key: (had, previous_value, previous_value_hash)}.
         self._versions: dict[int, dict[str, tuple[bool, Any, str | None]]] = {}
         self._latest_version: int | None = None
-        # Merkle caches (root_version 2 only).
+        # Merkle caches (root_version >= 2 only).
         self._value_hashes: dict[str, str] = {}
         self._key_hashes: dict[str, str] = {}  # pure memo, safely shared across copies
         self._ns_trees: dict[str, _NamespaceTree] = {}
         self._ns_buckets: dict[str, dict[int, set[str]]] = {}
         self._ns_sizes: dict[str, int] = {}
+        self._ns_nbuckets: dict[str, int] = {}
         self._dirty: dict[str, set[int]] = {}
         self._top_tree: MerkleTree | None = None
         self._top_namespaces: list[str] = []
@@ -340,7 +394,8 @@ class WorldState:
 
     @property
     def root_version(self) -> int:
-        """Which state-root commitment this store maintains (1 flat, 2 Merkle)."""
+        """Which state-root commitment this store maintains (1 flat, 2 Merkle,
+        3 Merkle with adaptive bucketing)."""
         return self._root_version
 
     # ------------------------------------------------------------------
@@ -392,7 +447,7 @@ class WorldState:
         full = self._full_key(namespace, key)
         stored = copy.deepcopy(value)
         value_hash = None
-        if self._root_version == STATE_ROOT_V2:
+        if self._root_version >= STATE_ROOT_V2:
             value_hash = sha256_hex(encoded if encoded is not None else canonical_dumps(stored))
         self._journal.append((full, full in self._data, self._data.get(full), self._value_hashes.get(full)))
         self._write(full, stored, value_hash)
@@ -409,7 +464,7 @@ class WorldState:
         """Raw write: no journaling, keeps the Merkle indexes in sync."""
         new_key = full not in self._data
         self._data[full] = value
-        if self._root_version != STATE_ROOT_V2:
+        if self._root_version < STATE_ROOT_V2:
             return
         self._value_hashes[full] = value_hash if value_hash is not None else sha256_hex(canonical_dumps(value))
         self._touch(full, added=new_key)
@@ -419,11 +474,11 @@ class WorldState:
         if full not in self._data:
             return
         del self._data[full]
-        if self._root_version != STATE_ROOT_V2:
+        if self._root_version < STATE_ROOT_V2:
             return
         self._value_hashes.pop(full, None)
         namespace = full.partition("/")[0]
-        bucket = _bucket_of(self._key_hash(full))
+        bucket = _bucket_of(self._key_hash(full), self._ns_nbuckets[namespace])
         buckets = self._ns_buckets[namespace]
         buckets.get(bucket, set()).discard(full)
         self._ns_sizes[namespace] -= 1
@@ -434,9 +489,11 @@ class WorldState:
             del self._ns_trees[namespace]
             del self._ns_buckets[namespace]
             del self._ns_sizes[namespace]
+            del self._ns_nbuckets[namespace]
             self._dirty.pop(namespace, None)
         else:
             self._dirty.setdefault(namespace, set()).add(bucket)
+            self._maybe_resize(namespace)
 
     def _key_hash(self, full: str) -> str:
         cached = self._key_hashes.get(full)
@@ -448,15 +505,43 @@ class WorldState:
     def _touch(self, full: str, added: bool) -> None:
         """Mark a written key's bucket dirty (creating namespace structures lazily)."""
         namespace = full.partition("/")[0]
-        bucket = _bucket_of(self._key_hash(full))
         if namespace not in self._ns_trees:
             self._ns_trees[namespace] = _NamespaceTree()
             self._ns_buckets[namespace] = {}
             self._ns_sizes[namespace] = 0
+            self._ns_nbuckets[namespace] = N_STATE_BUCKETS
+        bucket = _bucket_of(self._key_hash(full), self._ns_nbuckets[namespace])
         if added:
             self._ns_buckets[namespace].setdefault(bucket, set()).add(full)
             self._ns_sizes[namespace] += 1
         self._dirty.setdefault(namespace, set()).add(bucket)
+        self._top_tree = None
+        if added:
+            self._maybe_resize(namespace)
+
+    def _maybe_resize(self, namespace: str) -> None:
+        """Re-bucket a namespace when its v3 adaptive layout crosses a threshold.
+
+        No-op on v2 stores: their layout is pinned at ``N_STATE_BUCKETS`` so
+        historical roots stay byte-identical.  Under v3 the target count is a
+        pure function of the namespace's size, so every replica re-buckets at
+        the same write regardless of how it arrived at that state (live
+        execution, restore from disk, rollback, or unwind — all mutations
+        funnel through :meth:`_write`/:meth:`_erase`).
+        """
+        if self._root_version < STATE_ROOT_V3:
+            return
+        wanted = _bucket_count_for(self._ns_sizes[namespace])
+        if wanted == self._ns_nbuckets[namespace]:
+            return
+        keys = [full for bucket in self._ns_buckets[namespace].values() for full in bucket]
+        buckets: dict[int, set[str]] = {}
+        for full in keys:
+            buckets.setdefault(_bucket_of(self._key_hash(full), wanted), set()).add(full)
+        self._ns_buckets[namespace] = buckets
+        self._ns_nbuckets[namespace] = wanted
+        self._ns_trees[namespace] = _NamespaceTree(wanted)
+        self._dirty[namespace] = set(buckets)
         self._top_tree = None
 
     # ------------------------------------------------------------------
@@ -568,6 +653,31 @@ class WorldState:
         self._latest_version -= 1
         return self._latest_version
 
+    def oldest_retained_version(self) -> int | None:
+        """The lowest height whose reverse delta is still retained (None when empty)."""
+        if not self._versions:
+            return None
+        return min(self._versions)
+
+    def prune_versions(self, keep_last: int) -> list[int]:
+        """Drop reverse deltas below a horizon of the last ``keep_last`` sealed blocks.
+
+        The live state and all retained deltas are untouched; only
+        :meth:`view_at` *below* the horizon loses its O(Δ) overlay path (and
+        raises, which ``Blockchain.state_at`` / the incremental audit catch
+        and answer by snapshot+replay instead).  Returns the pruned heights.
+        """
+        keep_last = int(keep_last)
+        if keep_last < 1:
+            raise ValidationError("prune horizon must keep at least the latest version")
+        if self._latest_version is None:
+            return []
+        horizon = self._latest_version - keep_last + 1
+        pruned = sorted(height for height in self._versions if height < horizon)
+        for height in pruned:
+            del self._versions[height]
+        return pruned
+
     # ------------------------------------------------------------------
     # Copying
     # ------------------------------------------------------------------
@@ -594,6 +704,7 @@ class WorldState:
             for ns, buckets in self._ns_buckets.items()
         }
         clone._ns_sizes = dict(self._ns_sizes)
+        clone._ns_nbuckets = dict(self._ns_nbuckets)
         clone._dirty = {ns: set(buckets) for ns, buckets in self._dirty.items()}
         clone._top_tree = self._top_tree
         clone._top_namespaces = list(self._top_namespaces)
@@ -607,8 +718,11 @@ class WorldState:
         """Deterministic hash of the entire state (the block's state root).
 
         Version 1 is the historical flat hash of the sorted dict — O(all
-        keys), byte-identical to pre-Merkle chains.  Version 2 is the Merkle
-        commitment, re-hashing only buckets dirtied since the last call.
+        keys), byte-identical to pre-Merkle chains.  Versions 2 and 3 are the
+        Merkle commitment, re-hashing only buckets dirtied since the last
+        call; version 3 additionally widens each namespace's bucket layout as
+        it grows (identical to version 2 until a namespace exceeds
+        ``N_STATE_BUCKETS * TARGET_KEYS_PER_BUCKET`` keys).
         """
         if self._root_version == STATE_ROOT_V1:
             return hash_payload({key: self._data[key] for key in sorted(self._data)})
@@ -640,19 +754,19 @@ class WorldState:
     def prove(self, namespace: str, key: str) -> StateProof:
         """Produce a Merkle inclusion proof for one entry against the current root.
 
-        Only meaningful with ``root_version=2`` — version 1's flat hash has no
-        sub-structure to prove against.
+        Only meaningful with ``root_version>=2`` — version 1's flat hash has
+        no sub-structure to prove against.
         """
-        if self._root_version != STATE_ROOT_V2:
+        if self._root_version < STATE_ROOT_V2:
             raise ValidationError(
-                "state proofs need state_root_version 2 (the Merkle-ized root); "
+                "state proofs need state_root_version >= 2 (the Merkle-ized root); "
                 "version-1 chains commit a flat hash with no inclusion structure"
             )
         full = self._full_key(namespace, key)
         if full not in self._data:
             raise ValidationError(f"cannot prove a missing key {full!r}")
         root = self.state_root()  # flush caches so every tree is current
-        bucket = _bucket_of(self._key_hash(full))
+        bucket = _bucket_of(self._key_hash(full), self._ns_nbuckets[namespace])
         bucket_keys = sorted(self._ns_buckets[namespace][bucket])
         bucket_tree = MerkleTree(
             [_leaf_for(k, self._value_hashes[k]) for k in bucket_keys]
@@ -672,4 +786,5 @@ class WorldState:
             top_index=top_index,
             top_siblings=top_proof.siblings,
             root=root,
+            n_buckets=self._ns_nbuckets[namespace],
         )

@@ -17,6 +17,10 @@ exercised without writing Python:
   file for one published state entry (a contribution record, a settlement);
 * ``python -m repro verify-proof`` — check such a proof file against a block
   header's state root, with nothing but the header;
+* ``python -m repro resume`` — reopen a persisted run (``--store sqlite:PATH``,
+  e.g. one stopped with ``run --stop-after``) and continue it to completion;
+* ``python -m repro prune`` — drop a persisted store's reverse deltas below a
+  retention horizon (the chain itself is never pruned);
 * ``python -m repro info`` — version and configuration defaults.
 
 All commands are deterministic given ``--seed`` and print plain text (tables
@@ -92,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
             "adversary-window", "join", "leave", "churn", "leader-dropout",
             "partition-heal", "eclipse", "lossy-gossip", "duplicate-storm",
             "cross-device-uniform", "cross-device-linear", "cross-device-quadratic",
+            "restart-resume", "prune-then-audit",
         ),
         default="none",
         help="pipeline scenario to run (dropout recovery, straggler delay, "
@@ -99,9 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         "round-windowed adversary injection, on-chain cohort join/leave/churn, "
         "a silent block proposer forcing consensus view changes, a "
         "transport fault family: network partition with heal, eclipsed "
-        "victim, seeded message loss, or duplicate storm, or a cross-device "
+        "victim, seeded message loss, or duplicate storm, a cross-device "
         "simulation at --owners scale under a uniform/linear/quadratic "
-        "device-quality distribution)",
+        "device-quality distribution, a restart-resume drill proving a "
+        "persisted churn run reopens byte-identical, or a prune-then-audit "
+        "drill proving pruned retention changes no audit verdict)",
     )
     run.add_argument(
         "--scenario-owner", type=str, default=None,
@@ -131,9 +138,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="exact-SV assembly pinned on chain (1 = scalar reference, 2 = vectorized)",
     )
     run.add_argument(
-        "--state-root-version", type=int, choices=(1, 2), default=1,
+        "--state-root-version", type=int, choices=(1, 2, 3), default=1,
         help="state commitment pinned on chain (1 = historical flat hash, "
-        "2 = incremental Merkle root with per-entry inclusion proofs)",
+        "2 = incremental Merkle root with per-entry inclusion proofs, "
+        "3 = Merkle root with adaptive bucketing for six-figure key counts)",
+    )
+    run.add_argument(
+        "--store", type=str, default="memory", metavar="SPEC",
+        help="persistence backend for the reference replica: 'memory' (the "
+        "default) or 'sqlite:PATH'; strictly off-chain, so chains are "
+        "byte-identical with or without it",
+    )
+    run.add_argument(
+        "--stop-after", type=int, default=None, metavar="R",
+        help="commit rounds 0..R-1 then shut down cleanly before settlement "
+        "(requires a persistent --store); continue with `python -m repro "
+        "resume` using the same parameters",
+    )
+    run.add_argument(
+        "--prune-keep", type=int, default=3, metavar="K",
+        help="reverse deltas to retain in the prune-then-audit drill "
+        "(ignored by other scenarios)",
     )
     run.add_argument(
         "--audit-mode", choices=("replay", "incremental"), default="replay",
@@ -223,6 +248,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="the trusted header's 64-hex state root; defaults to the root "
         "embedded in the proof file (pass the root you obtained from the "
         "chain yourself for an independent check)",
+    )
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="reopen a persisted chain and continue the run to completion",
+    )
+    resume.add_argument(
+        "--store", type=str, required=True, metavar="SPEC",
+        help="the persistent store the interrupted run wrote (sqlite:PATH)",
+    )
+    resume.add_argument("--owners", type=int, default=5, help="number of genesis data owners")
+    resume.add_argument("--groups", type=int, default=3, help="GroupSV group count m")
+    resume.add_argument("--rounds", type=int, default=3, help="federated rounds")
+    resume.add_argument("--sigma", type=float, default=0.1, help="per-rank data-quality noise increment")
+    resume.add_argument("--samples", type=int, default=1500, help="total dataset size")
+    resume.add_argument("--local-epochs", type=int, default=5, help="local epochs per round")
+    resume.add_argument("--learning-rate", type=float, default=2.0, help="local learning rate")
+    resume.add_argument("--reward-pool", type=float, default=1000.0, help="tokens to distribute at the end")
+    resume.add_argument("--seed", type=int, default=7, help="master seed of the original run")
+    resume.add_argument(
+        "--scenario", choices=("none", "join", "leave", "churn"), default="none",
+        help="the membership scenario the original run was started with — it "
+        "regenerates any joiner's dataset and replays the not-yet-committed "
+        "membership events",
+    )
+    resume.add_argument(
+        "--scenario-owner", type=str, default=None,
+        help="owner targeted by the scenario (default: the second owner)",
+    )
+    resume.add_argument(
+        "--sv-assembly-version", type=int, choices=(1, 2), default=1,
+        help="exact-SV assembly the original run pinned on chain",
+    )
+    resume.add_argument(
+        "--state-root-version", type=int, choices=(1, 2, 3), default=1,
+        help="state commitment the original run pinned on chain",
+    )
+    resume.add_argument(
+        "--audit-mode", choices=("replay", "incremental"), default="replay",
+        help="transparency audit mode for the completed run",
+    )
+    resume.add_argument("--skip-audit", action="store_true", help="skip the transparency audit")
+
+    prune = subparsers.add_parser(
+        "prune",
+        help="drop a persisted store's reverse deltas below a retention horizon",
+    )
+    prune.add_argument(
+        "--store", type=str, required=True, metavar="SPEC",
+        help="the persistent store to prune (sqlite:PATH)",
+    )
+    prune.add_argument(
+        "--keep", type=int, default=3, metavar="K",
+        help="number of most recent reverse deltas to retain (>= 1); blocks "
+        "and the key-value state are never pruned, so historical reads below "
+        "the horizon fall back to snapshot+replay",
     )
 
     subparsers.add_parser("info", help="print version and default configuration")
@@ -346,6 +427,16 @@ def _command_cross_device(args: argparse.Namespace) -> int:
 def _command_run(args: argparse.Namespace) -> int:
     if args.scenario.startswith("cross-device-"):
         return _command_cross_device(args)
+    if args.scenario == "restart-resume":
+        return _command_restart_resume(args)
+    if args.scenario == "prune-then-audit":
+        return _command_prune_then_audit(args)
+    if args.stop_after is not None and args.store == "memory":
+        print("error: --stop-after needs a persistent --store (sqlite:PATH) to resume from")
+        return 2
+    if args.stop_after is not None and not 1 <= args.stop_after <= args.rounds:
+        print(f"error: --stop-after must be in [1, --rounds]; got {args.stop_after}")
+        return 2
     guarded = ("join", "leave", "churn", "adversary-window", "leader-dropout",
                "partition-heal", "eclipse")
     if args.scenario in guarded and args.rounds < 2:
@@ -388,7 +479,8 @@ def _command_run(args: argparse.Namespace) -> int:
         authority_rotation=args.authority_rotation or args.scenario in ROTATION_SCENARIOS,
     )
     protocol = BlockchainFLProtocol(
-        owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
+        owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config,
+        store=None if args.store == "memory" else args.store,
     )
     owner_ids = sorted(o.owner_id for o in owners)
     target = args.scenario_owner or owner_ids[min(1, len(owner_ids) - 1)]
@@ -408,7 +500,23 @@ def _command_run(args: argparse.Namespace) -> int:
         faulty = FaultScenario(fault_plan or FaultPlan(seed=args.fault_seed), round_retries=2)
         scenario = faulty if scenario is None else ComposedScenario([scenario, faulty])
     scheduler = RoundScheduler(protocol, scenario)
+    if args.stop_after is not None:
+        from repro.core.pipeline import SetupStage
+
+        SetupStage().run(protocol, scheduler.scenario)
+        global_parameters = protocol._template_parameters
+        for round_number in range(args.stop_after):
+            round_result = scheduler.run_round(round_number, global_parameters)
+            global_parameters = round_result.global_parameters
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+        protocol.close()
+        print(f"stopped after round {args.stop_after - 1}: chain height {chain.height}, "
+              f"head {chain.head.block_hash[:16]}… persisted to {args.store}")
+        print("continue with: python -m repro resume --store "
+              f"{args.store} (same parameters and seed)")
+        return 0
     result = scheduler.run()
+    protocol.close()
 
     print(f"protocol finished: {len(result.rounds)} rounds, {result.chain_height} blocks, "
           f"{result.total_transactions} transactions")
@@ -565,6 +673,272 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chain_fingerprint(protocol) -> list[tuple[int, str, str]]:
+    """Every block's identity on the reference replica: height, hash, state root."""
+    chain = protocol.participants[protocol.owner_ids[0]].node.chain
+    return [(b.height, b.block_hash, b.header.state_root) for b in chain.blocks]
+
+
+def _command_restart_resume(args: argparse.Namespace) -> int:
+    """The restart-resume drill: a persisted churn run, interrupted mid-run and
+    reopened, must continue to a head byte-identical to an uninterrupted run."""
+    import os
+    import tempfile
+
+    from repro.core.pipeline import SetupStage
+
+    if args.rounds < 2:
+        print("error: --scenario restart-resume needs at least 2 rounds")
+        return 2
+    root_version = args.state_root_version if args.state_root_version >= 2 else 3
+    dataset, all_owners = make_owner_datasets(
+        n_owners=args.owners + 1, sigma=args.sigma, n_samples=args.samples, seed=args.seed
+    )
+    owners, joiner = all_owners[: args.owners], all_owners[args.owners]
+    leaver = sorted(o.owner_id for o in owners)[min(1, args.owners - 1)]
+    config = ProtocolConfig(
+        n_owners=args.owners, n_groups=args.groups, n_rounds=args.rounds,
+        local_epochs=args.local_epochs, learning_rate=args.learning_rate,
+        reward_pool=args.reward_pool, permutation_seed=args.seed,
+        state_root_version=root_version,
+    )
+    make_scenario = lambda: _build_scenario("churn", leaver, args.rounds, joiner)  # noqa: E731
+    stop_after = max(1, args.rounds // 2)
+
+    baseline = BlockchainFLProtocol(
+        owners, dataset.test_features, dataset.test_labels, dataset.n_classes, config
+    )
+    baseline.run(make_scenario())
+    expected = _chain_fingerprint(baseline)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = args.store if args.store.startswith("sqlite:") else (
+            "sqlite:" + os.path.join(tmp, "restart-resume.db")
+        )
+        interrupted = BlockchainFLProtocol(
+            owners, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            config, store=store,
+        )
+        scheduler = RoundScheduler(interrupted, make_scenario())
+        SetupStage().run(interrupted, scheduler.scenario)
+        global_parameters = interrupted._template_parameters
+        for round_number in range(stop_after):
+            round_result = scheduler.run_round(round_number, global_parameters)
+            global_parameters = round_result.global_parameters
+        height_at_stop = interrupted.participants[interrupted.owner_ids[0]].node.chain.height
+        interrupted.close()
+        del interrupted
+
+        resumed = BlockchainFLProtocol.resume_from(
+            store, owners, dataset.test_features, dataset.test_labels,
+            dataset.n_classes, config, extra_data=[joiner],
+        )
+        resumed.resume_run(make_scenario())
+        actual = _chain_fingerprint(resumed)
+        chain = resumed.participants[resumed.owner_ids[0]].node.chain
+        report = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            mode="incremental",
+        )
+        resumed.close()
+
+    print(f"restart-resume drill: {args.rounds} churn rounds "
+          f"({joiner.owner_id} joins, {leaver} leaves), shutdown at height "
+          f"{height_at_stop} after round {stop_after - 1}, reopened from the store")
+    identical = actual == expected
+    print(f"head after resume:   {actual[-1][1][:16]}… (height {actual[-1][0]})")
+    print(f"uninterrupted head:  {expected[-1][1][:16]}… (height {expected[-1][0]})")
+    print(f"byte-identical chain: {'PASSED' if identical else 'FAILED'}")
+    print(f"transparency audit (incremental): {'PASSED' if report.passed else 'FAILED'} "
+          f"(state roots verified: {len(report.state_versions_checked)} blocks)")
+    if not identical:
+        for (h, got, _), (_, want, _) in zip(actual, expected):
+            if got != want:
+                print(f"  first divergence at height {h}: {got[:16]}… != {want[:16]}…")
+                break
+        return 1
+    return 0 if report.passed else 1
+
+
+def _command_prune_then_audit(args: argparse.Namespace) -> int:
+    """The prune-then-audit drill: pruning retained deltas to a horizon must
+    not change a single audit verdict — only the audit's cost model."""
+    import os
+    import tempfile
+
+    if args.rounds < 2:
+        print("error: --scenario prune-then-audit needs at least 2 rounds")
+        return 2
+    root_version = args.state_root_version if args.state_root_version >= 2 else 3
+    dataset, all_owners = make_owner_datasets(
+        n_owners=args.owners + 1, sigma=args.sigma, n_samples=args.samples, seed=args.seed
+    )
+    owners, joiner = all_owners[: args.owners], all_owners[args.owners]
+    leaver = sorted(o.owner_id for o in owners)[min(1, args.owners - 1)]
+    config = ProtocolConfig(
+        n_owners=args.owners, n_groups=args.groups, n_rounds=args.rounds,
+        local_epochs=args.local_epochs, learning_rate=args.learning_rate,
+        reward_pool=args.reward_pool, permutation_seed=args.seed,
+        state_root_version=root_version,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = args.store if args.store.startswith("sqlite:") else (
+            "sqlite:" + os.path.join(tmp, "prune-then-audit.db")
+        )
+        protocol = BlockchainFLProtocol(
+            owners, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            config, store=store,
+        )
+        protocol.run(_build_scenario("churn", leaver, args.rounds, joiner))
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+
+        def incremental_audit():
+            return audit_chain(
+                chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+                mode="incremental",
+            )
+
+        before = incremental_audit()
+        pruned = chain.prune(keep_last=args.prune_keep)
+        after = incremental_audit()
+        protocol.close()
+
+    verdicts_match = (
+        after.passed == before.passed
+        and after.rounds_checked == before.rounds_checked
+        and after.epochs_checked == before.epochs_checked
+        and after.recomputed_totals == before.recomputed_totals
+    )
+    # The O(Δ) walk reaches one height below the horizon (unwinding the oldest
+    # retained delta verifies the state it lands on); everything lower was
+    # covered by snapshot+replay and must be reported as such.
+    horizon_visible = (
+        before.prune_horizon is None
+        and after.prune_horizon == chain.oldest_retained_version()
+        and bool(after.replayed_below_horizon)
+        and after.replayed_below_horizon == list(range(after.state_versions_checked[-1]))
+    )
+    print(f"prune-then-audit drill: {args.rounds} churn rounds, height {chain.height}, "
+          f"pruned deltas {pruned[0]}..{pruned[-1]} (kept last {args.prune_keep})")
+    print(f"unpruned audit: {'PASSED' if before.passed else 'FAILED'} "
+          f"(rounds {before.rounds_checked}, full O(Δ) walk)")
+    print(f"pruned audit:   {'PASSED' if after.passed else 'FAILED'} "
+          f"(rounds {after.rounds_checked}, walk to height "
+          f"{after.prune_horizon}, snapshot+replay below)")
+    print(f"verdicts unchanged by pruning: {'PASSED' if verdicts_match else 'FAILED'}")
+    print(f"horizon reported in AuditReport: {'PASSED' if horizon_visible else 'FAILED'}")
+    ok = before.passed and after.passed and verdicts_match and horizon_visible
+    return 0 if ok else 1
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    """Reopen a persisted run and continue it to completion."""
+    from repro.exceptions import ProtocolError, StorageError
+
+    extra = 1 if args.scenario in ("join", "churn") else 0
+    dataset, all_owners = make_owner_datasets(
+        n_owners=args.owners + extra, sigma=args.sigma, n_samples=args.samples, seed=args.seed
+    )
+    owners = all_owners[: args.owners]
+    joiner_dataset = all_owners[args.owners] if extra else None
+    config = ProtocolConfig(
+        n_owners=args.owners,
+        n_groups=args.groups,
+        n_rounds=args.rounds,
+        local_epochs=args.local_epochs,
+        learning_rate=args.learning_rate,
+        reward_pool=args.reward_pool,
+        permutation_seed=args.seed,
+        sv_assembly_version=args.sv_assembly_version,
+        state_root_version=args.state_root_version,
+    )
+    owner_ids = sorted(o.owner_id for o in owners)
+    target = args.scenario_owner or owner_ids[min(1, len(owner_ids) - 1)]
+    scenario = _build_scenario(args.scenario, target, args.rounds, joiner_dataset)
+    try:
+        protocol = BlockchainFLProtocol.resume_from(
+            args.store, owners, dataset.test_features, dataset.test_labels,
+            dataset.n_classes, config,
+            extra_data=[joiner_dataset] if joiner_dataset is not None else (),
+        )
+    except (ProtocolError, StorageError) as exc:
+        print(f"error: {exc}")
+        return 2
+    chain = protocol.participants[protocol.owner_ids[0]].node.chain
+    done = protocol.completed_rounds()
+    print(f"resumed from {args.store}: chain height {chain.height}, "
+          f"head {chain.head.block_hash[:16]}…, "
+          f"{len(done)} of {args.rounds} round(s) already committed")
+    result = protocol.resume_run(scenario)
+    protocol.close()
+
+    print(f"protocol finished: {len(result.rounds)} rounds, {result.chain_height} blocks, "
+          f"{result.total_transactions} transactions")
+    rows = [
+        [record.round_number, f"{record.global_utility:.4f}", len(record.groups),
+         sum(len(group) for group in record.groups)]
+        for record in result.rounds
+    ]
+    print(render_table(["round", "global utility", "groups", "cohort"], rows))
+
+    print("\naccumulated contributions (GroupSV):")
+    ordered = dict(sorted(result.total_contributions.items(), key=lambda kv: kv[1], reverse=True))
+    print(render_bar_chart(ordered))
+
+    print("\ntoken rewards:")
+    rows = [[owner, f"{result.reward_balances[owner]:.2f}"] for owner in ordered]
+    print(render_table(["owner", "reward"], rows))
+
+    if not args.skip_audit:
+        report = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            mode=args.audit_mode,
+        )
+        checked = f"rounds checked: {report.rounds_checked}"
+        if args.audit_mode == "incremental":
+            checked += f", state roots verified: {len(report.state_versions_checked)} blocks"
+        print(f"\ntransparency audit ({args.audit_mode}): "
+              f"{'PASSED' if report.passed else 'FAILED'} ({checked})")
+        if not report.passed:
+            for mismatch in report.mismatches:
+                print(f"  mismatch: {mismatch}")
+            return 1
+    return 0
+
+
+def _command_prune(args: argparse.Namespace) -> int:
+    """Prune a persisted store's reverse deltas below a retention horizon."""
+    from repro.blockchain.storage import SQLiteBackend, open_backend
+    from repro.exceptions import StorageError
+
+    try:
+        backend = open_backend(args.store)
+    except StorageError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not isinstance(backend, SQLiteBackend):
+        print("error: only persistent stores can be pruned (use sqlite:PATH)")
+        return 2
+    try:
+        pruned = backend.prune_to(args.keep)
+        head = backend.committed_height()
+        oldest = backend.oldest_retained_delta()
+    except StorageError as exc:
+        print(f"error: {exc}")
+        backend.close()
+        return 2
+    backend.close()
+    if pruned:
+        print(f"pruned {len(pruned)} reverse delta(s) ({pruned[0]}..{pruned[-1]}) "
+              f"from {args.store}")
+    else:
+        print(f"nothing to prune in {args.store} (horizon already satisfied)")
+    print(f"chain head {head}; retained deltas {oldest}..{head} — blocks and state "
+          "are intact, historical reads below the horizon fall back to "
+          "snapshot+replay")
+    return 0
+
+
 def _command_sweep_groups(args: argparse.Namespace) -> int:
     dataset, owners = make_owner_datasets(
         n_owners=args.owners, sigma=args.sigma, n_samples=args.samples, seed=args.seed
@@ -704,6 +1078,8 @@ def _command_info(_args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _command_run,
+    "resume": _command_resume,
+    "prune": _command_prune,
     "sweep-groups": _command_sweep_groups,
     "ground-truth": _command_ground_truth,
     "prove": _command_prove,

@@ -65,6 +65,15 @@ class AuditReport:
         recomputed_totals: the auditor's own accumulated per-owner contributions.
         recomputed_epoch_totals: the auditor's per-epoch accumulated contributions
             (epoch index -> owner -> value), derived from the registry's epochs.
+        prune_horizon: the oldest block height whose reverse delta the replica
+            still retains, when older deltas were pruned (``None`` on unpruned
+            chains or under full replay, where pruning is irrelevant).
+        replayed_below_horizon: block heights the incremental audit could not
+            cover with the O(Δ) header-commitment walk (their deltas were
+            pruned) and verified by snapshot+replay from genesis instead.
+            Empty on unpruned chains — the audit's verdicts are the same
+            either way, only the cost model changes, and this field makes the
+            fallback visible in the report.
     """
 
     chain_valid: bool
@@ -76,6 +85,8 @@ class AuditReport:
     mismatches: list[str] = field(default_factory=list)
     recomputed_totals: dict[str, float] = field(default_factory=dict)
     recomputed_epoch_totals: dict[int, dict[str, float]] = field(default_factory=dict)
+    prune_horizon: int | None = None
+    replayed_below_horizon: list[int] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -280,6 +291,15 @@ def audit_chain(
         else:
             chain.validate_chain()
             report.state_versions_checked = chain.verify_version_roots()
+            # On a pruned chain the header-commitment walk stops at the
+            # oldest retained delta; everything below the horizon is verified
+            # by snapshot+replay (verify_and_append re-checks every receipt
+            # and state root) and reported as such.
+            lowest_verified = report.state_versions_checked[-1]
+            if lowest_verified > 0:
+                report.prune_horizon = chain.oldest_retained_version()
+                chain.replay_prefix(lowest_verified - 1)
+                report.replayed_below_horizon = list(range(lowest_verified))
             state = chain.state
     except Exception as exc:  # noqa: BLE001 - any verification failure fails the audit
         report.chain_valid = False

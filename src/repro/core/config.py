@@ -43,10 +43,18 @@ class ProtocolConfig:
             supports per-entry inclusion proofs
             (:meth:`repro.blockchain.state.WorldState.prove`), letting any
             participant check its published contribution or settlement entry
-            against a block header alone.  The version changes every header,
+            against a block header alone.  Version 3 is the same Merkle
+            commitment with adaptive per-namespace bucketing: identical roots
+            to version 2 until a namespace outgrows the fixed 1024-bucket
+            layout, at which point the layout widens (in powers of two, as a
+            pure function of the key count) so the O(Δ) root holds at
+            six-figure key counts.  The version changes every header,
             so — like ``sv_assembly_version`` — it is pinned on the registry
             at setup: every miner and every auditor commits and verifies the
-            same root format.
+            same root format.  The *storage backend* under the chain
+            (``repro.blockchain.storage``) is by contrast purely off-chain:
+            it never appears in :meth:`on_chain_params` and cannot change
+            chain hashes.
         gossip_max_retries: bounded retry budget per gossip recipient (tx and
             commit broadcasts) when the transport can lose messages.  A
             delivery-layer knob only — it never appears in
@@ -135,8 +143,11 @@ class ProtocolConfig:
             raise ConfigurationError("reward_pool must be non-negative")
         if self.sv_assembly_version not in (1, 2):
             raise ConfigurationError("sv_assembly_version must be 1 (scalar) or 2 (vectorized)")
-        if self.state_root_version not in (1, 2):
-            raise ConfigurationError("state_root_version must be 1 (flat hash) or 2 (Merkle)")
+        if self.state_root_version not in (1, 2, 3):
+            raise ConfigurationError(
+                "state_root_version must be 1 (flat hash), 2 (Merkle), "
+                "or 3 (Merkle with adaptive bucketing)"
+            )
         if self.gossip_max_retries < 0:
             raise ConfigurationError("gossip_max_retries must be non-negative")
         if self.gossip_retry_backoff < 1:

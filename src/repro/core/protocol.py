@@ -46,6 +46,7 @@ from repro.blockchain.contracts.fl_training import FLTrainingContract
 from repro.blockchain.contracts.registry import ParticipantRegistryContract
 from repro.blockchain.contracts.reward import RewardContract
 from repro.blockchain.network import Network
+from repro.blockchain.storage import StorageBackend, open_backend
 from repro.blockchain.transaction import Transaction
 from repro.core.adversary import AdversaryBehavior
 from repro.core.config import ProtocolConfig
@@ -90,6 +91,15 @@ class BlockchainFLProtocol:
             with ``config.authority_rotation`` off, for round blocks too.
             With rotation on, round blocks are led by the chain-state-derived
             :class:`~repro.blockchain.consensus.EpochAuthoritySchedule`.
+        store: optional persistence backend for the reference replica — a
+            :class:`~repro.blockchain.storage.StorageBackend` or a spec string
+            (``"memory"``, ``"sqlite:PATH"``).  Strictly off-chain: chains are
+            byte-identical with or without it.  A persistent store that
+            already holds a committed chain is refused here — reopening one
+            is :meth:`resume_from`'s job.
+        allow_restore: internal flag set by :meth:`resume_from`; lets
+            ``store`` restore an existing chain into the reference replica
+            instead of being refused.
 
     Key read surfaces after a run: ``participants[owner].node.chain`` (any
     replica, e.g. for :func:`~repro.core.audit.audit_chain`),
@@ -105,6 +115,8 @@ class BlockchainFLProtocol:
         config: ProtocolConfig | None = None,
         adversaries: dict[str, AdversaryBehavior] | None = None,
         leader_selector: LeaderSelector | None = None,
+        store: StorageBackend | str | None = None,
+        allow_restore: bool = False,
     ) -> None:
         self.config = config or ProtocolConfig(n_owners=len(owner_data))
         if len(owner_data) != self.config.n_owners:
@@ -139,6 +151,18 @@ class BlockchainFLProtocol:
         self.owner_ids = sorted(self.participants)
         self._nonces = {owner: 0 for owner in self.owner_ids}
         self._setup_done = False
+        self.storage: StorageBackend | None = None
+        self._restored = False
+        if store is not None:
+            backend = open_backend(store)
+            self.storage = backend
+            self._restored = self._reference_chain().attach_storage(backend)
+            if self._restored and not allow_restore:
+                raise ProtocolError(
+                    "the store already holds a committed chain; use "
+                    "BlockchainFLProtocol.resume_from to reopen it (or point "
+                    "--store at a fresh path)"
+                )
 
     # ------------------------------------------------------------------
     # Wiring helpers
@@ -471,3 +495,178 @@ class BlockchainFLProtocol:
                 the run (dropout, stragglers, adversary injection, late joins).
         """
         return RoundScheduler(self, scenario).run()
+
+    # ------------------------------------------------------------------
+    # Persistence lifecycle: close / resume
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistence backend (if any); idempotent.
+
+        Every committed block is already durable (the backend commits
+        per-block transactions), so closing mid-run models a clean shutdown:
+        :meth:`resume_from` reopens to exactly the last sealed block.
+        """
+        if self.storage is not None:
+            self.storage.close()
+
+    def completed_rounds(self) -> list[int]:
+        """Round numbers whose training block committed on chain, sorted."""
+        state = self._reference_chain().state
+        return sorted(
+            int(key.split("/", 1)[1])
+            for key in state.keys("fl_training")
+            if key.startswith("round/")
+        )
+
+    @classmethod
+    def resume_from(
+        cls,
+        store: StorageBackend | str,
+        owner_data: Sequence[OwnerDataset],
+        validation_features: np.ndarray,
+        validation_labels: np.ndarray,
+        n_classes: int,
+        config: ProtocolConfig | None = None,
+        extra_data: Sequence[OwnerDataset] = (),
+        **kwargs,
+    ) -> "BlockchainFLProtocol":
+        """Reopen a persisted chain and rebuild a live protocol around it.
+
+        The caller supplies the same off-chain inputs the original run had —
+        the genesis owners' datasets, the validation set, and the config (all
+        deterministic from the run's seed) — plus ``extra_data``: datasets
+        for owners that joined mid-run, so their participants can be rebuilt
+        too.  The reference replica restores from the store (blocks, state
+        with retained deltas, nonces — verified against the stored headers),
+        every other replica fast-syncs from it, and the consensus rotation,
+        nonce counters, and peer keys are realigned so the continued run is
+        byte-identical to one that never stopped.
+        """
+        protocol = cls(
+            owner_data,
+            validation_features,
+            validation_labels,
+            n_classes,
+            config,
+            store=store,
+            allow_restore=True,
+            **kwargs,
+        )
+        if not protocol._restored:
+            raise ProtocolError("the store holds no committed chain to resume from")
+        protocol._adopt_restored_chain(extra_data)
+        return protocol
+
+    def _adopt_restored_chain(self, extra_data: Sequence[OwnerDataset]) -> None:
+        """Realign the live wiring with the reference replica's restored chain."""
+        reference = self._reference_chain()
+        pinned = reference.state.get("registry", "protocol_params")
+        if pinned is None:
+            raise ProtocolError(
+                "the restored chain has no pinned protocol parameters; "
+                "it stopped before setup completed"
+            )
+        expected = self.config.on_chain_params(self.model_dimension)
+        if pinned != expected:
+            drift = sorted(
+                key
+                for key in set(pinned) | set(expected)
+                if pinned.get(key) != expected.get(key)
+            )
+            raise ProtocolError(
+                f"resume config disagrees with the chain's pinned parameters on: {drift}"
+            )
+        # Rebuild participants for owners that joined after genesis — their
+        # datasets must come through extra_data (DH keys regenerate
+        # deterministically from the pinned key seed).
+        datasets = {data.owner_id: data for data in extra_data}
+        for owner_id in reference.state.get("registry", "participant_index", []):
+            if owner_id in self.participants:
+                continue
+            if owner_id not in datasets:
+                raise ProtocolError(
+                    f"owner {owner_id!r} is registered on the restored chain; "
+                    "pass its dataset via extra_data to resume"
+                )
+            participant = self._build_participant(datasets[owner_id])
+            participant.node.chain.fast_sync_from(reference)
+            self.participants[owner_id] = participant
+        self.owner_ids = sorted(self.participants)
+        # Every genesis replica except the reference is still at genesis.
+        for owner_id in self.owner_ids:
+            node_chain = self.participants[owner_id].node.chain
+            if node_chain is not reference and node_chain.height == 0:
+                node_chain.fast_sync_from(reference)
+        # Off-chain counters: the committed chain is the source of truth.
+        self._nonces = {
+            owner: reference._nonces.get(owner, 0) for owner in self.owner_ids
+        }
+        # One leader selection per committed non-genesis block keeps the
+        # round-robin byte-identical to an uninterrupted run.
+        self.consensus.round_index = reference.height
+        self.sync_peer_keys()
+        self._setup_done = True
+
+    def resume_run(self, scenario: Scenario | None = None) -> ProtocolResult:
+        """Continue a restored run to completion (remaining rounds + settlement).
+
+        Picks up after the last committed training round: the global model is
+        reconstructed from that round's published record, already-committed
+        rounds are re-read from chain state into the result, the remaining
+        rounds run through the ordinary stage pipeline, and settlement is
+        submitted only if the chain has not settled yet.  On a deterministic
+        transport the continued chain is byte-identical to one produced by an
+        uninterrupted run.
+        """
+        from repro.core.pipeline import SettlementStage
+
+        if not self._setup_done:
+            raise ProtocolError("resume_run needs a restored protocol (see resume_from)")
+        scheduler = RoundScheduler(self, scenario)
+        chain = self._reference_chain()
+        done = self.completed_rounds()
+        result = ProtocolResult()
+        global_parameters = self._template_parameters
+        for round_number in done:
+            round_result = self._round_result_from_chain(round_number)
+            global_parameters = round_result.global_parameters
+            result.rounds.append(round_result)
+        for round_number in range(len(done), self.config.n_rounds):
+            round_result = scheduler.run_round(round_number, global_parameters)
+            global_parameters = round_result.global_parameters
+            result.rounds.append(round_result)
+        result.final_parameters = global_parameters
+        if chain.state.get("reward", "distribution/final") is None:
+            return SettlementStage().run(self, result, scheduler.scenario)
+        # Already settled before the shutdown: report from chain state.
+        result.total_contributions = dict(chain.state.get("contribution", "totals", {}))
+        result.reward_balances = dict(chain.state.get("reward", "balances", {}))
+        result.chain_height = chain.height
+        result.total_transactions = chain.total_transactions()
+        result.total_gas = chain.total_gas()
+        result.network_stats = self.network.stats.as_dict()
+        result.delivery_report = self.network.stats.delivery_report()
+        return result
+
+    def _round_result_from_chain(self, round_number: int) -> RoundResult:
+        """Rebuild a committed round's :class:`RoundResult` from chain state alone."""
+        state = self._reference_chain().state
+        round_record = state.get("fl_training", f"round/{round_number}")
+        evaluation = state.get("contribution", f"evaluation/{round_number}")
+        if round_record is None or evaluation is None:
+            raise ProtocolError(
+                f"round {round_number} is missing its training or evaluation record"
+            )
+        global_vector = np.asarray(round_record["global_model"], dtype=np.float64)
+        return RoundResult(
+            round_number=round_number,
+            groups=tuple(tuple(group) for group in round_record["groups"]),
+            user_values=dict(evaluation["user_values"]),
+            group_values=tuple(evaluation["group_values"]),
+            global_utility=float(evaluation["global_utility"]),
+            global_parameters=self._template_parameters.from_vector(global_vector),
+            consensus=None,
+            user_half_widths=dict(evaluation.get("user_half_widths", {})),
+            estimator=evaluation.get("estimator"),
+        )

@@ -83,6 +83,10 @@ class ContractStateError(ContractError):
     """A contract call is not valid in the contract's current state."""
 
 
+class StorageError(BlockchainError):
+    """A persistence backend failed to commit, reopen, or restore chain data."""
+
+
 # ---------------------------------------------------------------------------
 # Federated learning
 # ---------------------------------------------------------------------------

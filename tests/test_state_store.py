@@ -490,3 +490,99 @@ class TestIncrementalAuditOnV1Chain:
         assert replay.passed and incremental.passed
         assert incremental.rounds_checked == replay.rounds_checked
         assert incremental.recomputed_totals == pytest.approx(replay.recomputed_totals)
+
+
+class TestAdaptiveBucketing:
+    """STATE_ROOT_V3: per-namespace layouts widen as a pure function of size."""
+
+    def test_v3_matches_v2_below_the_resize_threshold(self):
+        # Up to TARGET_KEYS_PER_BUCKET keys per bucket the layout is the fixed
+        # 1024-bucket grid, so v2 and v3 roots are identical digest for digest.
+        a, b = WorldState(root_version=2), WorldState(root_version=3)
+        for i in range(500):
+            for state in (a, b):
+                state.set("ns", f"key-{i:04d}", {"i": i})
+        assert a.state_root() == b.state_root()
+        a.set("other", "k", 1)
+        b.set("other", "k", 1)
+        assert a.state_root() == b.state_root()
+
+    def test_root_is_a_pure_function_of_content_across_resizes(self):
+        n = 4 * N_STATE_BUCKETS + 500  # crosses the first widening threshold
+        grown = WorldState(root_version=3)
+        for i in range(n):
+            grown.set("bulk", f"key-{i:05d}", i)
+        fresh = WorldState(grown.raw(), root_version=3)
+        assert grown.state_root() == fresh.state_root()
+        # Shrinking back below the threshold returns to the narrow layout root.
+        for i in range(500, n):
+            grown.delete("bulk", f"key-{i:05d}")
+        small = WorldState(root_version=3)
+        for i in range(500):
+            small.set("bulk", f"key-{i:05d}", i)
+        assert grown.state_root() == small.state_root()
+
+    def test_rollback_across_a_resize_boundary(self):
+        state = WorldState(root_version=3)
+        for i in range(100):
+            state.set("bulk", f"key-{i:05d}", i)
+        narrow_root = state.state_root()
+        marker = state.snapshot()
+        for i in range(100, 4 * N_STATE_BUCKETS + 200):
+            state.set("bulk", f"key-{i:05d}", i)
+        assert state.state_root() != narrow_root
+        state.restore(marker)
+        assert state.state_root() == narrow_root
+
+    def test_proofs_verify_at_wide_layouts(self):
+        state = WorldState(root_version=3)
+        n = 4 * N_STATE_BUCKETS + 300
+        for i in range(n):
+            state.set("bulk", f"key-{i:05d}", {"i": i})
+        root = state.state_root()
+        for key in ("key-00000", f"key-{n - 1:05d}", f"key-{n // 2:05d}"):
+            proof = state.prove("bulk", key)
+            assert proof.n_buckets > N_STATE_BUCKETS
+            payload = proof.to_dict()
+            assert verify_state_proof(root, StateProof.from_dict(payload))
+        # Narrow-layout proofs keep the historical v2 payload shape.
+        state.set("tiny", "k", 1)
+        assert "n_buckets" not in state.prove("tiny", "k").to_dict()
+
+    def test_tampered_wide_proof_fails(self):
+        state = WorldState(root_version=3)
+        for i in range(4 * N_STATE_BUCKETS + 100):
+            state.set("bulk", f"key-{i:05d}", i)
+        root = state.state_root()
+        payload = state.prove("bulk", "key-00042").to_dict()
+        payload["n_buckets"] = payload.get("n_buckets", N_STATE_BUCKETS) * 2
+        assert not verify_state_proof(root, StateProof.from_dict(payload))
+
+    def test_v3_chain_commits_and_replays(self):
+        chain = _writer_chain(3, n_blocks=4)
+        assert chain.verify_version_roots() == [4, 3, 2, 1, 0]
+        replica = Blockchain(_writer_runtime, state_root_version=3)
+        for block in chain.blocks[1:]:
+            replica.verify_and_append(block)
+        assert replica.head.block_hash == chain.head.block_hash
+
+
+class TestVersionPruning:
+    def test_prune_versions_drops_below_horizon(self):
+        chain = _writer_chain(2, n_blocks=6)
+        pruned = chain.state.prune_versions(keep_last=2)
+        assert pruned == [0, 1, 2, 3, 4]
+        assert chain.state.oldest_retained_version() == 5
+        # Unwinding the oldest retained delta still answers one height below
+        # the horizon; anything lower needs a pruned delta and refuses.
+        for height in (5, 4):
+            assert chain.state.view_at(height).state_root() == chain.blocks[height].header.state_root
+        with pytest.raises(ValidationError, match="not retained"):
+            chain.state.view_at(3)
+
+    def test_prune_is_idempotent_and_bounded(self):
+        chain = _writer_chain(2, n_blocks=4)
+        assert chain.state.prune_versions(keep_last=3) == [0, 1]
+        assert chain.state.prune_versions(keep_last=3) == []
+        with pytest.raises(ValidationError):
+            chain.state.prune_versions(keep_last=0)

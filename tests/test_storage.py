@@ -1,0 +1,459 @@
+"""Tests for the persistence layer under the chain (the storage engine).
+
+Four properties are pinned here:
+
+* **Restore == never stopped** — a chain committed to SQLite, closed, and
+  reopened restores blocks, state, retained deltas, and nonces exactly, and
+  blocks committed after the restore are byte-identical to an uninterrupted
+  run's.
+* **Crash-atomicity at every boundary** — killing the backend (via the
+  fault-injection hook) at *each* named write boundary of ``commit_block``
+  leaves the store at exactly the last sealed block; reopening always works.
+* **Memory/SQLite parity** — under randomized contract-driven op sequences
+  the persisted replica's state, roots, and proofs match the in-memory one.
+* **Registry-safe pruning** — dropping reverse deltas below a horizon changes
+  no audit verdict: reads below the horizon fall back to snapshot+replay and
+  the fallback is visible in the ``AuditReport``.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from helpers import CounterContract, counter_tx
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.contracts.base import ContractRuntime
+from repro.blockchain.state import WorldState
+from repro.blockchain.storage import (
+    WRITE_BOUNDARIES,
+    InMemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    block_from_record,
+    block_to_record,
+    open_backend,
+)
+from repro.blockchain.transaction import Transaction
+from repro.core.audit import audit_chain
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import BlockchainFLProtocol
+from repro.datasets.loader import make_owner_datasets
+from repro.exceptions import ChainValidationError, ProtocolError, StorageError, ValidationError
+from test_state_store import RandomWriterContract
+
+
+def _writer_runtime() -> ContractRuntime:
+    runtime = ContractRuntime()
+    runtime.register(RandomWriterContract())
+    runtime.register(CounterContract())
+    return runtime
+
+
+def _writer_txs(chain: Blockchain, height: int) -> list[Transaction]:
+    return [
+        Transaction(
+            sender="alice", contract="writer", method="scribble",
+            args={"seed": height * 10 + 1}, nonce=chain.next_nonce("alice"),
+        ),
+        Transaction(
+            sender="bob", contract="writer", method="scribble",
+            args={"seed": height * 10 + 2}, nonce=chain.next_nonce("bob"),
+        ),
+    ]
+
+
+def _grow(chain: Blockchain, start: int, end: int) -> None:
+    """Commit writer blocks for heights start..end (inclusive)."""
+    for height in range(start, end + 1):
+        chain.propose_block(f"owner-{height % 2}", _writer_txs(chain, height))
+
+
+def _writer_chain(root_version: int, n_blocks: int, storage=None) -> Blockchain:
+    chain = Blockchain(_writer_runtime, state_root_version=root_version, storage=storage)
+    _grow(chain, 1, n_blocks)
+    return chain
+
+
+def _fingerprint(chain: Blockchain) -> list[tuple[int, str, str]]:
+    return [(b.height, b.block_hash, b.header.state_root) for b in chain.blocks]
+
+
+class TestBlockRecords:
+    def test_round_trip_preserves_identity(self):
+        chain = _writer_chain(2, n_blocks=3)
+        for block in chain.blocks:
+            rebuilt = block_from_record(block_to_record(block))
+            assert rebuilt.block_hash == block.block_hash
+            assert block_to_record(rebuilt) == block_to_record(block)
+
+    def test_tampered_record_is_rejected(self):
+        chain = _writer_chain(2, n_blocks=1)
+        record = block_to_record(chain.head)
+        record["header"]["proposer"] = "mallory"
+        with pytest.raises(StorageError, match="does not hash"):
+            block_from_record(record)
+
+    def test_malformed_record_is_rejected(self):
+        with pytest.raises(StorageError, match="malformed"):
+            block_from_record({"header": {"height": 1}})
+
+
+class TestOpenBackend:
+    def test_spec_parsing(self, tmp_path):
+        assert isinstance(open_backend("memory"), InMemoryBackend)
+        backend = open_backend(f"sqlite:{tmp_path / 'a.db'}")
+        assert isinstance(backend, SQLiteBackend)
+        assert backend.persistent
+        backend.close()
+        passthrough = InMemoryBackend()
+        assert open_backend(passthrough) is passthrough
+
+    def test_bad_specs(self):
+        with pytest.raises(StorageError):
+            open_backend("sqlite:")
+        with pytest.raises(StorageError):
+            open_backend("postgres:nope")
+
+    def test_memory_backend_is_inert(self):
+        chain = _writer_chain(2, n_blocks=2, storage=InMemoryBackend())
+        assert _fingerprint(chain) == _fingerprint(_writer_chain(2, n_blocks=2))
+
+    def test_double_attach_is_refused(self, tmp_path):
+        chain = _writer_chain(2, n_blocks=1, storage=open_backend(f"sqlite:{tmp_path/'a.db'}"))
+        with pytest.raises(ChainValidationError, match="already attached"):
+            chain.attach_storage(open_backend(f"sqlite:{tmp_path/'b.db'}"))
+
+
+@pytest.mark.parametrize("root_version", [1, 2, 3])
+class TestRestoreRoundTrip:
+    def test_reopen_restores_the_exact_replica(self, tmp_path, root_version):
+        path = str(tmp_path / "chain.db")
+        chain = _writer_chain(root_version, n_blocks=5, storage=SQLiteBackend(path))
+        expected = _fingerprint(chain)
+        expected_raw = chain.state.raw()
+        expected_nonces = dict(chain._nonces)
+        chain.storage.close()
+
+        reopened = Blockchain(_writer_runtime, state_root_version=root_version)
+        assert reopened.attach_storage(SQLiteBackend(path)) is True
+        assert _fingerprint(reopened) == expected
+        assert reopened.state.raw() == expected_raw
+        assert reopened._nonces == expected_nonces
+        # Retained deltas restore too: every historical view still answers.
+        for block in reopened.blocks:
+            assert reopened.state_at(block.height).state_root() == block.header.state_root
+        reopened.storage.close()
+
+    def test_blocks_after_restore_are_byte_identical(self, tmp_path, root_version):
+        uninterrupted = _writer_chain(root_version, n_blocks=9)
+        path = str(tmp_path / "chain.db")
+        first = _writer_chain(root_version, n_blocks=4, storage=SQLiteBackend(path))
+        first.storage.close()
+
+        second = Blockchain(_writer_runtime, state_root_version=root_version)
+        second.attach_storage(SQLiteBackend(path))
+        _grow(second, 5, 9)
+        assert _fingerprint(second) == _fingerprint(uninterrupted)
+        second.storage.close()
+
+    def test_fresh_store_initializes_and_mid_run_attach_rewrites(self, tmp_path, root_version):
+        path = str(tmp_path / "late.db")
+        chain = _writer_chain(root_version, n_blocks=3)
+        # Attaching to an already-grown chain snapshots it wholesale.
+        assert chain.attach_storage(SQLiteBackend(path)) is False
+        _grow(chain, 4, 5)
+        chain.storage.close()
+        reopened = Blockchain(_writer_runtime, state_root_version=root_version)
+        reopened.attach_storage(SQLiteBackend(path))
+        assert _fingerprint(reopened) == _fingerprint(chain)
+        reopened.storage.close()
+
+
+class TestRestoreRejectsBadStores:
+    def test_state_root_version_mismatch(self, tmp_path):
+        path = str(tmp_path / "v2.db")
+        _writer_chain(2, n_blocks=1, storage=SQLiteBackend(path)).storage.close()
+        chain = Blockchain(_writer_runtime, state_root_version=3)
+        with pytest.raises(StorageError, match="state_root_version"):
+            chain.attach_storage(SQLiteBackend(path))
+
+    def test_corrupted_state_row_fails_restore(self, tmp_path):
+        path = str(tmp_path / "corrupt.db")
+        _writer_chain(2, n_blocks=2, storage=SQLiteBackend(path)).storage.close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE kv SET encoded = '\"tampered\"' WHERE rowid = 1")
+        conn.commit()
+        conn.close()
+        chain = Blockchain(_writer_runtime, state_root_version=2)
+        with pytest.raises(StorageError, match="state root"):
+            chain.attach_storage(SQLiteBackend(path))
+
+    def test_schema_version_mismatch(self, tmp_path):
+        path = str(tmp_path / "future.db")
+        _writer_chain(2, n_blocks=1, storage=SQLiteBackend(path)).storage.close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StorageError, match="schema"):
+            SQLiteBackend(path)
+
+    def test_missing_block_row_fails_restore(self, tmp_path):
+        path = str(tmp_path / "gap.db")
+        _writer_chain(2, n_blocks=3, storage=SQLiteBackend(path)).storage.close()
+        conn = sqlite3.connect(path)
+        conn.execute("DELETE FROM blocks WHERE height = 2")
+        conn.commit()
+        conn.close()
+        chain = Blockchain(_writer_runtime, state_root_version=2)
+        with pytest.raises(StorageError):
+            chain.attach_storage(SQLiteBackend(path))
+
+
+class TestCrashSafety:
+    @pytest.mark.parametrize("boundary", WRITE_BOUNDARIES)
+    def test_crash_at_every_write_boundary(self, tmp_path, boundary):
+        path = str(tmp_path / f"crash-{boundary}.db")
+        base = _writer_chain(2, n_blocks=2, storage=SQLiteBackend(path))
+        sealed = _fingerprint(base)
+
+        def crash(name: str) -> None:
+            if name == boundary:
+                raise OSError(f"simulated power loss at {name}")
+
+        base.storage.crash_hook = crash
+        with pytest.raises((OSError, StorageError)):
+            base.propose_block("owner-1", _writer_txs(base, 3))
+        base.storage.close()
+
+        # The process died mid-commit: a fresh replica reopens the file and
+        # must land exactly on the last durably sealed block.
+        reopened = Blockchain(_writer_runtime, state_root_version=2)
+        assert reopened.attach_storage(SQLiteBackend(path)) is True
+        assert _fingerprint(reopened) == sealed
+        assert reopened.storage.committed_height() == 2
+        # The store is fully usable: growth continues byte-identically.
+        _grow(reopened, 3, 4)
+        assert _fingerprint(reopened) == _fingerprint(_writer_chain(2, n_blocks=4))
+        reopened.storage.close()
+
+    def test_torn_block_log_tail_is_ignored(self, tmp_path):
+        path = str(tmp_path / "torn.db")
+        chain = _writer_chain(2, n_blocks=2, storage=SQLiteBackend(path))
+        sealed = _fingerprint(chain)
+        log_path = chain.storage.log_path
+        chain.storage.close()
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"block_hash": "torn half-written li')
+        reopened = Blockchain(_writer_runtime, state_root_version=2)
+        reopened.attach_storage(SQLiteBackend(path))
+        assert _fingerprint(reopened) == sealed
+        reopened.storage.close()
+
+    def test_block_log_mirrors_every_sealed_block(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "log.db")
+        chain = _writer_chain(2, n_blocks=3, storage=SQLiteBackend(path))
+        with open(chain.storage.log_path, "r", encoding="utf-8") as handle:
+            logged = [json.loads(line)["block_hash"] for line in handle]
+        assert logged == [block.block_hash for block in chain.blocks]
+        chain.storage.close()
+
+
+@pytest.mark.parametrize("root_version", [2, 3])
+class TestMemorySqliteParity:
+    def test_random_op_sequences_persist_identically(self, tmp_path, root_version):
+        rng = np.random.default_rng(int(root_version) * 101)
+        path = str(tmp_path / "parity.db")
+        persisted = Blockchain(
+            _writer_runtime, state_root_version=root_version, storage=SQLiteBackend(path)
+        )
+        in_memory = Blockchain(_writer_runtime, state_root_version=root_version)
+        for height in range(1, 7):
+            seeds = [int(s) for s in rng.integers(10_000, size=int(rng.integers(1, 4)))]
+            for chain in (persisted, in_memory):
+                base = chain.next_nonce("alice")
+                txs = [
+                    Transaction(
+                        sender="alice", contract="writer", method="scribble",
+                        args={"seed": seed}, nonce=base + offset,
+                    )
+                    for offset, seed in enumerate(seeds)
+                ]
+                chain.propose_block(f"owner-{height % 2}", txs)
+        assert _fingerprint(persisted) == _fingerprint(in_memory)
+        persisted.storage.close()
+
+        restored = Blockchain(_writer_runtime, state_root_version=root_version)
+        restored.attach_storage(SQLiteBackend(path))
+        assert restored.state.raw() == in_memory.state.raw()
+        assert restored.state.state_root() == in_memory.state.state_root()
+        if root_version >= 2:
+            key = sorted(restored.state.keys("writer"))[0]
+            proof = restored.state.prove("writer", key)
+            assert proof.to_dict() == in_memory.state.prove("writer", key).to_dict()
+        restored.storage.close()
+
+
+class TestPruning:
+    def test_prune_keeps_audit_verdicts(self, tmp_path):
+        path = str(tmp_path / "prune.db")
+        chain = _writer_chain(3, n_blocks=8, storage=SQLiteBackend(path))
+        reference = _writer_chain(3, n_blocks=8)
+
+        pruned = chain.prune(keep_last=3)
+        assert pruned == [0, 1, 2, 3, 4, 5]
+        assert chain.oldest_retained_version() == 6
+        # Below-horizon historical reads fall back to snapshot+replay.
+        for height in (0, 2, 5):
+            assert chain.state_at(height).raw() == reference.state_at(height).raw()
+        # The O(Δ) walk certifies head..horizon-1; nothing below.
+        assert chain.verify_version_roots() == [8, 7, 6, 5]
+        chain.storage.close()
+
+        # Pruning is durable: the reopened replica has the same horizon.
+        reopened = Blockchain(_writer_runtime, state_root_version=3)
+        reopened.attach_storage(SQLiteBackend(path))
+        assert reopened.oldest_retained_version() == 6
+        assert _fingerprint(reopened) == _fingerprint(reference)
+        _grow(reopened, 9, 10)
+        assert _fingerprint(reopened) == _fingerprint(_writer_chain(3, n_blocks=10))
+        reopened.storage.close()
+
+    def test_prune_to_standalone(self, tmp_path):
+        path = str(tmp_path / "offline.db")
+        _writer_chain(2, n_blocks=6, storage=SQLiteBackend(path)).storage.close()
+        backend = SQLiteBackend(path)
+        assert backend.prune_to(keep_last=2) == [0, 1, 2, 3, 4]
+        assert backend.oldest_retained_delta() == 5
+        assert backend.prune_to(keep_last=2) == []
+        with pytest.raises(StorageError, match="at least"):
+            backend.prune_to(keep_last=0)
+        backend.close()
+
+    def test_prune_floor_is_enforced(self):
+        chain = _writer_chain(2, n_blocks=3)
+        with pytest.raises(ValidationError):
+            chain.state.prune_versions(keep_last=0)
+
+    def test_view_below_horizon_raises_without_fallback(self):
+        chain = _writer_chain(2, n_blocks=5)
+        chain.state.prune_versions(keep_last=2)
+        with pytest.raises(ValidationError, match="not retained"):
+            chain.state.view_at(1)
+        # ...but the chain-level read path silently replays instead.
+        assert chain.state_at(1).state_root() == chain.blocks[1].header.state_root
+
+
+class TestProtocolLifecycle:
+    @pytest.fixture(scope="class")
+    def small_setup(self):
+        dataset, owners = make_owner_datasets(n_owners=3, sigma=0.1, n_samples=240, seed=11)
+        config = ProtocolConfig(
+            n_owners=3, n_groups=2, n_rounds=2, local_epochs=1,
+            learning_rate=2.0, permutation_seed=11, state_root_version=3,
+        )
+        return dataset, owners, config
+
+    def _protocol(self, small_setup, **kwargs):
+        dataset, owners, config = small_setup
+        return BlockchainFLProtocol(
+            owners, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            config, **kwargs,
+        )
+
+    def test_interrupt_and_resume_is_byte_identical(self, tmp_path, small_setup):
+        dataset, owners, config = small_setup
+        baseline = self._protocol(small_setup)
+        baseline_result = baseline.run()
+        expected = _fingerprint(baseline.participants[baseline.owner_ids[0]].node.chain)
+
+        store = f"sqlite:{tmp_path / 'run.db'}"
+        interrupted = self._protocol(small_setup, store=store)
+        interrupted.setup()
+        first = interrupted.run_round(0, interrupted._template_parameters)
+        interrupted.close()
+
+        resumed = BlockchainFLProtocol.resume_from(
+            store, owners, dataset.test_features, dataset.test_labels,
+            dataset.n_classes, config,
+        )
+        assert resumed.completed_rounds() == [0]
+        result = resumed.resume_run()
+        chain = resumed.participants[resumed.owner_ids[0]].node.chain
+        assert _fingerprint(chain) == expected
+        assert result.reward_balances == baseline_result.reward_balances
+        assert result.rounds[0].user_values == first.user_values
+        resumed.close()
+
+        # Resuming a finished run is idempotent: results re-read from chain.
+        again = BlockchainFLProtocol.resume_from(
+            store, owners, dataset.test_features, dataset.test_labels,
+            dataset.n_classes, config,
+        )
+        replayed = again.resume_run()
+        assert _fingerprint(again.participants[again.owner_ids[0]].node.chain) == expected
+        assert replayed.reward_balances == baseline_result.reward_balances
+        assert replayed.total_transactions == baseline_result.total_transactions
+        again.close()
+
+    def test_used_store_refuses_plain_open(self, tmp_path, small_setup):
+        store = f"sqlite:{tmp_path / 'used.db'}"
+        protocol = self._protocol(small_setup, store=store)
+        protocol.setup()
+        protocol.close()
+        with pytest.raises(ProtocolError, match="resume_from"):
+            self._protocol(small_setup, store=store)
+
+    def test_resume_config_drift_is_refused(self, tmp_path, small_setup):
+        dataset, owners, config = small_setup
+        store = f"sqlite:{tmp_path / 'drift.db'}"
+        protocol = self._protocol(small_setup, store=store)
+        protocol.setup()
+        protocol.close()
+        drifted = ProtocolConfig(
+            n_owners=3, n_groups=2, n_rounds=4, local_epochs=1,
+            learning_rate=2.0, permutation_seed=11, state_root_version=3,
+        )
+        with pytest.raises(ProtocolError, match="n_rounds"):
+            BlockchainFLProtocol.resume_from(
+                store, owners, dataset.test_features, dataset.test_labels,
+                dataset.n_classes, drifted,
+            )
+
+    def test_empty_store_has_nothing_to_resume(self, tmp_path, small_setup):
+        dataset, owners, config = small_setup
+        with pytest.raises(ProtocolError, match="no committed chain"):
+            BlockchainFLProtocol.resume_from(
+                f"sqlite:{tmp_path / 'empty.db'}", owners, dataset.test_features,
+                dataset.test_labels, dataset.n_classes, config,
+            )
+
+    def test_prune_then_audit_verdicts_match(self, tmp_path, small_setup):
+        dataset, owners, config = small_setup
+        store = f"sqlite:{tmp_path / 'audit.db'}"
+        protocol = self._protocol(small_setup, store=store)
+        protocol.run()
+        chain = protocol.participants[protocol.owner_ids[0]].node.chain
+
+        def incremental():
+            return audit_chain(
+                chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+                mode="incremental",
+            )
+
+        before = incremental()
+        assert before.passed and before.prune_horizon is None
+        chain.prune(keep_last=2)
+        after = incremental()
+        assert after.passed
+        assert after.rounds_checked == before.rounds_checked
+        assert after.recomputed_totals == before.recomputed_totals
+        assert after.prune_horizon == chain.oldest_retained_version()
+        assert after.replayed_below_horizon == list(range(after.state_versions_checked[-1]))
+        protocol.close()
