@@ -19,9 +19,13 @@ as an in-memory simulation:
 * :mod:`repro.blockchain.network` / :mod:`repro.blockchain.node` — a simulated
   P2P network of miner nodes.
 * :mod:`repro.blockchain.transport` — pluggable delivery layers: the default
-  deterministic transport (byte-identical to the historical network) and a
+  deterministic transport (byte-identical to the historical network), a
   seeded fault-injecting transport (partitions, loss, duplication, latency)
-  driven by a declarative :class:`~repro.blockchain.transport.FaultPlan`.
+  driven by a declarative :class:`~repro.blockchain.transport.FaultPlan`, and
+  a real asyncio Unix-socket transport for multi-process swarms.
+* :mod:`repro.blockchain.swarm` — the asyncio miner swarm: a supervisor that
+  launches miner peers as OS processes over the async transport and verifies
+  their converged head byte-identical to the deterministic reference.
 """
 
 from repro.blockchain.block import Block, BlockHeader
@@ -40,14 +44,23 @@ from repro.blockchain.network import Network, NetworkStats
 from repro.blockchain.node import MinerNode
 from repro.blockchain.state import StateProof, StateView, WorldState, verify_state_proof
 from repro.blockchain.transaction import Transaction, TransactionReceipt
+from repro.blockchain.swarm import (
+    SwarmConfig,
+    SwarmSupervisor,
+    run_reference_workload,
+    run_swarm_workload,
+)
 from repro.blockchain.transport import (
+    AsyncTransport,
     BroadcastReport,
     Delivery,
     DeterministicTransport,
+    FaultDecision,
     FaultInjectingTransport,
     FaultPlan,
     HandlerFailure,
     LinkFault,
+    LinkFaultDecider,
     PartitionSpec,
     Transport,
 )
@@ -70,12 +83,19 @@ __all__ = [
     "Transport",
     "DeterministicTransport",
     "FaultInjectingTransport",
+    "AsyncTransport",
     "FaultPlan",
+    "FaultDecision",
     "LinkFault",
+    "LinkFaultDecider",
     "PartitionSpec",
     "Delivery",
     "BroadcastReport",
     "HandlerFailure",
+    "SwarmConfig",
+    "SwarmSupervisor",
+    "run_reference_workload",
+    "run_swarm_workload",
     "StateProof",
     "StateView",
     "WorldState",

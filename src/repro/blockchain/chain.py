@@ -113,6 +113,20 @@ class Blockchain:
         self.storage = backend
         return restored
 
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle support for shipping a replica over the sync wire.
+
+        The storage backend (if any) holds an open database connection and is
+        strictly local to its owning process; a chain that crosses a process
+        boundary travels detached and the receiver re-attaches its own.
+        """
+        state = dict(self.__dict__)
+        state["storage"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
     def _persist_commit(self, block: Block) -> None:
         """Mirror one freshly sealed block to the attached backend (if any)."""
         if self.storage is None:

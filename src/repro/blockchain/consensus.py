@@ -262,6 +262,11 @@ class VerificationResult:
         """Number of rejecting miners."""
         return sum(1 for vote in self.votes.values() if not vote)
 
+    @property
+    def abstain_count(self) -> int:
+        """Number of miners whose vote never arrived (counted as rejections)."""
+        return len(self.unreachable)
+
 
 class ConsensusEngine:
     """Coordinates one consensus round among a set of miner nodes.

@@ -15,8 +15,8 @@ partitions, loss, duplication, and latency for robustness scenarios.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.blockchain.transport import (
@@ -58,54 +58,156 @@ def _empty_counters() -> dict[str, int]:
     return {name: 0 for name in DELIVERY_COUNTERS}
 
 
-@dataclass
+class _PeerCounters:
+    """One recorder's private slice of the traffic statistics.
+
+    Each recording peer (sender) owns its own bucket, so concurrent recorders
+    never share a counter dict; buckets are merged at report time.  Mutation
+    still happens under the owning :class:`NetworkStats` lock because one peer
+    may record from several threads at once (a retry sweep racing a
+    handler-driven resync under the async transport).
+    """
+
+    __slots__ = ("messages_sent", "bytes_sent", "messages_by_topic",
+                 "bytes_by_topic", "delivery_by_topic")
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_by_topic: dict[str, int] = defaultdict(int)
+        self.bytes_by_topic: dict[str, int] = defaultdict(int)
+        self.delivery_by_topic: dict[str, dict[str, int]] = defaultdict(_empty_counters)
+
+
 class NetworkStats:
     """Aggregate traffic statistics for a simulated network.
 
     Beyond the legacy traffic totals (messages/bytes, overall and per topic),
-    the stats now distinguish delivery *outcomes* per topic — attempted vs
+    the stats distinguish delivery *outcomes* per topic — attempted vs
     delivered vs dropped/partitioned/timed-out/errored, plus duplicate copies
     and retry attempts — which is what the fault scenarios and the CLI
     delivery table report on.
+
+    Counters are kept in per-peer buckets (the ``peer`` argument of the
+    ``record*`` methods names the recording sender; the synchronous
+    single-network simulation records everything under one anonymous bucket)
+    and merged at report time.  Recording takes a lock, because under the
+    async transport one peer records from several threads concurrently — an
+    unguarded ``dict[int] += 1`` there loses counts and breaks the
+    ``attempted == delivered + dropped + partitioned + timed_out + errors``
+    accounting invariant the delivery reports are trusted for.
     """
 
-    messages_sent: int = 0
-    bytes_sent: int = 0
-    messages_by_topic: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    bytes_by_topic: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    delivery_by_topic: dict[str, dict[str, int]] = field(
-        default_factory=lambda: defaultdict(_empty_counters)
-    )
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._peers: dict[str, _PeerCounters] = {}
 
-    def record(self, topic: str, payload_bytes: int, recipients: int) -> None:
+    # -- pickling: the lock must not cross process boundaries ------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"peers": self._peers}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._lock = threading.Lock()
+        self._peers = state["peers"]
+
+    def _bucket(self, peer: str) -> _PeerCounters:
+        bucket = self._peers.get(peer)
+        if bucket is None:
+            bucket = self._peers.setdefault(peer, _PeerCounters())
+        return bucket
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, topic: str, payload_bytes: int, recipients: int, peer: str = "") -> None:
         """Account for one logical broadcast reaching ``recipients`` peers."""
-        self.messages_sent += recipients
-        self.bytes_sent += payload_bytes * recipients
-        self.messages_by_topic[topic] += recipients
-        self.bytes_by_topic[topic] += payload_bytes * recipients
-        self.delivery_by_topic[topic]["attempted"] += recipients
+        with self._lock:
+            bucket = self._bucket(peer)
+            bucket.messages_sent += recipients
+            bucket.bytes_sent += payload_bytes * recipients
+            bucket.messages_by_topic[topic] += recipients
+            bucket.bytes_by_topic[topic] += payload_bytes * recipients
+            bucket.delivery_by_topic[topic]["attempted"] += recipients
 
-    def record_outcome(self, topic: str, delivery: Delivery) -> None:
+    def record_outcome(self, topic: str, delivery: Delivery, peer: str = "") -> None:
         """Account for one per-recipient delivery outcome."""
-        counters = self.delivery_by_topic[topic]
-        counters[_STATUS_TO_COUNTER[delivery.status]] += 1
-        counters["duplicated"] += delivery.duplicates
+        with self._lock:
+            counters = self._bucket(peer).delivery_by_topic[topic]
+            counters[_STATUS_TO_COUNTER[delivery.status]] += 1
+            counters["duplicated"] += delivery.duplicates
 
-    def record_retries(self, topic: str, count: int) -> None:
+    def record_retries(self, topic: str, count: int, peer: str = "") -> None:
         """Account for ``count`` retry sends on a topic (also counted as attempts)."""
-        counters = self.delivery_by_topic[topic]
-        counters["retries"] += count
+        with self._lock:
+            self._bucket(peer).delivery_by_topic[topic]["retries"] += count
+
+    # -- merged views (the legacy read surface) --------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        with self._lock:
+            return sum(bucket.messages_sent for bucket in self._peers.values())
+
+    @property
+    def bytes_sent(self) -> int:
+        with self._lock:
+            return sum(bucket.bytes_sent for bucket in self._peers.values())
+
+    def _merge_topic_counts(self, attr: str) -> dict[str, int]:
+        merged: dict[str, int] = defaultdict(int)
+        with self._lock:
+            for bucket in self._peers.values():
+                for topic, value in getattr(bucket, attr).items():
+                    merged[topic] += value
+        return dict(merged)
+
+    @property
+    def messages_by_topic(self) -> dict[str, int]:
+        return self._merge_topic_counts("messages_by_topic")
+
+    @property
+    def bytes_by_topic(self) -> dict[str, int]:
+        return self._merge_topic_counts("bytes_by_topic")
+
+    @property
+    def delivery_by_topic(self) -> dict[str, dict[str, int]]:
+        """Per-topic outcome counters, merged across all recording peers."""
+        merged: dict[str, dict[str, int]] = defaultdict(_empty_counters)
+        with self._lock:
+            for bucket in self._peers.values():
+                for topic, counters in bucket.delivery_by_topic.items():
+                    target = merged[topic]
+                    for name, value in counters.items():
+                        target[name] += value
+        return dict(merged)
 
     def delivery_report(self) -> dict[str, Any]:
-        """Outcome counters, per topic and totalled."""
+        """Outcome counters, per topic and totalled (merged across peers)."""
         totals = _empty_counters()
         by_topic = {}
-        for topic in sorted(self.delivery_by_topic):
-            counters = dict(self.delivery_by_topic[topic])
+        merged = self.delivery_by_topic
+        for topic in sorted(merged):
+            counters = dict(merged[topic])
             by_topic[topic] = counters
             for name, value in counters.items():
                 totals[name] += value
         return {"totals": totals, "by_topic": by_topic}
+
+    def per_peer_report(self) -> dict[str, dict[str, Any]]:
+        """Each recording peer's own delivery slice (what the swarm supervisor collects)."""
+        report: dict[str, dict[str, Any]] = {}
+        with self._lock:
+            for peer in sorted(self._peers):
+                bucket = self._peers[peer]
+                report[peer] = {
+                    "messages_sent": bucket.messages_sent,
+                    "bytes_sent": bucket.bytes_sent,
+                    "delivery_by_topic": {
+                        topic: dict(counters)
+                        for topic, counters in sorted(bucket.delivery_by_topic.items())
+                    },
+                }
+        return report
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict view for reports."""
@@ -115,6 +217,7 @@ class NetworkStats:
             "messages_by_topic": dict(self.messages_by_topic),
             "bytes_by_topic": dict(self.bytes_by_topic),
             "delivery": self.delivery_report(),
+            "per_peer": self.per_peer_report(),
         }
 
 
@@ -178,6 +281,13 @@ class Network:
         """All node ids on the network, sorted."""
         return sorted(self._node_ids)
 
+    def handler_for(self, node_id: str, topic: str) -> Callable[[str, Any], Any]:
+        """The handler a node registered for a topic (the swarm server's dispatch path)."""
+        handler = self._handlers.get(topic, {}).get(node_id)
+        if handler is None:
+            raise BlockchainError(f"node {node_id!r} is not subscribed to {topic!r}")
+        return handler
+
     def _payload_size(self, payload: Any) -> int:
         try:
             return len(canonical_dumps(payload))
@@ -193,7 +303,7 @@ class Network:
             for node_id, handler in self._handlers.get(topic, {}).items()
             if node_id != sender_id
         }
-        self.stats.record(topic, self._payload_size(payload), len(handlers))
+        self.stats.record(topic, self._payload_size(payload), len(handlers), peer=sender_id)
         return self.transport.deliver_broadcast(sender_id, topic, payload, handlers, self.stats)
 
     def broadcast(self, sender_id: str, topic: str, payload: Any) -> dict[str, Any]:
@@ -215,7 +325,7 @@ class Network:
         handlers = self._handlers.get(topic, {})
         if recipient_id not in handlers:
             raise BlockchainError(f"node {recipient_id!r} is not subscribed to {topic!r}")
-        self.stats.record(topic, self._payload_size(payload), 1)
+        self.stats.record(topic, self._payload_size(payload), 1, peer=sender_id)
         return self.transport.deliver_send(
             sender_id, recipient_id, topic, payload, handlers[recipient_id], self.stats
         )

@@ -74,8 +74,16 @@ class MinerNode:
     # ------------------------------------------------------------------
 
     def _on_transaction(self, sender_id: str, tx: Transaction) -> bool:
-        """Gossip handler: admit a transaction into the local mempool."""
+        """Gossip handler: admit a transaction into the local mempool.
+
+        A transaction whose nonce the chain has already consumed is a stale
+        redelivery (a retried or delayed frame arriving after its block
+        committed — routine under the async transport) and is rejected, not
+        queued to poison the next proposal.
+        """
         try:
+            if tx.nonce < self.chain.next_nonce(tx.sender):
+                return False
             return self.mempool.add(tx)
         except Exception:  # noqa: BLE001 - a bad tx is simply not admitted
             return False
@@ -147,7 +155,7 @@ class MinerNode:
             if not pending:
                 break
             report.retry_backoffs.append(backoff)
-            self.network.stats.record_retries(topic, len(pending))
+            self.network.stats.record_retries(topic, len(pending), peer=self.node_id)
             still_pending = []
             for recipient_id in pending:
                 delivery = self.network.send_detailed(self.node_id, recipient_id, topic, payload)
@@ -196,6 +204,12 @@ class MinerNode:
         for node_id, delivery in sorted(report.deliveries.items()):
             if delivery.status == DELIVERED:
                 response = delivery.result
+                if not isinstance(response, dict):
+                    # A vote must be a mapping; anything else off the wire (a
+                    # corrupt or malicious frame) is a rejection, not a crash.
+                    votes[node_id] = False
+                    rejections[node_id] = f"malformed vote response: {response!r}"
+                    continue
                 votes[node_id] = bool(response.get("vote", False))
                 if not votes[node_id]:
                     rejections[node_id] = str(response.get("error", ""))
@@ -206,9 +220,24 @@ class MinerNode:
         return votes, rejections, unreachable
 
     def commit_block(self, block: Block) -> None:
-        """Append an accepted block to the local replica and drop included txs."""
+        """Append an accepted block to the local replica and drop included txs.
+
+        Also evicts mempool transactions the commit made stale (nonce already
+        consumed) — a late-arriving duplicate of a committed transaction must
+        not linger and surface in a later proposal.
+        """
         self.chain.verify_and_append(block)
         self.mempool.remove([tx.tx_hash for tx in block.transactions])
+        self.evict_stale()
+
+    def evict_stale(self) -> int:
+        """Drop mempool transactions whose nonce the chain has already consumed."""
+        stale = [
+            tx.tx_hash for tx in self.mempool.peek()
+            if tx.nonce < self.chain.next_nonce(tx.sender)
+        ]
+        self.mempool.remove(stale)
+        return len(stale)
 
     def try_resync(self) -> bool:
         """Catch up from the first peer that is ahead with a compatible chain.
@@ -241,6 +270,7 @@ class MinerNode:
                 continue
             for block in adopted:
                 self.mempool.remove([tx.tx_hash for tx in block.transactions])
+            self.evict_stale()
             self.resyncs.append(
                 {
                     "peer": peer_id,

@@ -247,7 +247,10 @@ class SQLiteBackend(StorageBackend):
         self.crash_hook = crash_hook
         self._closed = False
         try:
-            self._conn = sqlite3.connect(self.path)
+            # check_same_thread=False: a swarm peer commits from whichever
+            # handler thread runs the round; callers serialize access (the
+            # chain mutates under the peer's node lock, never concurrently).
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open sqlite store at {self.path}: {exc}") from exc
         # Explicit transaction control: commit_block brackets its own

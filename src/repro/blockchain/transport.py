@@ -22,9 +22,16 @@ retry backoff schedules are expressed in.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
+import hashlib
+import pickle
 import random
+import socket
+import struct
+import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.exceptions import BlockchainError
 
@@ -335,6 +342,165 @@ class FaultPlan:
 
 
 # ----------------------------------------------------------------------
+# Per-link fault decisions (shared by the sim and the async transport)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One delivery's drawn fate: drop / extra copies / latency / lost response."""
+
+    dropped: bool = False
+    latency: int = 0
+    duplicates: int = 0
+    response_lost: bool = False
+
+
+def _uniform_draw(seed: int, link: str, index: int, label: str) -> float:
+    """A deterministic uniform in [0, 1) derived by hashing, not by RNG state.
+
+    Hash-derived draws make each link's decision sequence a pure function of
+    ``(seed, link, per-link message index)`` — two transports consuming links
+    in completely different global interleavings (a sorted single-threaded
+    sweep vs concurrent asyncio sends) still agree on every decision.
+    """
+    digest = hashlib.sha256(f"fault-draw|{seed}|{link}|{index}|{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
+class LinkFaultDecider:
+    """Seed-stable per-link fault decisions, independent of global draw order.
+
+    The historical :class:`FaultInjectingTransport` draws every decision from
+    one shared ``random.Random`` stream, which makes the sequence depend on
+    the global delivery order — fine for the single-threaded simulation,
+    useless under real concurrency where sends interleave nondeterministically.
+    The decider instead keeps one message counter per directed link and hashes
+    ``(seed, link, index)`` into the draws, so the same plan and seed yield
+    identical per-link drop/duplicate/latency sequences on the deterministic
+    *and* the async transport.  Thread-safe; every decision is appended to
+    :attr:`log` for the seed-stability property tests.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+        #: Decision log: (link key, per-link index, FaultDecision).
+        self.log: list[tuple[str, int, FaultDecision]] = []
+
+    def decide(
+        self, sender: str, recipient: str, fault: LinkFault, timeout_ticks: int
+    ) -> FaultDecision:
+        """Draw the fate of the next message on ``sender -> recipient``."""
+        link = f"{sender}->{recipient}"
+        with self._lock:
+            index = self._counters.get(link, 0)
+            self._counters[link] = index + 1
+        dropped = bool(
+            fault.drop_probability
+            and _uniform_draw(self.seed, link, index, "drop") < fault.drop_probability
+        )
+        latency = (
+            int(_uniform_draw(self.seed, link, index, "latency") * (fault.latency_ticks + 1))
+            if fault.latency_ticks
+            else 0
+        )
+        duplicates = int(
+            bool(fault.duplicate_probability)
+            and _uniform_draw(self.seed, link, index, "duplicate") < fault.duplicate_probability
+        )
+        decision = FaultDecision(
+            dropped=dropped,
+            latency=latency,
+            duplicates=duplicates,
+            response_lost=fault.response_timeout or latency > timeout_ticks,
+        )
+        with self._lock:
+            self.log.append((link, index, decision))
+        return decision
+
+
+def blocking_partition(
+    partitions: Iterable[PartitionSpec], sender: str, recipient: str
+) -> str | None:
+    """The name of the first partition blocking ``sender -> recipient``, if any."""
+    for spec in partitions:
+        if spec.blocks(sender, recipient):
+            return spec.name
+    return None
+
+
+class FaultScheduleMixin:
+    """Shared fault-plan scheduling: the tick clock plus dynamic fault control.
+
+    Both the single-threaded :class:`FaultInjectingTransport` and the socket
+    :class:`AsyncTransport` carry the same scheduled state — a plan, a tick
+    clock advanced by ``begin_round``, and dynamic partitions / link faults a
+    scenario can steer imperatively — so the fault scenarios drive either
+    transport through one control surface.
+    """
+
+    plan: FaultPlan
+
+    def _init_fault_schedule(self, plan: FaultPlan | None) -> None:
+        self.plan = plan or FaultPlan()
+        self.tick = 0
+        self.phase: Any = None
+        self._dynamic_partitions: dict[str, PartitionSpec] = {}
+        self._dynamic_links: dict[str, LinkFault] = {}
+        #: Heal log: partition name -> tick it was healed at (reporting only).
+        self.healed: dict[str, int] = {}
+
+    def begin_round(self, label: Any) -> None:
+        self.tick += 1
+        self.phase = label
+
+    def set_partition(self, spec: PartitionSpec) -> None:
+        """Activate (or replace) a named partition immediately."""
+        self._dynamic_partitions[spec.name] = replace(spec, start_tick=0, heal_tick=None)
+        self.healed.pop(spec.name, None)
+
+    def heal(self, name: str) -> None:
+        """Remove a dynamically set partition (no-op if absent)."""
+        if self._dynamic_partitions.pop(name, None) is not None:
+            self.healed[name] = self.tick
+
+    def heal_all(self) -> None:
+        for name in list(self._dynamic_partitions):
+            self.heal(name)
+
+    def add_link_fault(self, key: str, fault: LinkFault) -> None:
+        if "->" not in key:
+            raise BlockchainError(f"link key {key!r} must look like 'sender->recipient'")
+        self._dynamic_links[key] = fault
+
+    def remove_link_fault(self, key: str) -> None:
+        self._dynamic_links.pop(key, None)
+
+    def active_partitions(self) -> list[PartitionSpec]:
+        active = [spec for spec in self.plan.partitions if spec.active_at(self.tick)]
+        active.extend(self._dynamic_partitions.values())
+        return active
+
+    def _blocking_partition(self, sender: str, recipient: str) -> str | None:
+        return blocking_partition(self.active_partitions(), sender, recipient)
+
+    def _effective_fault(self, sender: str, recipient: str, topic: str) -> LinkFault:
+        for key in (f"{sender}->{recipient}", f"{sender}->*", f"*->{recipient}"):
+            fault = self._dynamic_links.get(key)
+            if fault is not None and fault.applies_to(topic):
+                return fault
+        override = self.plan.link_fault(sender, recipient, topic)
+        if override is not None:
+            return override
+        return LinkFault(
+            drop_probability=self.plan.drop_probability,
+            duplicate_probability=self.plan.duplicate_probability,
+            latency_ticks=self.plan.latency_ticks,
+        )
+
+
+# ----------------------------------------------------------------------
 # Transports
 # ----------------------------------------------------------------------
 
@@ -403,16 +569,16 @@ class DeterministicTransport(Transport):
         for recipient_id in sorted(handlers):
             delivery = _invoke(recipient_id, handlers[recipient_id], sender_id, payload)
             report.deliveries[recipient_id] = delivery
-            stats.record_outcome(topic, delivery)
+            stats.record_outcome(topic, delivery, peer=sender_id)
         return report
 
     def deliver_send(self, sender_id, recipient_id, topic, payload, handler, stats) -> Delivery:
         delivery = _invoke(recipient_id, handler, sender_id, payload)
-        stats.record_outcome(topic, delivery)
+        stats.record_outcome(topic, delivery, peer=sender_id)
         return delivery
 
 
-class FaultInjectingTransport(Transport):
+class FaultInjectingTransport(FaultScheduleMixin, Transport):
     """Delivery under a seeded :class:`FaultPlan`, plus scenario-driven faults.
 
     Scheduled faults come from the plan (tick-windowed partitions, plan-wide
@@ -426,70 +592,17 @@ class FaultInjectingTransport(Transport):
     name = "faulty"
     faulty = True
 
-    def __init__(self, plan: FaultPlan | None = None) -> None:
-        self.plan = plan or FaultPlan()
+    def __init__(self, plan: FaultPlan | None = None, per_link_rng: bool = False) -> None:
+        self._init_fault_schedule(plan)
         self._rng = random.Random(int(self.plan.seed))
-        self.tick = 0
-        self.phase: Any = None
-        self._dynamic_partitions: dict[str, PartitionSpec] = {}
-        self._dynamic_links: dict[str, LinkFault] = {}
-        #: Heal log: partition name -> tick it was healed at (reporting only).
-        self.healed: dict[str, int] = {}
-
-    # -- clock and dynamic fault control --------------------------------
-
-    def begin_round(self, label: Any) -> None:
-        self.tick += 1
-        self.phase = label
-
-    def set_partition(self, spec: PartitionSpec) -> None:
-        """Activate (or replace) a named partition immediately."""
-        self._dynamic_partitions[spec.name] = replace(spec, start_tick=0, heal_tick=None)
-        self.healed.pop(spec.name, None)
-
-    def heal(self, name: str) -> None:
-        """Remove a dynamically set partition (no-op if absent)."""
-        if self._dynamic_partitions.pop(name, None) is not None:
-            self.healed[name] = self.tick
-
-    def heal_all(self) -> None:
-        for name in list(self._dynamic_partitions):
-            self.heal(name)
-
-    def add_link_fault(self, key: str, fault: LinkFault) -> None:
-        if "->" not in key:
-            raise BlockchainError(f"link key {key!r} must look like 'sender->recipient'")
-        self._dynamic_links[key] = fault
-
-    def remove_link_fault(self, key: str) -> None:
-        self._dynamic_links.pop(key, None)
-
-    def active_partitions(self) -> list[PartitionSpec]:
-        active = [spec for spec in self.plan.partitions if spec.active_at(self.tick)]
-        active.extend(self._dynamic_partitions.values())
-        return active
+        #: Optional order-independent decision mode: draws come from a
+        #: :class:`LinkFaultDecider` (per-link hash-derived streams) instead of
+        #: the shared RNG, so decision sequences match the async transport's.
+        #: Off by default — the shared stream is what the historical fault
+        #: parity pins were recorded under.
+        self.decider = LinkFaultDecider(int(self.plan.seed)) if per_link_rng else None
 
     # -- per-delivery decisions -----------------------------------------
-
-    def _blocking_partition(self, sender: str, recipient: str) -> str | None:
-        for spec in self.active_partitions():
-            if spec.blocks(sender, recipient):
-                return spec.name
-        return None
-
-    def _effective_fault(self, sender: str, recipient: str, topic: str) -> LinkFault:
-        for key in (f"{sender}->{recipient}", f"{sender}->*", f"*->{recipient}"):
-            fault = self._dynamic_links.get(key)
-            if fault is not None and fault.applies_to(topic):
-                return fault
-        override = self.plan.link_fault(sender, recipient, topic)
-        if override is not None:
-            return override
-        return LinkFault(
-            drop_probability=self.plan.drop_probability,
-            duplicate_probability=self.plan.duplicate_probability,
-            latency_ticks=self.plan.latency_ticks,
-        )
 
     def _plan_delivery(self, sender: str, recipient: str, topic: str):
         """Draw one recipient's fate: a failed Delivery, or (latency, dup, lost)."""
@@ -497,6 +610,11 @@ class FaultInjectingTransport(Transport):
         if blocked is not None:
             return Delivery(recipient, PARTITIONED, error=f"partitioned by {blocked!r}"), None
         fault = self._effective_fault(sender, recipient, topic)
+        if self.decider is not None:
+            decision = self.decider.decide(sender, recipient, fault, self.plan.timeout_ticks)
+            if decision.dropped:
+                return Delivery(recipient, DROPPED, error="dropped in transit"), None
+            return None, (decision.latency, decision.duplicates, decision.response_lost)
         if fault.drop_probability and self._rng.random() < fault.drop_probability:
             return Delivery(recipient, DROPPED, error="dropped in transit"), None
         latency = self._rng.randint(0, fault.latency_ticks) if fault.latency_ticks else 0
@@ -544,7 +662,7 @@ class FaultInjectingTransport(Transport):
                 queued.append((latency, recipient_id, (latency, duplicates, response_lost)))
         for delivery in failed:
             report.deliveries[delivery.recipient] = delivery
-            stats.record_outcome(topic, delivery)
+            stats.record_outcome(topic, delivery, peer=sender_id)
         # The reordering window: deliveries land in (latency, recipient) order,
         # so a slow link really does apply the message after a faster peer's.
         for _, recipient_id, (latency, duplicates, response_lost) in sorted(
@@ -555,17 +673,578 @@ class FaultInjectingTransport(Transport):
                 handlers[recipient_id], latency, duplicates, response_lost,
             )
             report.deliveries[recipient_id] = delivery
-            stats.record_outcome(topic, delivery)
+            stats.record_outcome(topic, delivery, peer=sender_id)
         return report
 
     def deliver_send(self, sender_id, recipient_id, topic, payload, handler, stats) -> Delivery:
         failure, outcome = self._plan_delivery(sender_id, recipient_id, topic)
         if failure is not None:
-            stats.record_outcome(topic, failure)
+            stats.record_outcome(topic, failure, peer=sender_id)
             return failure
         latency, duplicates, response_lost = outcome
         delivery = self._deliver_one(
             sender_id, recipient_id, topic, payload, handler, latency, duplicates, response_lost
         )
-        stats.record_outcome(topic, delivery)
+        stats.record_outcome(topic, delivery, peer=sender_id)
         return delivery
+
+
+# ----------------------------------------------------------------------
+# Wire framing (shared by the async transport and the swarm supervisor)
+# ----------------------------------------------------------------------
+
+#: Frame length prefix: 4-byte big-endian payload size.
+_FRAME_HEADER = struct.Struct(">I")
+#: Upper bound on one frame — a corrupt length prefix must not allocate GiBs.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(message: Any) -> bytes:
+    """Pickle ``message`` and prepend the length header."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise BlockchainError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader: "asyncio.StreamReader") -> Any | None:
+    """Read one length-prefixed frame; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_FRAME_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise BlockchainError(f"incoming frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = await reader.readexactly(length)
+    return pickle.loads(body)
+
+
+def write_frame_sync(sock: "socket.socket", message: Any) -> None:
+    """Blocking-socket counterpart of :func:`encode_frame` + write."""
+    sock.sendall(encode_frame(message))
+
+
+def read_frame_sync(sock: "socket.socket") -> Any | None:
+    """Blocking-socket counterpart of :func:`read_frame`; ``None`` on EOF."""
+
+    def _read_exact(count: int) -> bytes | None:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    header = _read_exact(_FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise BlockchainError(f"incoming frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _read_exact(length)
+    if body is None:
+        return None
+    return pickle.loads(body)
+
+
+# ----------------------------------------------------------------------
+# Asyncio socket transport
+# ----------------------------------------------------------------------
+
+class _BackPressureDrop(Exception):
+    """Raised when a peer link's bounded outbound queue stays full."""
+
+
+class _PeerLink:
+    """One directed outbound link: bounded queue + writer worker + reader.
+
+    The queue is the gossip-storm valve: when a peer cannot drain its socket
+    fast enough the queue fills, and after a short grace wait the sender
+    *drops* the frame instead of buffering without bound.  All methods run on
+    the transport's event loop.
+    """
+
+    def __init__(self, transport: "AsyncTransport", peer_id: str, path: str) -> None:
+        self.transport = transport
+        self.peer_id = peer_id
+        self.path = path
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=transport.queue_size)
+        #: In-flight requests awaiting a response, by message id.
+        self.pending: dict[int, asyncio.Future] = {}
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._worker_task: asyncio.Task | None = None
+        self._reader_task: asyncio.Task | None = None
+        #: Fail-fast window after a connect failure (loop-clock deadline).
+        self._down_until = 0.0
+
+    # -- connection management (loop thread) ----------------------------
+
+    async def _connect(self) -> None:
+        if self._writer is not None:
+            return
+        loop = asyncio.get_running_loop()
+        if loop.time() < self._down_until:
+            raise ConnectionError(f"peer {self.peer_id!r} marked down (recent connect failure)")
+        last_error: Exception | None = None
+        for attempt in range(self.transport.connect_attempts):
+            try:
+                self._reader, self._writer = await asyncio.open_unix_connection(self.path)
+                self._down_until = 0.0
+                self._reader_task = loop.create_task(self._read_responses())
+                if attempt:
+                    self.transport.counters["reconnects"] += 1
+                return
+            except OSError as exc:
+                last_error = exc
+                await asyncio.sleep(min(0.05 * (attempt + 1), 0.5))
+        self._down_until = loop.time() + self.transport.down_window
+        raise ConnectionError(f"peer {self.peer_id!r} unreachable: {last_error}")
+
+    def _reset_connection(self, error: Exception) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = None
+        self._writer = None
+        if self._reader_task is not None:
+            self._reader_task = None
+        for future in self.pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError(f"link to {self.peer_id!r} lost: {error}"))
+        self.pending.clear()
+
+    async def _read_responses(self) -> None:
+        reader = self._reader
+        try:
+            while reader is not None:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                future = self.pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except Exception as exc:  # noqa: BLE001 - a broken link fails pending requests
+            self._reset_connection(exc)
+            return
+        self._reset_connection(ConnectionError("peer closed connection"))
+
+    async def _drain_queue(self) -> None:
+        while True:
+            frame_bytes, msg_id = await self.queue.get()
+            try:
+                await self._connect()
+                assert self._writer is not None
+                self._writer.write(frame_bytes)
+                await self._writer.drain()
+                self.transport.counters["frames_sent"] += 1
+            except Exception as exc:  # noqa: BLE001 - fail this frame, keep the link alive
+                future = self.pending.pop(msg_id, None)
+                if future is not None and not future.done():
+                    future.set_exception(
+                        ConnectionError(f"send to {self.peer_id!r} failed: {exc}")
+                    )
+                if self._writer is not None:
+                    self._reset_connection(exc)
+
+    # -- sending (loop thread) ------------------------------------------
+
+    def ensure_worker(self) -> None:
+        if self._worker_task is None or self._worker_task.done():
+            self._worker_task = asyncio.get_running_loop().create_task(self._drain_queue())
+
+    async def submit(self, frame: dict[str, Any], expect_response: bool) -> asyncio.Future | None:
+        """Enqueue one frame; back-pressure drop if the queue stays full."""
+        self.ensure_worker()
+        msg_id = frame["id"]
+        future: asyncio.Future | None = None
+        if expect_response:
+            future = asyncio.get_running_loop().create_future()
+            self.pending[msg_id] = future
+        item = (encode_frame(frame), msg_id)
+        try:
+            self.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            try:
+                await asyncio.wait_for(
+                    self.queue.put(item), self.transport.backpressure_wait
+                )
+            except asyncio.TimeoutError:
+                self.pending.pop(msg_id, None)
+                self.transport.counters["backpressure_drops"] += 1
+                raise _BackPressureDrop(
+                    f"outbound queue to {self.peer_id!r} full "
+                    f"({self.transport.queue_size} frames)"
+                ) from None
+        return future
+
+    async def close(self) -> None:
+        for task in (self._worker_task, self._reader_task):
+            if task is not None:
+                task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+        self._reset_connection(ConnectionError("transport stopped"))
+
+
+class AsyncTransport(FaultScheduleMixin, Transport):
+    """Real-socket delivery: length-prefixed pickled frames over Unix sockets.
+
+    Implements the same :meth:`deliver_broadcast` / :meth:`deliver_send`
+    contract as the simulated transports, but each recipient delivery is a
+    framed request/response over an asyncio connection, sent concurrently and
+    bounded by a *wall-clock* response timeout.  A recipient that does not
+    answer in time yields a ``timeout`` delivery — exactly the signal the
+    timeout-as-abstain quorum path consumes — and a dead peer degrades to
+    timeouts instead of hanging the round.
+
+    One transport instance lives inside each swarm peer process and owns:
+
+    * a background event loop thread (all socket I/O),
+    * per-peer outbound :class:`_PeerLink` queues with bounded back-pressure,
+    * the peer's own frame server (started by :meth:`serve`), which runs
+      incoming handlers on a thread pool so a handler may itself use the
+      network (resync inside a proposal handler) without deadlocking the loop,
+    * an optional :class:`FaultPlan` gate, evaluated sender-side with
+      :class:`LinkFaultDecider` so fault decisions are seed-stable per link
+      even though sends interleave nondeterministically.
+
+    Simulated-latency ticks are scaled by ``tick_seconds`` into real sleeps,
+    which preserves the plan's reordering behaviour on the wire.
+    """
+
+    name = "async"
+    faulty = True
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: Mapping[str, str],
+        plan: FaultPlan | None = None,
+        request_timeout: float = 5.0,
+        queue_size: int = 32,
+        tick_seconds: float = 0.01,
+        connect_attempts: int = 10,
+        backpressure_wait: float = 0.25,
+        down_window: float = 1.0,
+        handler_threads: int = 8,
+    ) -> None:
+        if node_id not in peers:
+            raise BlockchainError(f"peer table must include the local node {node_id!r}")
+        self._init_fault_schedule(plan)
+        self.node_id = node_id
+        self.peers = dict(peers)
+        self.decider = LinkFaultDecider(int(self.plan.seed)) if plan is not None else None
+        self.request_timeout = float(request_timeout)
+        self.queue_size = int(queue_size)
+        self.tick_seconds = float(tick_seconds)
+        self.connect_attempts = int(connect_attempts)
+        self.backpressure_wait = float(backpressure_wait)
+        self.down_window = float(down_window)
+        #: Link/frame counters for the per-peer delivery report.
+        self.counters: dict[str, int] = {
+            "frames_sent": 0,
+            "frames_served": 0,
+            "reconnects": 0,
+            "backpressure_drops": 0,
+            "fault_drops": 0,
+            "partitioned": 0,
+            "timeouts": 0,
+        }
+        self._links: dict[str, _PeerLink] = {}
+        self._next_id = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatch: Callable[[str, str, Any], Any] | None = None
+        self._ctrl: Callable[[str, Any], Any] | None = None
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=handler_threads, thread_name_prefix=f"{node_id}-handler"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background event loop thread (idempotent)."""
+        if self._loop is not None:
+            return
+        ready = threading.Event()
+        loop_holder: list[asyncio.AbstractEventLoop] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop_holder.append(loop)
+            ready.set()
+            loop.run_forever()
+            # Drain cancelled tasks so their teardown runs before close.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name=f"{self.node_id}-transport-loop", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=10):
+            raise BlockchainError(f"transport loop for {self.node_id!r} failed to start")
+        self._loop = loop_holder[0]
+        # Tag the loop with its thread so _deliver can refuse loop-thread calls
+        # (a blocking wait there would deadlock the transport).
+        self._loop._thread_ref = self._thread  # type: ignore[attr-defined]
+
+    def serve(
+        self,
+        dispatch: Callable[[str, str, Any], Any],
+        ctrl: Callable[[str, Any], Any] | None = None,
+    ) -> None:
+        """Start this peer's frame server on its own socket path.
+
+        ``dispatch(sender_id, topic, payload)`` handles peer messages and
+        ``ctrl(command, args)`` supervisor control frames; both run on the
+        handler thread pool, never on the event loop.
+        """
+        self.start()
+        self._dispatch = dispatch
+        self._ctrl = ctrl
+        future = asyncio.run_coroutine_threadsafe(self._start_server(), self._require_loop())
+        future.result(timeout=10)
+
+    async def _start_server(self) -> None:
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.peers[self.node_id]
+        )
+
+    def stop(self) -> None:
+        """Tear down the server, all links, and the loop thread."""
+        loop = self._loop
+        if loop is None:
+            return
+
+        async def _shutdown() -> None:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            for link in self._links.values():
+                await link.close()
+
+        try:
+            asyncio.run_coroutine_threadsafe(_shutdown(), loop).result(timeout=10)
+        except Exception:  # noqa: BLE001 - teardown must not mask the caller's exit
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._executor.shutdown(wait=False)
+        self._loop = None
+        self._thread = None
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise BlockchainError(f"transport for {self.node_id!r} is not started")
+        return self._loop
+
+    # -- server side (loop thread) --------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                task = loop.create_task(self._handle_frame(frame, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            pass  # transport teardown closes the server mid-read
+        finally:
+            writer.close()
+
+    async def _handle_frame(
+        self, frame: dict[str, Any], writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        kind = frame.get("kind")
+        try:
+            if kind == "msg":
+                if self._dispatch is None:
+                    raise BlockchainError("no message dispatcher installed")
+                result = await loop.run_in_executor(
+                    self._executor,
+                    self._dispatch,
+                    frame["sender"],
+                    frame["topic"],
+                    frame["payload"],
+                )
+            elif kind == "ctrl":
+                if self._ctrl is None:
+                    raise BlockchainError("no ctrl dispatcher installed")
+                result = await loop.run_in_executor(
+                    self._executor, self._ctrl, frame["command"], frame.get("args")
+                )
+            else:
+                raise BlockchainError(f"unknown frame kind {kind!r}")
+            response = {"kind": "resp", "id": frame.get("id"), "status": "ok", "result": result}
+        except Exception as exc:  # noqa: BLE001 - a raising handler answers with an error frame
+            response = {
+                "kind": "resp", "id": frame.get("id"), "status": "error", "error": str(exc),
+            }
+        self.counters["frames_served"] += 1
+        try:
+            async with write_lock:
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except Exception:  # noqa: BLE001 - requester gone; nothing to answer
+            pass
+
+    # -- client side -----------------------------------------------------
+
+    def _link(self, peer_id: str) -> _PeerLink:
+        link = self._links.get(peer_id)
+        if link is None:
+            path = self.peers.get(peer_id)
+            if path is None:
+                raise BlockchainError(f"no socket path registered for peer {peer_id!r}")
+            link = _PeerLink(self, peer_id, path)
+            self._links[peer_id] = link
+        return link
+
+    async def _send_one(self, sender: str, recipient: str, topic: str, payload: Any) -> Delivery:
+        blocked = blocking_partition(self.active_partitions(), sender, recipient)
+        if blocked is not None:
+            self.counters["partitioned"] += 1
+            return Delivery(recipient, PARTITIONED, error=f"partitioned by {blocked!r}")
+        decision = FaultDecision()
+        if self.decider is not None:
+            fault = self._effective_fault(sender, recipient, topic)
+            decision = self.decider.decide(sender, recipient, fault, self.plan.timeout_ticks)
+        if decision.dropped:
+            self.counters["fault_drops"] += 1
+            return Delivery(recipient, DROPPED, error="dropped in transit")
+        if decision.latency and self.tick_seconds:
+            await asyncio.sleep(decision.latency * self.tick_seconds)
+        link = self._link(recipient)
+        self._next_id += 1
+        frame = {
+            "kind": "msg", "id": self._next_id,
+            "sender": sender, "topic": topic, "payload": payload,
+        }
+        try:
+            for _ in range(decision.duplicates):
+                # Duplicate copies re-invoke the remote handler; their
+                # responses are discarded, like redundant gossip.
+                self._next_id += 1
+                await link.submit({**frame, "id": self._next_id}, expect_response=False)
+            future = await link.submit(frame, expect_response=True)
+        except _BackPressureDrop as exc:
+            return Delivery(
+                recipient, DROPPED,
+                error=str(exc), latency=decision.latency, duplicates=decision.duplicates,
+            )
+        assert future is not None
+        if decision.response_lost:
+            # The frame is on the wire and the remote handler will run, but
+            # this sender deliberately abandons the response — the simulated
+            # transports' "response lost" semantics, now over a real socket.
+            future.add_done_callback(lambda f: f.exception() if not f.cancelled() else None)
+            self.counters["timeouts"] += 1
+            return Delivery(
+                recipient, TIMEOUT,
+                error=f"response lost after {decision.latency} tick(s) "
+                f"(> timeout {self.plan.timeout_ticks})",
+                latency=decision.latency, duplicates=decision.duplicates,
+            )
+        try:
+            response = await asyncio.wait_for(future, self.request_timeout)
+        except asyncio.TimeoutError:
+            link.pending.pop(frame["id"], None)
+            self.counters["timeouts"] += 1
+            return Delivery(
+                recipient, TIMEOUT,
+                error=f"no response within {self.request_timeout}s",
+                latency=decision.latency, duplicates=decision.duplicates,
+            )
+        except (ConnectionError, OSError) as exc:
+            # An unreachable peer is indistinguishable from a slow one at the
+            # protocol level: record a timeout so the quorum counts an abstain.
+            self.counters["timeouts"] += 1
+            return Delivery(
+                recipient, TIMEOUT, error=str(exc),
+                latency=decision.latency, duplicates=decision.duplicates,
+            )
+        if response.get("status") != "ok":
+            return Delivery(
+                recipient, ERROR, error=str(response.get("error", "remote handler failed")),
+                latency=decision.latency, duplicates=decision.duplicates,
+            )
+        return Delivery(
+            recipient, DELIVERED, result=response.get("result"),
+            latency=decision.latency, duplicates=decision.duplicates,
+        )
+
+    def _deliver(self, sender_id: str, recipient_id: str, topic: str, payload: Any,
+                 handler: Callable[[str, Any], Any]) -> "concurrent.futures.Future":
+        if recipient_id == self.node_id:
+            # Local loopback: invoke directly, no socket round-trip.
+            local: concurrent.futures.Future = concurrent.futures.Future()
+            local.set_result(_invoke(recipient_id, handler, sender_id, payload))
+            return local
+        loop = self._require_loop()
+        if threading.current_thread() is getattr(loop, "_thread_ref", None):
+            raise BlockchainError("transport deliver called from its own event loop thread")
+        return asyncio.run_coroutine_threadsafe(
+            self._send_one(sender_id, recipient_id, topic, payload), loop
+        )
+
+    def _await_delivery(
+        self, future: "concurrent.futures.Future", recipient_id: str
+    ) -> Delivery:
+        # _send_one bounds every wait internally; this outer deadline is a
+        # last-resort guard so a transport bug cannot hang a consensus round.
+        try:
+            return future.result(timeout=self.request_timeout * 2 + 30)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            self.counters["timeouts"] += 1
+            return Delivery(recipient_id, TIMEOUT, error="transport deadline exceeded")
+        except Exception as exc:  # noqa: BLE001 - a failed send is an abstain, not a crash
+            return Delivery(recipient_id, TIMEOUT, error=str(exc))
+
+    # -- Transport interface --------------------------------------------
+
+    def deliver_broadcast(self, sender_id, topic, payload, handlers, stats) -> BroadcastReport:
+        report = BroadcastReport(topic=topic, sender=sender_id)
+        in_flight = [
+            (recipient_id, self._deliver(sender_id, recipient_id, topic, payload,
+                                         handlers[recipient_id]))
+            for recipient_id in sorted(handlers)
+        ]
+        for recipient_id, future in in_flight:
+            delivery = self._await_delivery(future, recipient_id)
+            report.deliveries[recipient_id] = delivery
+            stats.record_outcome(topic, delivery, peer=sender_id)
+        return report
+
+    def deliver_send(self, sender_id, recipient_id, topic, payload, handler, stats) -> Delivery:
+        future = self._deliver(sender_id, recipient_id, topic, payload, handler)
+        delivery = self._await_delivery(future, recipient_id)
+        stats.record_outcome(topic, delivery, peer=sender_id)
+        return delivery
+
+    def transport_report(self) -> dict[str, Any]:
+        """Link counters + fault-decision log size (per-peer delivery report)."""
+        report: dict[str, Any] = dict(self.counters)
+        report["peers"] = sorted(self.peers)
+        report["decisions"] = 0 if self.decider is None else len(self.decider.log)
+        return report

@@ -172,10 +172,25 @@ def build_parser() -> argparse.ArgumentParser:
         "numbers); implied by --scenario leader-dropout/partition-heal/eclipse",
     )
     run.add_argument(
-        "--transport", choices=("deterministic", "faulty"), default="deterministic",
+        "--transport", choices=("deterministic", "faulty", "async"), default="deterministic",
         help="message delivery layer: deterministic (loss-free, byte-identical "
-        "chains — the default) or faulty (seeded fault injection; implied by "
-        "--fault-plan and the fault scenarios)",
+        "chains — the default), faulty (seeded fault injection; implied by "
+        "--fault-plan and the fault scenarios), or async (an asyncio miner "
+        "swarm of --peers OS processes gossiping framed messages over Unix "
+        "sockets; runs the swarm consensus workload instead of the FL "
+        "pipeline and verifies its head against the single-process "
+        "deterministic reference)",
+    )
+    run.add_argument(
+        "--peers", type=int, default=8,
+        help="swarm size for --transport async (miner processes; ignored by "
+        "the other transports)",
+    )
+    run.add_argument(
+        "--swarm-restart", type=int, default=0, metavar="N",
+        help="resync drill for --transport async: hard-kill N non-leader "
+        "peers before round 1, restart them one round later from their "
+        "SQLite stores, and require post-heal convergence",
     )
     run.add_argument(
         "--fault-plan", type=str, default=None, metavar="JSON",
@@ -424,7 +439,61 @@ def _command_cross_device(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_swarm(args: argparse.Namespace) -> int:
+    """Run the asyncio miner swarm and verify parity with the deterministic reference."""
+    from repro.blockchain.swarm import (
+        SwarmConfig,
+        run_reference_workload,
+        run_swarm_workload,
+    )
+
+    fault_plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    if fault_plan is None and args.fault_seed:
+        fault_plan = FaultPlan(seed=args.fault_seed)
+    config = SwarmConfig(
+        peers=args.peers,
+        rounds=args.rounds,
+        seed=args.seed,
+        state_root_version=args.state_root_version,
+        fault_plan=fault_plan,
+    )
+    if not 0 <= args.swarm_restart <= config.peers // 3:
+        print(f"error: --swarm-restart must be in [0, peers//3]; got {args.swarm_restart}")
+        return 2
+    kill_schedule = None
+    if args.swarm_restart:
+        # Kill from the top of the id range: those peers are never scheduled
+        # to lead within --rounds, so the committed blocks stay byte-identical
+        # to the reference while the drill exercises restart + resync.
+        victims = config.peer_ids()[-args.swarm_restart:]
+        kill_schedule = {1: victims}
+    reference = run_reference_workload(config)
+    print(f"reference (deterministic, single process): height {reference['height']}, "
+          f"head {reference['head']}")
+    result = run_swarm_workload(config, kill_schedule=kill_schedule)
+    print(f"swarm ({config.peers} peers over asyncio sockets): height {result['height']}, "
+          f"head {result['head']}")
+    for entry in result["round_log"]:
+        print(f"  round {entry['round']}: leader {entry['leader']}, "
+              f"{entry['attempts']} attempt(s)")
+    resyncs = {
+        peer: report["resyncs"]
+        for peer, report in sorted(result["reports"].items())
+        if not isinstance(report, Exception) and report.get("resyncs")
+    }
+    if resyncs:
+        print(f"  resyncs: {{{', '.join(f'{p}: {len(r)}' for p, r in resyncs.items())}}}")
+    print(f"  audit: replay + version roots clean at height {result['audit']['height']}")
+    if result["head"] != reference["head"]:
+        print("FAIL: swarm head differs from the deterministic reference")
+        return 1
+    print("OK: swarm head is byte-identical to the deterministic reference")
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    if args.transport == "async":
+        return _command_swarm(args)
     if args.scenario.startswith("cross-device-"):
         return _command_cross_device(args)
     if args.scenario == "restart-resume":

@@ -3,14 +3,70 @@
 Expensive artefacts (datasets, trained local models, a full protocol run) are
 session scoped so the suite stays fast while many tests can assert against the
 same realistic objects.
+
+Also provides a hard per-test timeout: when the ``pytest-timeout`` plugin is
+installed (CI) it owns the ``timeout`` marker and ini option; otherwise a
+SIGALRM-based fallback enforces the same contract, so a wedged swarm process
+fails the test loudly instead of hanging the whole suite.
 """
 
 from __future__ import annotations
+
+import importlib.util
+import signal
 
 import numpy as np
 import pytest
 
 from repro.core.config import ProtocolConfig
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addini(
+            "timeout",
+            "default hard per-test timeout in seconds (SIGALRM fallback; 0 disables)",
+            default="0",
+        )
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): hard wall-clock limit for one test "
+            "(pytest-timeout when installed, SIGALRM fallback otherwise)",
+        )
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            seconds = float(marker.args[0])
+        else:
+            try:
+                seconds = float(item.config.getini("timeout") or 0)
+            except (TypeError, ValueError):
+                seconds = 0.0
+        if seconds <= 0:
+            yield
+            return
+
+        def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
+            raise TimeoutError(f"test exceeded its {seconds:.0f}s hard timeout")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 from repro.core.protocol import BlockchainFLProtocol
 from repro.datasets.loader import make_owner_datasets
 from repro.fl.client import DataOwner

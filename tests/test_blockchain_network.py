@@ -100,3 +100,76 @@ class TestStats:
         assert payload["messages_sent"] == 3
         assert payload["bytes_sent"] == 30
         assert payload["bytes_by_topic"] == {"tx": 30}
+
+
+class TestStatsConcurrency:
+    """Regression: delivery accounting must balance under real concurrency.
+
+    The async transport records outcomes from a thread pool; the historical
+    single-dict counters lost increments under that load, breaking the
+    ``attempted == delivered + dropped + partitioned + timed_out + errors``
+    invariant every delivery report is trusted for.  Per-peer buckets merged
+    at report time (plus the recording lock) are the fix — this hammers the
+    recording surface from many threads and asserts the books balance.
+    """
+
+    @pytest.mark.timeout(60)
+    def test_accounting_balances_across_threads(self):
+        import threading
+
+        from repro.blockchain.transport import (
+            DELIVERED,
+            DROPPED,
+            PARTITIONED,
+            TIMEOUT,
+            Delivery,
+        )
+
+        stats = NetworkStats()
+        statuses = (DELIVERED, DROPPED, PARTITIONED, TIMEOUT)
+        topics = ("tx", "proposal", "commit")
+        per_thread = 200
+        threads = 8
+        start = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            peer = f"peer-{worker}"
+            start.wait()
+            for i in range(per_thread):
+                topic = topics[i % len(topics)]
+                stats.record(topic, payload_bytes=7, recipients=1, peer=peer)
+                outcome = Delivery("r", statuses[i % len(statuses)], duplicates=i % 2)
+                stats.record_outcome(topic, outcome, peer=peer)
+                if i % 5 == 0:
+                    # A retry is itself re-attempted through record(); the
+                    # retry counter is bookkeeping on the side.
+                    stats.record_retries(topic, 1, peer=peer)
+
+        workers = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+
+        report = stats.delivery_report()
+        assert report["totals"]["attempted"] == threads * per_thread
+        for topic, counters in report["by_topic"].items():
+            outcomes = (
+                counters["delivered"]
+                + counters["dropped"]
+                + counters["partitioned"]
+                + counters["timed_out"]
+                + counters["errors"]
+            )
+            assert counters["attempted"] == outcomes, f"{topic} books do not balance"
+
+        # The per-peer view must partition the totals exactly.
+        per_peer = stats.per_peer_report()
+        assert len(per_peer) == threads
+        assert (
+            sum(p["messages_sent"] for p in per_peer.values())
+            == stats.messages_sent
+            == threads * per_thread
+        )

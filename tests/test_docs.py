@@ -108,3 +108,45 @@ class TestDoctests:
         results = doctest.testmod(consensus)
         assert results.attempted > 0, "consensus.py lost its runnable doctest"
         assert results.failed == 0
+
+
+class TestAsyncSwarmDocs:
+    """The async-swarm surface must stay documented and exercised by CI."""
+
+    def test_cli_exposes_the_async_transport(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        run_parser = parser._subparsers._group_actions[0].choices["run"]
+        (transport_choices,) = [
+            action.choices for action in run_parser._actions
+            if getattr(action, "dest", "") == "transport"
+        ]
+        assert "async" in transport_choices
+        dests = {getattr(action, "dest", "") for action in run_parser._actions}
+        assert {"peers", "swarm_restart"} <= dests
+
+    def test_readme_documents_the_async_swarm_flags(self):
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        for needle in ("--transport async", "--peers", "--swarm-restart", "swarm-smoke"):
+            assert needle in text, f"README no longer documents {needle!r}"
+
+    def test_architecture_doc_covers_the_async_swarm(self):
+        text = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+        assert "AsyncTransport" in text
+        assert "SwarmSupervisor" in text
+        for topic in ("back-pressure", "timeout-as-abstain", "LinkFaultDecider"):
+            assert topic.lower() in text.lower(), (
+                f"architecture.md async-swarm section lost its {topic!r} coverage"
+            )
+
+    def test_ci_runs_the_swarm_smoke_job(self):
+        text = (REPO / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
+        assert "swarm-smoke:" in text, "CI lost the swarm-smoke job"
+        assert "--transport async --peers 16" in text
+        assert "--swarm-restart" in text, "CI swarm-smoke lost the resync drill"
+
+    def test_ci_installs_the_test_timeout_and_property_deps(self):
+        requirements = (REPO / "requirements-ci.txt").read_text(encoding="utf-8")
+        assert "pytest-timeout" in requirements
+        assert "hypothesis" in requirements

@@ -201,3 +201,42 @@ class TestViewChangeUnderFaults:
         round_block = protocol.participants["owner-0"].node.chain.blocks[3]
         assert round_block.header.proposer == expected_backup
         assert len(set(all_heads(protocol).values())) == 1
+
+
+class TestAsyncSwarmSoak:
+    """Satellite: randomized crash soak over the asyncio swarm.
+
+    A seeded schedule hard-kills up to a third of the miner processes
+    mid-round and restarts them from their SQLite stores a round later.  The
+    scheduled leader may be among the dead — the supervisor falls back to the
+    next alive peer — so the head is not pinned to the reference here; the
+    contract is *convergence*: after healing, every replica reports one single
+    head and that chain passes the full replay + version-root audit.
+    """
+
+    @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("soak_seed", [3, 17])
+    def test_seeded_kill_restart_soak_converges(self, soak_seed):
+        import random
+
+        from repro.blockchain.swarm import SwarmConfig, run_swarm_workload
+
+        config = SwarmConfig(peers=9, rounds=4)
+        rng = random.Random(soak_seed)
+        victims = tuple(sorted(rng.sample(config.peer_ids(), k=config.peers // 3)))
+        kill_round = rng.randrange(1, config.rounds - 1)
+        result = run_swarm_workload(config, kill_schedule={kill_round: victims})
+
+        # One audit-clean head across every replica, dead-and-restarted included.
+        assert len(result["heads"]) == config.peers
+        assert set(result["heads"].values()) == {result["head"]}
+        assert result["height"] == config.rounds
+        assert result["audit"]["head"] == result["head"]
+        assert result["audit"]["height"] == config.rounds
+
+        # The restarted victims came back through storage restore + resync.
+        restarted = [
+            pid for pid, report in result["reports"].items()
+            if not isinstance(report, Exception) and report["restored"]
+        ]
+        assert set(restarted) == set(victims)
