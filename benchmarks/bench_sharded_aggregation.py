@@ -13,6 +13,14 @@ Two costs changed in the cross-device PR:
   exact is still computable) with the estimator's own confidence interval as
   the acceptance bar.
 
+The batched-estimator PR then made committee scoring itself the target: the
+scalar permutation walk re-folds and re-scores every prefix, while the batched
+pipeline builds prefix rows incrementally, dedups coalitions through a bitmask
+cache, and scores each block in one GEMM.  Measured here as scalar-vs-batched
+wall time on the cross-device game shape (m = ceil(devices / shard) groups,
+68-dim models), with bit-identical estimates asserted and a >= 3x speedup
+floor pinned at committee sizes of 48+ groups.
+
 The recorded ``extra_info`` feeds the BENCH_shapley.json perf trajectory
 (scripts/export_bench_trajectory.py); the asserts pin the acceptance floors.
 Reduced-size CI runs shrink the workload through REPRO_BENCH_* without
@@ -30,6 +38,7 @@ from repro.crypto.dh import DHKeyPair, DHParameters
 from repro.crypto.fixed_point import FixedPointCodec
 from repro.crypto.masking import PairwiseMasker
 from repro.datasets.synthetic import make_blobs
+from repro.shapley.backend import ProcessPoolEvaluationBackend
 from repro.shapley.engine import (
     coalition_utility_table,
     exact_shapley_from_utility_vector,
@@ -50,6 +59,11 @@ SHARD_SIZES = tuple(
 )
 MC_GROUPS = int(os.environ.get("REPRO_BENCH_MC_GROUPS", "12"))
 MC_SAMPLES = int(os.environ.get("REPRO_BENCH_MC_SAMPLES", "256"))
+SV_GROUPS = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_SV_GROUPS", "32,313").split(",")
+)
+SV_SAMPLES = int(os.environ.get("REPRO_BENCH_SV_SAMPLES", "64"))
+SV_WORKERS = int(os.environ.get("REPRO_BENCH_SV_WORKERS", "4"))
 MODEL_DIMENSION = 68  # 16 features x 4 classes + 4 biases, the harness default
 
 
@@ -149,13 +163,77 @@ def _measure_estimator_error():
     }
 
 
+def _measure_estimator_scoring():
+    """Scalar vs batched committee scoring at committee sizes where the
+    estimator dominates round wall time (m = ceil(devices / shard))."""
+    results = {}
+    for m in SV_GROUPS:
+        rng = spawn_rng(f"bench-sv-scoring-{m}", 17)
+        group_labels = [f"g{i:03d}" for i in range(m)]
+        base = rng.normal(size=MODEL_DIMENSION)
+        vectors = {
+            label: base + 0.4 * rng.normal(size=MODEL_DIMENSION)
+            for label in group_labels
+        }
+        features, targets = make_blobs(256, 16, 4, seed=29)
+        scorer = AccuracyUtility(features, targets, 4)
+
+        start = time.perf_counter()
+        scalar = sampled_group_shapley(
+            group_labels, vectors, scorer,
+            n_permutations=SV_SAMPLES, seed=11, method="scalar",
+        )
+        scalar_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = sampled_group_shapley(
+            group_labels, vectors, scorer,
+            n_permutations=SV_SAMPLES, seed=11, method="batched",
+        )
+        batched_s = time.perf_counter() - start
+        assert batched == scalar  # the consensus contract: bit-identical receipts
+
+        pool_s = None
+        if SV_WORKERS > 1:
+            backend = ProcessPoolEvaluationBackend(SV_WORKERS)
+            try:
+                start = time.perf_counter()
+                pooled = sampled_group_shapley(
+                    group_labels, vectors, scorer,
+                    n_permutations=SV_SAMPLES, seed=11,
+                    method="batched", backend=backend,
+                )
+                pool_s = time.perf_counter() - start
+            finally:
+                backend.close()
+            assert pooled == scalar
+
+        telemetry = batched.telemetry or {}
+        results[m] = {
+            "n_samples": scalar.n_permutations,
+            "coalitions": telemetry.get("coalitions"),
+            "cache_hits": telemetry.get("cache_hits"),
+            "batches": telemetry.get("batches"),
+            "scalar_s": scalar_s,
+            "batched_s": batched_s,
+            "pool_s": pool_s,
+            "speedup": scalar_s / batched_s,
+        }
+    return results
+
+
 def _run_all():
-    return _measure_mask_setup(), _measure_round_throughput(), _measure_estimator_error()
+    return (
+        _measure_mask_setup(),
+        _measure_round_throughput(),
+        _measure_estimator_error(),
+        _measure_estimator_scoring(),
+    )
 
 
 def bench_sharded_aggregation(benchmark):
-    """Mask-setup scaling, round throughput, and estimator error floors."""
-    mask_setup, rounds, estimator = benchmark.pedantic(
+    """Mask-setup scaling, round throughput, and estimator error/speed floors."""
+    mask_setup, rounds, estimator, scoring = benchmark.pedantic(
         _run_all, rounds=1, iterations=1, warmup_rounds=0
     )
 
@@ -182,6 +260,19 @@ def bench_sharded_aggregation(benchmark):
         ["devices", "committees", "max masks", "mask s", "agg s", "sv s", "total s"], rows
     ))
 
+    rows = [
+        [m, entry["n_samples"], entry["coalitions"], entry["cache_hits"],
+         f"{entry['scalar_s']:.2f}", f"{entry['batched_s']:.2f}",
+         "-" if entry["pool_s"] is None else f"{entry['pool_s']:.2f}",
+         f"{entry['speedup']:.1f}x"]
+        for m, entry in scoring.items()
+    ]
+    print("\nCommittee scoring — scalar walk vs batched GEMM pipeline")
+    print(format_table(
+        ["groups", "samples", "coalitions", "cache hits",
+         "scalar s", "batched s", f"pool({SV_WORKERS}) s", "speedup"], rows
+    ))
+
     print(
         f"\nsampled vs exact GroupSV at m={estimator['groups']}: "
         f"max |error| {estimator['max_abs_error']:.2e} vs CI half-width "
@@ -206,6 +297,13 @@ def bench_sharded_aggregation(benchmark):
         key: (float(value) if not isinstance(value, bool) else value)
         for key, value in estimator.items()
     }
+    benchmark.extra_info["estimator_scoring"] = {
+        str(m): {
+            key: (None if value is None else float(value))
+            for key, value in entry.items()
+        }
+        for m, entry in scoring.items()
+    }
 
     # Acceptance floors.  Mask-setup speedup scales with cohort/shard, so the
     # floor only binds at full measurement sizes — reduced CI cohorts skip it.
@@ -218,3 +316,10 @@ def bench_sharded_aggregation(benchmark):
     # The estimator's own receipts must cover the exact values at n <= 14.
     assert estimator["covered"]
     assert estimator["sampled_evaluations"] < estimator["exact_evaluations"]
+    # Batched scoring must stay clearly ahead of the scalar walk once the
+    # committee is big enough that dedup + one-GEMM batching pay off; the
+    # 48-group gate keeps the floor live at the reduced CI size (64 groups)
+    # without binding on tiny committees where both paths take milliseconds.
+    for m, entry in scoring.items():
+        if m >= 48:
+            assert entry["speedup"] >= 3.0, (m, entry["speedup"])

@@ -54,8 +54,14 @@ class ContributionContract(Contract):
         validation_features: np.ndarray,
         validation_labels: np.ndarray,
         n_classes: int,
+        evaluation_backend=None,
     ) -> None:
+        """``evaluation_backend`` is an off-chain execution knob: it routes the
+        sampled estimator's batched committee scoring (serial or process-pool)
+        and never changes a bit of the receipts — miners with different
+        backends stay in consensus."""
         super().__init__()
+        self.evaluation_backend = evaluation_backend
         self.validation_features = np.asarray(validation_features, dtype=np.float64)
         self.validation_labels = np.asarray(validation_labels).ravel().astype(int)
         if self.validation_features.ndim != 2:
@@ -110,18 +116,30 @@ class ContributionContract(Contract):
                 self._scorer,
                 n_permutations=sv_samples,
                 seed=seed,
+                backend=self.evaluation_backend,
             )
             group_values = [estimate.values[label] for label in labels]
             group_half_widths = [estimate.half_widths[label] for label in labels]
             global_utility = estimate.grand_utility
+            estimator_receipt: dict[str, Any] = {
+                "name": "sampled",
+                "n_samples": int(estimate.n_permutations),
+                "seed": int(estimate.seed),
+                "confidence": float(estimate.confidence),
+                "tolerance": float(estimate.tolerance),
+            }
+            if estimate.telemetry is not None:
+                # Only the deterministic counters go on chain: they are a pure
+                # function of (labels, n_samples, seed), so every miner writes
+                # the same receipt regardless of backend or worker count.
+                # Wall-clock time stays off-chain (see the harness telemetry).
+                estimator_receipt["telemetry"] = {
+                    "coalitions": int(estimate.telemetry["coalitions"]),
+                    "cache_hits": int(estimate.telemetry["cache_hits"]),
+                    "batches": int(estimate.telemetry["batches"]),
+                }
             evaluation_extras: dict[str, Any] = {
-                "estimator": {
-                    "name": "sampled",
-                    "n_samples": int(estimate.n_permutations),
-                    "seed": int(estimate.seed),
-                    "confidence": float(estimate.confidence),
-                    "tolerance": float(estimate.tolerance),
-                },
+                "estimator": estimator_receipt,
                 "group_half_widths": [float(w) for w in group_half_widths],
             }
             utilities: dict[tuple[str, ...], float] = {}

@@ -436,6 +436,18 @@ class SQLiteBackend(StorageBackend):
         self.prune(pruned)
         return pruned
 
+    def stored_state_root_version(self) -> int | None:
+        """The state-commitment version this store was written with.
+
+        ``None`` on a fresh store; otherwise the version every replica of the
+        persisted chain must be configured with (``attach`` enforces it).
+        Lets standalone tooling (CLI ``audit``) rebuild a compatible replica
+        without asking the operator to repeat the original flag.
+        """
+        self._guard()
+        version = self._get_meta("state_root_version")
+        return None if version is None else int(version)
+
     def close(self) -> None:
         if not self._closed:
             self._rollback()

@@ -19,6 +19,9 @@ exercised without writing Python:
   header's state root, with nothing but the header;
 * ``python -m repro resume`` — reopen a persisted run (``--store sqlite:PATH``,
   e.g. one stopped with ``run --stop-after``) and continue it to completion;
+* ``python -m repro audit`` — re-run the transparency audit over a persisted
+  chain, with nothing but the store and the public validation set
+  (``--sv-workers N`` parallelizes the sampled estimator's re-run);
 * ``python -m repro prune`` — drop a persisted store's reverse deltas below a
   retention horizon (the chain itself is never pruned);
 * ``python -m repro info`` — version and configuration defaults.
@@ -132,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--sv-samples", type=int, default=128,
         help="permutations the sampled estimator draws (rounded up to whole "
         "stratification blocks; ignored under --sv-estimator exact)",
+    )
+    run.add_argument(
+        "--sv-workers", type=int, default=None, metavar="N",
+        help="worker processes for the sampled estimator's batched committee "
+        "scoring (None/1 = serial).  Strictly off-chain: it is never pinned "
+        "on the registry and the receipts are bit-identical at any worker "
+        "count; rejected when the effective --sv-estimator is exact",
     )
     run.add_argument(
         "--sv-assembly-version", type=int, choices=(1, 2), default=1,
@@ -306,6 +316,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("--skip-audit", action="store_true", help="skip the transparency audit")
 
+    audit = subparsers.add_parser(
+        "audit",
+        help="re-run the transparency audit over a persisted chain",
+    )
+    audit.add_argument(
+        "--store", type=str, required=True, metavar="SPEC",
+        help="the persistent store holding the chain to audit (sqlite:PATH)",
+    )
+    audit.add_argument(
+        "--samples", type=int, default=1500,
+        help="total dataset size of the original run (the public validation "
+        "set is re-derived from --samples and --seed alone)",
+    )
+    audit.add_argument("--seed", type=int, default=7, help="master seed of the original run")
+    audit.add_argument(
+        "--audit-mode", choices=("replay", "incremental"), default="replay",
+        help="full genesis re-execution, or the incremental header-commitment "
+        "walk over retained state versions",
+    )
+    audit.add_argument(
+        "--sv-workers", type=int, default=None, metavar="N",
+        help="worker processes for re-running the sampled estimator's batched "
+        "committee scoring (None/1 = serial; the verdict is bit-identical at "
+        "any count); rejected when the chain pins the exact estimator",
+    )
+
     prune = subparsers.add_parser(
         "prune",
         help="drop a persisted store's reverse deltas below a retention horizon",
@@ -400,6 +436,7 @@ def _command_cross_device(args: argparse.Namespace) -> int:
             distribution=distribution,
             sv_estimator=args.sv_estimator or "sampled",
             sv_samples=args.sv_samples,
+            sv_workers=args.sv_workers,
             n_rounds=args.rounds,
             seed=args.seed,
         )
@@ -496,6 +533,15 @@ def _command_run(args: argparse.Namespace) -> int:
         return _command_swarm(args)
     if args.scenario.startswith("cross-device-"):
         return _command_cross_device(args)
+    if args.sv_workers is not None and args.sv_workers < 1:
+        print(f"error: --sv-workers must be at least 1; got {args.sv_workers}")
+        return 2
+    if args.sv_workers is not None and (args.sv_estimator or "exact") != "sampled":
+        # The knob only routes the sampled estimator's batched scoring; under
+        # the exact engine it would silently do nothing, so refuse it.
+        print("error: --sv-workers needs the sampled estimator "
+              "(pass --sv-estimator sampled)")
+        return 2
     if args.scenario == "restart-resume":
         return _command_restart_resume(args)
     if args.scenario == "prune-then-audit":
@@ -543,6 +589,7 @@ def _command_run(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         sv_estimator=args.sv_estimator or "exact",
         sv_samples=args.sv_samples,
+        sv_workers=args.sv_workers,
         sv_assembly_version=args.sv_assembly_version,
         state_root_version=args.state_root_version,
         authority_rotation=args.authority_rotation or args.scenario in ROTATION_SCENARIOS,
@@ -726,7 +773,7 @@ def _command_run(args: argparse.Namespace) -> int:
         chain = protocol.participants[protocol.owner_ids[0]].node.chain
         report = audit_chain(
             chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
-            mode=args.audit_mode,
+            mode=args.audit_mode, sv_workers=args.sv_workers,
         )
         checked = f"rounds checked: {report.rounds_checked}"
         if args.audit_mode == "incremental":
@@ -975,6 +1022,92 @@ def _command_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_audit(args: argparse.Namespace) -> int:
+    """Re-run the transparency audit over a persisted chain.
+
+    The auditor needs nothing but the store and the public validation set —
+    which is a pure function of ``--samples`` and ``--seed`` — so this works
+    without the original owners' datasets or protocol flags: the chain replica
+    is rebuilt straight from the store (the state-commitment version is read
+    from the store's metadata) and every verdict is recomputed from chain
+    state alone.
+    """
+    from repro.blockchain.chain import Blockchain
+    from repro.blockchain.contracts.base import ContractRuntime
+    from repro.blockchain.contracts.contribution import ContributionContract
+    from repro.blockchain.contracts.fl_training import FLTrainingContract
+    from repro.blockchain.contracts.registry import (
+        ParticipantRegistryContract,
+        pinned_sv_estimator,
+    )
+    from repro.blockchain.contracts.reward import RewardContract
+    from repro.blockchain.storage import SQLiteBackend, open_backend
+    from repro.exceptions import StorageError
+
+    if args.sv_workers is not None and args.sv_workers < 1:
+        print(f"error: --sv-workers must be at least 1; got {args.sv_workers}")
+        return 2
+    dataset, _ = make_owner_datasets(n_samples=args.samples, seed=args.seed)
+
+    def runtime_factory():
+        runtime = ContractRuntime()
+        runtime.register(ParticipantRegistryContract())
+        runtime.register(FLTrainingContract())
+        runtime.register(ContributionContract(
+            dataset.test_features, dataset.test_labels, dataset.n_classes,
+        ))
+        runtime.register(RewardContract())
+        return runtime
+
+    try:
+        backend = open_backend(args.store)
+    except StorageError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not isinstance(backend, SQLiteBackend):
+        print("error: only persistent stores can be audited standalone (use sqlite:PATH)")
+        return 2
+    try:
+        root_version = backend.stored_state_root_version() or 1
+        chain = Blockchain(
+            runtime_factory, chain_id="audit", state_root_version=root_version,
+        )
+        if not chain.attach_storage(backend):
+            print(f"error: the store at {args.store} holds no committed chain to audit")
+            return 2
+    except StorageError as exc:
+        print(f"error: {exc}")
+        return 2
+    finally:
+        backend.close()
+    # The restore is complete and the audit never commits: detach the closed
+    # backend so no code path can touch it again.
+    chain.storage = None
+
+    pinned = chain.state.get("registry", "protocol_params") or {}
+    estimator_name, _ = pinned_sv_estimator(pinned)
+    if args.sv_workers is not None and estimator_name != "sampled":
+        print(f"error: --sv-workers only applies to sampled-estimator chains "
+              f"(this chain pins {estimator_name!r})")
+        return 2
+    report = audit_chain(
+        chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+        mode=args.audit_mode, sv_workers=args.sv_workers,
+    )
+    checked = f"rounds checked: {report.rounds_checked}"
+    if args.audit_mode == "incremental":
+        checked += f", state roots verified: {len(report.state_versions_checked)} blocks"
+    print(f"chain at {args.store}: height {chain.height}, "
+          f"head {chain.head.block_hash[:16]}…, estimator {estimator_name}")
+    print(f"transparency audit ({args.audit_mode}): "
+          f"{'PASSED' if report.passed else 'FAILED'} ({checked})")
+    if not report.passed:
+        for mismatch in report.mismatches:
+            print(f"  mismatch: {mismatch}")
+        return 1
+    return 0
+
+
 def _command_prune(args: argparse.Namespace) -> int:
     """Prune a persisted store's reverse deltas below a retention horizon."""
     from repro.blockchain.storage import SQLiteBackend, open_backend
@@ -1148,6 +1281,7 @@ def _command_info(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _command_run,
     "resume": _command_resume,
+    "audit": _command_audit,
     "prune": _command_prune,
     "sweep-groups": _command_sweep_groups,
     "ground-truth": _command_ground_truth,

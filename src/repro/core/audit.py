@@ -126,6 +126,7 @@ def _audit_sampled_round(
     sv_samples: int,
     report: AuditReport,
     tolerance: float,
+    backend=None,
 ) -> bool:
     """Verify one sampled-estimator round's receipts from chain state alone.
 
@@ -165,7 +166,22 @@ def _audit_sampled_round(
         scorer,
         n_permutations=sv_samples,
         seed=expected_seed,
+        backend=backend,
     )
+    recorded_telemetry = meta.get("telemetry")
+    if recorded_telemetry is not None and estimate.telemetry is not None:
+        # The receipt's counters are deterministic in (labels, n_samples,
+        # seed); a disagreement means the proposer ran a different workload
+        # than it claims.  Skipped when the auditor re-runs the scalar oracle
+        # (no telemetry) — the value/half-width checks below still bind.
+        for counter in ("coalitions", "cache_hits", "batches"):
+            if int(recorded_telemetry.get(counter, -1)) != int(estimate.telemetry[counter]):
+                report.mismatches.append(
+                    f"round {round_number}: estimator telemetry records "
+                    f"{counter}={recorded_telemetry.get(counter)} but the re-run "
+                    f"gives {estimate.telemetry[counter]}"
+                )
+                ok = False
     if int(meta.get("n_samples", -1)) != estimate.n_permutations:
         report.mismatches.append(
             f"round {round_number}: receipt records {meta.get('n_samples')} permutations "
@@ -224,6 +240,95 @@ def _audit_sampled_round(
     return ok
 
 
+def _audit_evaluated_rounds(
+    evaluated_rounds,
+    state,
+    scorer,
+    pinned_params,
+    sv_assembly_version,
+    topology,
+    shard_size,
+    estimator_name,
+    sv_samples,
+    tolerance,
+    report,
+    round_values,
+    evaluation_backend,
+) -> None:
+    """Step 2 of :func:`audit_chain`: recompute every evaluated round.
+
+    Split out so the evaluation backend's lifetime wraps exactly the loop that
+    uses it (the only audit step that re-runs the sampled estimator).
+    """
+    for round_number in evaluated_rounds:
+        round_record = state.get("fl_training", f"round/{round_number}")
+        stored = state.get("contribution", f"evaluation/{round_number}")
+        if round_record is None or stored is None:
+            report.mismatches.append(f"round {round_number}: missing training or evaluation record")
+            continue
+        # The published grouping must cover exactly the cohort the registry's
+        # epoch view derives for this round — a proposer can neither smuggle a
+        # not-yet-joined owner into a round nor keep settling a departed one.
+        cohort = cohort_for_round_from_state(state, round_number)
+        grouped = sorted(owner for group in round_record["groups"] for owner in group)
+        if grouped != cohort:
+            report.mismatches.append(
+                f"round {round_number}: published groups cover {grouped} but the "
+                f"registry's active cohort is {cohort}"
+            )
+        # On a sharded chain the round block records the committee assignment
+        # it aggregated under; it must be the canonical chain-state derivation
+        # (and a flat chain must not record one at all).
+        if topology == "sharded":
+            canonical_shards = [
+                [list(shard) for shard in shard_group(list(group), shard_size)]
+                for group in round_record["groups"]
+            ]
+            recorded_shards = round_record.get("shards")
+            if recorded_shards != canonical_shards:
+                report.mismatches.append(
+                    f"round {round_number}: recorded shards differ from the canonical "
+                    f"chain-state assignment"
+                )
+        elif "shards" in round_record:
+            report.mismatches.append(
+                f"round {round_number}: records shards on a flat-topology chain"
+            )
+        if estimator_name == "sampled":
+            # Sampled receipts: verify the estimator metadata is the canonical
+            # derivation, re-run the estimator, and check the stored values
+            # lie within the *verified* bounds — exact accumulation is then
+            # checked downstream against the stored per-round receipts.
+            if _audit_sampled_round(
+                scorer,
+                round_record,
+                stored,
+                int(pinned_params["permutation_seed"]),
+                sv_samples,
+                report,
+                tolerance,
+                backend=evaluation_backend,
+            ):
+                report.estimators_checked.append(round_number)
+            recomputed = {owner: float(value) for owner, value in stored["user_values"].items()}
+        else:
+            recomputed = _recompute_round(scorer, round_record, sv_assembly_version)
+            stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
+            if set(recomputed) != set(stored_values):
+                report.mismatches.append(f"round {round_number}: contribution covers different owners")
+            else:
+                for owner, value in recomputed.items():
+                    if abs(value - stored_values[owner]) > tolerance:
+                        report.mismatches.append(
+                            f"round {round_number}: owner {owner} stored {stored_values[owner]:.6f} "
+                            f"but recomputation gives {value:.6f}"
+                        )
+        round_values[round_number] = recomputed
+        for owner, value in recomputed.items():
+            report.recomputed_totals[owner] = report.recomputed_totals.get(owner, 0.0) + value
+        report.rounds_checked.append(round_number)
+
+
 def audit_chain(
     chain: Blockchain,
     validation_features: np.ndarray,
@@ -232,6 +337,7 @@ def audit_chain(
     tolerance: float = 1e-9,
     raise_on_failure: bool = False,
     mode: str = "replay",
+    sv_workers: int | None = None,
 ) -> AuditReport:
     """Audit a protocol chain end to end.
 
@@ -264,6 +370,10 @@ def audit_chain(
             ``"incremental"`` verifies the header state commitments instead
             and reads all published records through the verified state —
             identical verdicts, succinct-commitment trust model.
+        sv_workers: worker processes for re-running the sampled estimator's
+            batched committee scoring (``None``/1 = serial).  Purely a
+            wall-clock knob — the batched estimator is bit-identical at any
+            worker count, so the verdict never depends on it.
 
     Returns:
         An :class:`AuditReport`; ``report.passed`` is True iff the chain
@@ -328,72 +438,17 @@ def audit_chain(
         if key.startswith("evaluation/")
     )
     round_values: dict[int, dict[str, float]] = {}
-    for round_number in evaluated_rounds:
-        round_record = state.get("fl_training", f"round/{round_number}")
-        stored = state.get("contribution", f"evaluation/{round_number}")
-        if round_record is None or stored is None:
-            report.mismatches.append(f"round {round_number}: missing training or evaluation record")
-            continue
-        # The published grouping must cover exactly the cohort the registry's
-        # epoch view derives for this round — a proposer can neither smuggle a
-        # not-yet-joined owner into a round nor keep settling a departed one.
-        cohort = cohort_for_round_from_state(state, round_number)
-        grouped = sorted(owner for group in round_record["groups"] for owner in group)
-        if grouped != cohort:
-            report.mismatches.append(
-                f"round {round_number}: published groups cover {grouped} but the "
-                f"registry's active cohort is {cohort}"
-            )
-        # On a sharded chain the round block records the committee assignment
-        # it aggregated under; it must be the canonical chain-state derivation
-        # (and a flat chain must not record one at all).
-        if topology == "sharded":
-            canonical_shards = [
-                [list(shard) for shard in shard_group(list(group), shard_size)]
-                for group in round_record["groups"]
-            ]
-            recorded_shards = round_record.get("shards")
-            if recorded_shards != canonical_shards:
-                report.mismatches.append(
-                    f"round {round_number}: recorded shards differ from the canonical "
-                    f"chain-state assignment"
-                )
-        elif "shards" in round_record:
-            report.mismatches.append(
-                f"round {round_number}: records shards on a flat-topology chain"
-            )
-        if estimator_name == "sampled":
-            # Sampled receipts: verify the estimator metadata is the canonical
-            # derivation, re-run the estimator, and check the stored values
-            # lie within the *verified* bounds — exact accumulation is then
-            # checked downstream against the stored per-round receipts.
-            if _audit_sampled_round(
-                scorer,
-                round_record,
-                stored,
-                int(pinned_params["permutation_seed"]),
-                sv_samples,
-                report,
-                tolerance,
-            ):
-                report.estimators_checked.append(round_number)
-            recomputed = {owner: float(value) for owner, value in stored["user_values"].items()}
-        else:
-            recomputed = _recompute_round(scorer, round_record, sv_assembly_version)
-            stored_values = {owner: float(value) for owner, value in stored["user_values"].items()}
-            if set(recomputed) != set(stored_values):
-                report.mismatches.append(f"round {round_number}: contribution covers different owners")
-            else:
-                for owner, value in recomputed.items():
-                    if abs(value - stored_values[owner]) > tolerance:
-                        report.mismatches.append(
-                            f"round {round_number}: owner {owner} stored {stored_values[owner]:.6f} "
-                            f"but recomputation gives {value:.6f}"
-                        )
-        round_values[round_number] = recomputed
-        for owner, value in recomputed.items():
-            report.recomputed_totals[owner] = report.recomputed_totals.get(owner, 0.0) + value
-        report.rounds_checked.append(round_number)
+    from repro.shapley.backend import make_backend
+
+    evaluation_backend = make_backend(sv_workers)
+    try:
+        _audit_evaluated_rounds(
+            evaluated_rounds, state, scorer, pinned_params, sv_assembly_version,
+            topology, shard_size, estimator_name, sv_samples, tolerance, report,
+            round_values, evaluation_backend,
+        )
+    finally:
+        evaluation_backend.close()
 
     # 3. Check the accumulated totals stored by the contract.
     stored_totals = state.get("contribution", "totals", {})

@@ -87,6 +87,10 @@ class CrossDeviceConfig:
         sv_estimator: ``"sampled"`` (the cross-device default) or ``"exact"``
             (refused by the engine once committees outnumber its cap).
         sv_samples: permutations for the sampled estimator.
+        sv_workers: worker processes for the estimator's batched committee
+            scoring (``None``/1 = serial).  Pure wall-clock knob — the batched
+            estimator is bit-identical at any worker count, so results stay a
+            pure function of the *other* fields.
         n_rounds: simulated rounds.
         seed: master seed — the run is a pure function of this config.
         n_features / n_classes / n_train / n_test: synthetic task shape.
@@ -101,6 +105,7 @@ class CrossDeviceConfig:
     distribution: str = "linear"
     sv_estimator: str = "sampled"
     sv_samples: int = 64
+    sv_workers: int | None = None
     n_rounds: int = 1
     seed: int = 7
     n_features: int = 16
@@ -123,6 +128,11 @@ class CrossDeviceConfig:
             raise ValidationError("sv_estimator must be 'exact' or 'sampled'")
         if self.sv_samples < 2:
             raise ValidationError("sv_samples must be at least 2")
+        if self.sv_workers is not None:
+            if self.sv_workers < 1:
+                raise ValidationError("sv_workers must be at least 1 when set")
+            if self.sv_estimator != "sampled":
+                raise ValidationError("sv_workers only applies to sv_estimator='sampled'")
         if self.n_rounds < 1:
             raise ValidationError("n_rounds must be positive")
 
@@ -210,6 +220,22 @@ def simulate_cross_device(config: CrossDeviceConfig) -> CrossDeviceResult:
 
     result = CrossDeviceResult(config=config, quality=quality_by_id)
     n_shards = shard_count(config.n_devices, config.shard_size)
+    # One evaluation backend for the whole run: the estimator's dominant cost
+    # is committee scoring, and the pool (if any) amortizes across rounds.
+    from repro.shapley.backend import make_backend
+
+    evaluation_backend = make_backend(config.sv_workers)
+    try:
+        _run_rounds(config, result, device_ids, keypairs, public_keys, codec,
+                    aggregator, device_vectors, scorer, n_shards, evaluation_backend)
+    finally:
+        evaluation_backend.close()
+    return result
+
+
+def _run_rounds(config, result, device_ids, keypairs, public_keys, codec,
+                aggregator, device_vectors, scorer, n_shards, evaluation_backend):
+    """The round loop, split out so the backend's lifetime wraps it cleanly."""
     for round_number in range(config.n_rounds):
         # Committees re-deal every round with the canonical permutation.
         shards = make_groups(device_ids, n_shards, config.seed, round_number)
@@ -241,6 +267,7 @@ def simulate_cross_device(config: CrossDeviceConfig) -> CrossDeviceResult:
                 scorer,
                 n_permutations=config.sv_samples,
                 seed=estimator_seed_for_round(config.seed, round_number),
+                backend=evaluation_backend,
             )
             shard_values = [estimate.values[label] for label in labels_m]
             half_widths = [estimate.half_widths[label] for label in labels_m]
@@ -253,6 +280,11 @@ def simulate_cross_device(config: CrossDeviceConfig) -> CrossDeviceResult:
                 "tolerance": estimate.tolerance,
                 "evaluations": estimate.evaluations,
             }
+            if estimate.telemetry is not None:
+                # Off-chain harness record: the deterministic counters plus
+                # the backend identity and scoring wall time (which *may*
+                # differ run to run — they never feed a receipt).
+                estimator_meta["telemetry"] = dict(estimate.telemetry)
         else:
             if len(shards) > MAX_PLAYERS:
                 # coalition_utility_table would silently fall back to a 2^m

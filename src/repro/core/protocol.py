@@ -169,16 +169,33 @@ class BlockchainFLProtocol:
     # ------------------------------------------------------------------
 
     def _build_runtime_factory(self):
-        """A factory producing identical contract runtimes on every miner."""
+        """A factory producing identical contract runtimes on every miner.
+
+        All miners share one evaluation backend (built from the off-chain
+        ``sv_workers`` knob): the batched sampled estimator is bit-identical
+        at any worker count, so sharing the pool costs nothing in consensus
+        terms and avoids one process pool per replica.
+        """
+        from repro.shapley.backend import make_backend
+
         validation_features = self.validation_features
         validation_labels = self.validation_labels
         n_classes = self.n_classes
+        self._evaluation_backend = make_backend(self.config.sv_workers)
+        evaluation_backend = self._evaluation_backend
 
         def factory() -> ContractRuntime:
             runtime = ContractRuntime()
             runtime.register(ParticipantRegistryContract())
             runtime.register(FLTrainingContract())
-            runtime.register(ContributionContract(validation_features, validation_labels, n_classes))
+            runtime.register(
+                ContributionContract(
+                    validation_features,
+                    validation_labels,
+                    n_classes,
+                    evaluation_backend=evaluation_backend,
+                )
+            )
             runtime.register(RewardContract())
             return runtime
 
@@ -509,6 +526,9 @@ class BlockchainFLProtocol:
         """
         if self.storage is not None:
             self.storage.close()
+        backend = getattr(self, "_evaluation_backend", None)
+        if backend is not None:
+            backend.close()
 
     def completed_rounds(self) -> list[int]:
         """Round numbers whose training block committed on chain, sorted."""

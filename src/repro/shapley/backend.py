@@ -52,11 +52,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # pickled per task.  Per-pool tokens (instead of one global slot) keep
 # concurrently live backends — and a backend garbage-collected mid-way
 # through another's pool construction — from clobbering each other's entry.
-_SHARED_UTILITIES: dict[int, "RetrainUtility"] = {}
+_SHARED_UTILITIES: dict[int, object] = {}
 _POOL_TOKENS = iter(range(1, 1 << 62))
 
-# Worker-side binding, set once per worker by the initializers below.
-_WORKER_UTILITY: "RetrainUtility | None" = None
+# Worker-side binding, set once per worker by the initializers below.  Holds
+# whichever payload the pool's task function needs: a RetrainUtility for the
+# retraining primitive, a scorer for chunk-aligned batched scoring.
+_WORKER_UTILITY = None
 
 
 def _init_worker_from_registry(token: int) -> None:
@@ -77,6 +79,25 @@ def _worker_retrain_scores(coalitions: list[tuple[str, ...]]) -> list[float]:
     if utility is None:  # pragma: no cover - defensive; initializers set it
         raise RuntimeError("retraining worker was not initialized with a utility")
     return [utility.train_and_score(coalition) for coalition in coalitions]
+
+
+def _worker_score_rows(rows: np.ndarray) -> np.ndarray:
+    """Score a chunk-aligned slice of flat parameter vectors inside a worker.
+
+    The bound payload here is a *scorer* (e.g. ``AccuracyUtility``), not a
+    retraining utility; the slice boundaries are multiples of the scorer's
+    internal chunk size, so this reproduces exactly the chunks the serial
+    ``score_batch`` would have processed.
+    """
+    scorer = _WORKER_UTILITY
+    if scorer is None:  # pragma: no cover - defensive; initializers set it
+        raise RuntimeError("scoring worker was not initialized with a scorer")
+    return np.asarray(scorer.score_batch(rows), dtype=np.float64)
+
+
+def _effective_cpu_count() -> int:
+    """The CPU count backend selection trusts (monkeypatchable in tests)."""
+    return os.cpu_count() or 1
 
 
 def _chunk(items: list, n_chunks: int) -> list[list]:
@@ -158,12 +179,14 @@ class SerialEvaluationBackend(EvaluationBackend):
 
 
 class ProcessPoolEvaluationBackend(EvaluationBackend):
-    """Parallel coalition retraining over a process pool.
+    """Parallel coalition retraining and batched model scoring over a process pool.
 
-    Only the retraining primitive is parallelized: a coalition retraining is
-    seconds of GIL-holding NumPy work, so processes (not threads) are the
-    right grain, while the other primitives are single BLAS calls that gain
-    nothing from multiprocessing.  Guarantees:
+    Two primitives are parallelized: coalition *retraining* (seconds of
+    GIL-holding NumPy work per coalition, the Fig. 1 ground truth) and batched
+    model *scoring* (the sampled estimator's dominant workload at cross-device
+    scale — tens of thousands of prefix rows per round, split across workers
+    at the scorer's own chunk boundaries).  The remaining primitives are
+    single BLAS calls that gain nothing from multiprocessing.  Guarantees:
 
     * **Determinism** — every coalition's training seed comes from
       :meth:`~repro.shapley.utility.RetrainUtility.coalition_seed`, a pure
@@ -187,15 +210,51 @@ class ProcessPoolEvaluationBackend(EvaluationBackend):
         n_workers: int | None = None,
         min_parallel_coalitions: int = 4,
         chunks_per_worker: int = 4,
+        min_parallel_rows: int = 1024,
     ) -> None:
         self.n_workers = int(n_workers) if n_workers else (os.cpu_count() or 1)
         if self.n_workers < 1:
             raise ValidationError("n_workers must be at least 1")
         self.min_parallel_coalitions = int(min_parallel_coalitions)
         self.chunks_per_worker = max(1, int(chunks_per_worker))
+        self.min_parallel_rows = int(min_parallel_rows)
         self._pool = None
-        self._pool_utility: "RetrainUtility | None" = None
+        self._pool_utility = None
         self._pool_token: int | None = None
+
+    def score_models(self, scorer, vectors: np.ndarray) -> np.ndarray:
+        """Parallel batched model scoring, bitwise identical to the serial path.
+
+        The batch is split at multiples of the scorer's internal chunk size
+        (``batch_chunk_rows``), so every worker processes exactly the chunks
+        the serial ``score_batch`` would have, and the index-ordered
+        concatenation reproduces its output bit for bit.  Batches below
+        ``min_parallel_rows`` — or scorers without the chunk-alignment
+        contract — short-circuit to the serial path, so small runs never pay
+        pool overhead for nothing (BENCH showed ~0.9x on tiny workloads).
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        chunk_hook = getattr(scorer, "batch_chunk_rows", None)
+        n_rows = vectors.shape[0]
+        if self.n_workers <= 1 or chunk_hook is None or n_rows < self.min_parallel_rows:
+            return super().score_models(scorer, vectors)
+        unit = max(1, int(chunk_hook()))
+        n_units = -(-n_rows // unit)
+        if n_units < 2:
+            return super().score_models(scorer, vectors)
+        try:
+            pool = self._get_pool(scorer)
+        except OSError:  # pool could not start (fd/memory limits): stay correct
+            return super().score_models(scorer, vectors)
+        unit_groups = _chunk(list(range(n_units)), self.n_workers * self.chunks_per_worker)
+        slices = [
+            vectors[group[0] * unit : min(n_rows, (group[-1] + 1) * unit)]
+            for group in unit_groups
+        ]
+        chunk_scores = pool.map(_worker_score_rows, slices)
+        return np.concatenate(chunk_scores).astype(np.float64, copy=False)
 
     def retrain_scores(
         self, utility: "RetrainUtility", coalitions: Sequence[tuple[str, ...]]
@@ -212,8 +271,12 @@ class ProcessPoolEvaluationBackend(EvaluationBackend):
         )
         return np.array([score for chunk in chunk_scores for score in chunk], dtype=np.float64)
 
-    def _get_pool(self, utility: "RetrainUtility"):
+    def _get_pool(self, utility):
         """The persistent worker pool bound to ``utility`` (created lazily).
+
+        ``utility`` is whatever payload the worker task function needs — a
+        :class:`~repro.shapley.utility.RetrainUtility` for retraining, a
+        scorer for batched scoring.
 
         Workers capture the utility at startup (fork inheritance or one
         spawn-time pickle), so the pool is reused across calls for the same
@@ -270,7 +333,13 @@ def default_backend() -> EvaluationBackend:
 
 
 def make_backend(n_workers: int | None) -> EvaluationBackend:
-    """A backend for the requested worker count (``None``/``1`` → serial)."""
-    if n_workers is None or int(n_workers) <= 1:
+    """A backend for the requested worker count (``None``/``1`` → serial).
+
+    On single-CPU hosts a process pool is pure overhead (workers time-slice
+    one core while paying spin-up and IPC), so the request is downgraded to
+    the serial backend; explicitly constructing
+    :class:`ProcessPoolEvaluationBackend` still honours the caller.
+    """
+    if n_workers is None or int(n_workers) <= 1 or _effective_cpu_count() <= 1:
         return default_backend()
     return ProcessPoolEvaluationBackend(n_workers=int(n_workers))

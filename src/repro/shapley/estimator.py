@@ -35,6 +35,7 @@ seed)`` — the properties the audit relies on.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -44,6 +45,17 @@ from repro.exceptions import ShapleyError, UtilityError, ValidationError
 from repro.shapley.montecarlo import _prefix_coalitions
 from repro.shapley.utility import CachedUtility, UtilityFunction
 from repro.utils.rng import spawn_rng
+
+# How the estimator materializes and scores prefix coalitions.  "scalar" is the
+# original one-coalition-at-a-time walk through ``CachedUtility`` — kept verbatim
+# as the parity-pinned oracle.  "batched" builds each block's prefix rows with
+# incremental vector updates, dedupes across strata through a bitmask score
+# cache, and scores whole blocks in one GEMM through an ``EvaluationBackend``.
+# "auto" picks batched whenever the game is a bare :class:`VectorModelUtility`
+# (the contract / cross-device path) and scalar otherwise.  Both paths are
+# bit-identical; tests monkeypatch this module default to cross-check audits.
+_DEFAULT_METHOD = "auto"
+_METHODS = ("auto", "batched", "scalar")
 
 # Normal-quantile table for the supported confidence levels.  Hard-coded so the
 # estimator needs no scipy; values are z such that P(|Z| <= z) = confidence.
@@ -83,6 +95,10 @@ class ShapleyEstimate:
     tolerance: float
     grand_utility: float
     evaluations: int = field(default=0, compare=False)
+    #: Batched-pipeline telemetry (coalitions scored, cache hits, batch count,
+    #: backend identity and wall time).  ``None`` on the scalar oracle path.
+    #: Excluded from equality so scalar/batched estimates compare equal.
+    telemetry: dict | None = field(default=None, compare=False)
 
     def within_bounds(self, other: Mapping[str, float]) -> bool:
         """Whether ``other``'s per-player values all lie inside this estimate's CI."""
@@ -159,6 +175,155 @@ class VectorModelUtility(UtilityFunction):
         return [float(next(scores)) if key else self.empty_value for key in keys]
 
 
+def _batched_stratified(
+    players: list[str],
+    utility: VectorModelUtility,
+    n_permutations: int,
+    seed: int,
+    z_score: float,
+    confidence: float,
+    tolerance: float,
+    backend,
+) -> ShapleyEstimate:
+    """The batched block estimator — bit-identical to the scalar oracle.
+
+    Three restructurings, none of which may change a single output bit:
+
+    * **Incremental prefix rows.**  For one rotation, the m prefix means are
+      built in a single ``(m, d)`` matrix by walking the *sorted* players in
+      ascending order and slice-assigning / slice-adding each member vector
+      into exactly the prefix rows that contain it.  Because the walk is in
+      sorted order and the first present member is written by assignment, every
+      row reproduces :func:`~repro.shapley.engine.fold_mean`'s left-to-right
+      sorted accumulation bit for bit — in ~2m slice ops instead of m full
+      coalition folds.
+    * **Cross-strata dedupe.**  Coalitions are canonicalized as bitmasks over
+      the sorted player positions; a mask→score dict persists across blocks so
+      each distinct coalition is folded and scored exactly once, in the same
+      first-seen (rotation-major, prefix-minor) order the scalar path's
+      ``CachedUtility.evaluate_batch`` discovers misses.
+    * **Backend-routed block scoring.**  All of a block's missing rows go to
+      :meth:`EvaluationBackend.score_models` in one call — the serial backend
+      is exactly ``score_vectors`` (one chunked GEMM), and the process-pool
+      backend splits at multiples of the scorer's internal chunk size so the
+      parallel reassembly is bitwise identical.
+    """
+    from repro.shapley.backend import default_backend
+
+    if backend is None:
+        backend = default_backend()
+    m = len(players)
+    vectors = np.stack([utility.member_vectors[player] for player in players])
+    dimension = vectors.shape[1]
+    empty_value = utility.empty_value
+    scorer = utility.scorer
+    backend_seconds = 0.0
+    started = time.perf_counter()
+    # The grand coalition goes through the identical single-row scoring path
+    # the scalar oracle uses (fold + one-row batch), then seeds the cache.
+    grand_utility = float(utility(tuple(players)))
+    backend_seconds += time.perf_counter() - started
+    scores_by_mask: dict[int, float] = {(1 << m) - 1: grand_utility}
+    bits = [1 << position for position in range(m)]
+    n_blocks = -(-n_permutations // m)
+    total = n_blocks * m
+    rng = spawn_rng("stratified-shapley", seed, m, n_permutations)
+    sums = np.zeros(m, dtype=np.float64)
+    sums_of_squares = np.zeros(m, dtype=np.float64)
+    inverse_sizes = 1.0 / np.arange(1.0, m + 1.0)
+    prefix_references = 0
+    n_batches = 1  # the grand-coalition scoring call above
+    prefix_rows = np.empty((m, dimension), dtype=np.float64)
+    for _ in range(n_blocks):
+        permutation = rng.permutation(m)
+        doubled = np.concatenate([permutation, permutation])
+        orders = [doubled[rotation : rotation + m] for rotation in range(m)]
+        # First-seen pass: canonical masks for every prefix, recording each
+        # uncached coalition once in the scalar oracle's discovery order.
+        masks = [[0] * m for _ in range(m)]
+        pending: dict[int, int] = {}
+        pending_sites: list[tuple[int, int]] = []
+        for rotation in range(m):
+            mask = 0
+            row_masks = masks[rotation]
+            order = orders[rotation]
+            for prefix in range(m):
+                mask |= bits[order[prefix]]
+                row_masks[prefix] = mask
+                if mask not in scores_by_mask and mask not in pending:
+                    pending[mask] = len(pending_sites)
+                    pending_sites.append((rotation, prefix))
+        prefix_references += m * m
+        if pending_sites:
+            batch = np.empty((len(pending_sites), dimension), dtype=np.float64)
+            by_rotation: dict[int, list[tuple[int, int]]] = {}
+            for slot, (rotation, prefix) in enumerate(pending_sites):
+                by_rotation.setdefault(rotation, []).append((slot, prefix))
+            for rotation, sites in by_rotation.items():
+                order = orders[rotation]
+                entry = np.empty(m, dtype=np.intp)
+                entry[order] = np.arange(m)
+                # Ascending-player slice fold: player p enters every prefix row
+                # >= entry[p]; rows where p is the smallest present member get
+                # an assignment (fold_mean's ``rows[0].copy()``), the rest an
+                # in-place add — reproducing the sorted fold bit for bit.
+                boundary = int(entry[0])
+                prefix_rows[boundary:] = vectors[0]
+                for player in range(1, m):
+                    position = int(entry[player])
+                    if position < boundary:
+                        prefix_rows[position:boundary] = vectors[player]
+                        prefix_rows[boundary:] += vectors[player]
+                        boundary = position
+                    else:
+                        prefix_rows[position:] += vectors[player]
+                for slot, prefix in sites:
+                    np.multiply(prefix_rows[prefix], inverse_sizes[prefix], out=batch[slot])
+            scoring_started = time.perf_counter()
+            scores = backend.score_models(scorer, batch)
+            backend_seconds += time.perf_counter() - scoring_started
+            n_batches += 1
+            utility._evaluations += len(pending_sites)
+            for mask, slot in pending.items():
+                scores_by_mask[mask] = float(scores[slot])
+        prefix_utilities = np.empty((m, m), dtype=np.float64)
+        for rotation in range(m):
+            prefix_utilities[rotation] = [scores_by_mask[mask] for mask in masks[rotation]]
+        marginals = np.diff(prefix_utilities, axis=1, prepend=empty_value)
+        if tolerance > 0:
+            within = np.abs(grand_utility - prefix_utilities) <= tolerance
+            for row in range(m):
+                hits = np.flatnonzero(within[row])
+                if hits.size:
+                    marginals[row, hits[0] + 1 :] = 0.0
+        for row in range(m):
+            columns = orders[row]
+            sums[columns] += marginals[row]
+            sums_of_squares[columns] += marginals[row] ** 2
+    means = sums / total
+    variances = np.maximum(0.0, (sums_of_squares - total * means**2) / (total - 1))
+    half_widths = z_score * np.sqrt(variances / total)
+    telemetry = {
+        "coalitions": len(scores_by_mask),
+        "cache_hits": prefix_references - (len(scores_by_mask) - 1),
+        "batches": n_batches,
+        "backend": backend.name,
+        "n_workers": int(backend.n_workers),
+        "backend_seconds": backend_seconds,
+    }
+    return ShapleyEstimate(
+        values={player: float(means[position]) for position, player in enumerate(players)},
+        half_widths={player: float(half_widths[position]) for position, player in enumerate(players)},
+        n_permutations=total,
+        seed=int(seed),
+        confidence=float(confidence),
+        tolerance=float(tolerance),
+        grand_utility=grand_utility,
+        evaluations=len(scores_by_mask),
+        telemetry=telemetry,
+    )
+
+
 def stratified_permutation_shapley(
     players: Sequence[str],
     utility: UtilityFunction | Callable[[tuple[str, ...]], float],
@@ -166,6 +331,8 @@ def stratified_permutation_shapley(
     seed: int = 0,
     confidence: float = DEFAULT_CONFIDENCE,
     tolerance: float = TRUNCATION_TOLERANCE,
+    backend=None,
+    method: str | None = None,
 ) -> ShapleyEstimate:
     """Position-stratified, truncated permutation sampling with a CI per player.
 
@@ -185,6 +352,13 @@ def stratified_permutation_shapley(
         confidence: CI level — one of 0.90 / 0.95 / 0.99.
         tolerance: truncation threshold on ``|u(grand) − u(prefix)|``; 0
             disables truncation.
+        backend: an :class:`~repro.shapley.backend.EvaluationBackend` for the
+            batched path's block scoring (``None`` → the process-wide serial
+            backend).  Purely off-chain: it changes wall time, never a bit of
+            the estimate.  Ignored on the scalar path.
+        method: ``"auto"`` (default), ``"batched"``, or ``"scalar"``.  Batched
+            requires a bare :class:`VectorModelUtility` game; auto falls back
+            to scalar for any other utility.  Both paths are bit-identical.
     """
     if not players:
         raise ShapleyError("at least one player is required")
@@ -200,6 +374,15 @@ def stratified_permutation_shapley(
     players = sorted(players)
     if len(set(players)) != len(players):
         raise ShapleyError("player ids must be unique")
+    resolved = _DEFAULT_METHOD if method is None else str(method)
+    if resolved not in _METHODS:
+        raise ShapleyError(f"method must be one of {_METHODS}, got {method!r}")
+    if resolved == "batched" and not isinstance(utility, VectorModelUtility):
+        raise ShapleyError("method='batched' requires a VectorModelUtility game")
+    if resolved != "scalar" and isinstance(utility, VectorModelUtility):
+        return _batched_stratified(
+            players, utility, n_permutations, seed, z_score, confidence, tolerance, backend
+        )
     m = len(players)
     cached = utility if isinstance(utility, CachedUtility) else CachedUtility(utility)
     empty_value = cached.empty_value
@@ -252,16 +435,24 @@ def sampled_group_shapley(
     seed: int = 0,
     confidence: float = DEFAULT_CONFIDENCE,
     tolerance: float = TRUNCATION_TOLERANCE,
+    backend=None,
+    method: str | None = None,
 ) -> ShapleyEstimate:
     """Sampled GroupSV over aggregated group models (Algorithm 1, sampled).
 
     The group game's players are the group labels; utilities average the
     groups' flat model vectors and score the result, exactly as the exact path
-    does — only the SV assembly differs.  Deterministic in all arguments.
+    does — only the SV assembly differs.  Deterministic in all arguments:
+    ``backend`` and ``method`` change wall time only, never an output bit.
     """
     if sorted(group_labels) != sorted(group_vectors):
         raise ShapleyError("group_labels and group_vectors must cover the same groups")
-    utility = CachedUtility(VectorModelUtility(group_vectors, scorer))
+    resolved = _DEFAULT_METHOD if method is None else str(method)
+    if resolved not in _METHODS:
+        raise ShapleyError(f"method must be one of {_METHODS}, got {method!r}")
+    utility: UtilityFunction = VectorModelUtility(group_vectors, scorer)
+    if resolved == "scalar":
+        utility = CachedUtility(utility)
     return stratified_permutation_shapley(
         list(group_labels),
         utility,
@@ -269,4 +460,6 @@ def sampled_group_shapley(
         seed=seed,
         confidence=confidence,
         tolerance=tolerance,
+        backend=backend,
+        method=resolved,
     )

@@ -133,13 +133,24 @@ class AccuracyUtility(UtilityFunction):
                 f"expected a (k, {dimension}) batch of flat parameter vectors, "
                 f"got shape {vectors.shape}"
             )
-        n_samples = self.test_features.shape[0]
-        chunk = max(1, self._CHUNK_LOGITS_ELEMENTS // (n_samples * self.n_classes))
+        chunk = self.batch_chunk_rows()
         scores = np.empty(vectors.shape[0], dtype=np.float64)
         for start in range(0, vectors.shape[0], chunk):
             stop = min(start + chunk, vectors.shape[0])
             scores[start:stop] = self._score_chunk(vectors[start:stop])
         return scores
+
+    def batch_chunk_rows(self) -> int:
+        """Rows per internal :meth:`score_batch` chunk.
+
+        Chunks are scored independently, so ``score_batch(rows[a:b])`` equals
+        ``score_batch(rows)[a:b]`` bit for bit whenever ``a`` and ``b`` are
+        multiples of this size — the alignment contract the parallel scoring
+        backend relies on to split a batch across workers without changing a
+        single output bit.
+        """
+        n_samples = self.test_features.shape[0]
+        return max(1, self._CHUNK_LOGITS_ELEMENTS // (n_samples * self.n_classes))
 
     def _score_chunk(self, vectors: np.ndarray) -> np.ndarray:
         """Score one chunk of flat parameter vectors with a single GEMM."""

@@ -1,0 +1,291 @@
+"""Parity pins for the batched sampled-Shapley pipeline.
+
+The batched estimator (incremental prefix rows + bitmask score cache + one
+backend-routed GEMM per block) is a pure performance restructuring of the
+scalar oracle walk: every output — values, half-widths, evaluation counts,
+exceptions, and therefore every on-chain receipt — must be bit-identical at
+any method, backend, or worker count.  These tests pin that contract:
+
+* a Hypothesis sweep comparing the batched path against the scalar oracle
+  across random player counts, sample counts, and seeds;
+* process-pool parity at several worker counts, with the scorer's chunk size
+  shrunk so the pool genuinely splits the block batches;
+* audit cross-parity — a chain written by the scalar path must verify under a
+  batched auditor and vice versa;
+* the telemetry receipt: deterministic counters on chain for batched rounds,
+  absent for scalar rounds, and wall-clock time kept off-chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.shapley.estimator as estimator_module
+from repro.core.audit import audit_chain
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import BlockchainFLProtocol
+from repro.datasets.loader import make_owner_datasets
+from repro.exceptions import ShapleyError
+from repro.shapley.backend import ProcessPoolEvaluationBackend
+from repro.shapley.estimator import (
+    VectorModelUtility,
+    sampled_group_shapley,
+    stratified_permutation_shapley,
+)
+from repro.shapley.utility import AccuracyUtility, CachedUtility
+
+N_CLASSES = 3
+N_FEATURES = 4
+#: Flat logistic-regression dimension AccuracyUtility scores against.
+DIMENSION = N_FEATURES * N_CLASSES + N_CLASSES
+
+
+def _group_game(m: int, n_samples: int, seed: int):
+    """A deterministic group game: random member vectors + accuracy scorer."""
+    rng = np.random.default_rng(seed)
+    labels = [f"group-{j}" for j in range(m)]
+    vectors = {label: rng.normal(size=DIMENSION) for label in labels}
+    scorer = AccuracyUtility(
+        rng.normal(size=(n_samples, N_FEATURES)),
+        rng.integers(0, N_CLASSES, size=n_samples),
+        N_CLASSES,
+    )
+    return labels, vectors, scorer
+
+
+def _ordered(estimate, labels):
+    return np.array([estimate.values[label] for label in labels]), np.array(
+        [estimate.half_widths[label] for label in labels]
+    )
+
+
+class TestBatchedMatchesScalarOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=9),
+        n_permutations=st.integers(min_value=2, max_value=24),
+        n_samples=st.integers(min_value=2, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_bit_identical_across_games(self, m, n_permutations, n_samples, seed):
+        labels, vectors, scorer = _group_game(m, n_samples, seed)
+        scalar = sampled_group_shapley(
+            labels, vectors, scorer, n_permutations=n_permutations, seed=seed,
+            method="scalar",
+        )
+        batched = sampled_group_shapley(
+            labels, vectors, scorer, n_permutations=n_permutations, seed=seed,
+            method="batched",
+        )
+        # Dataclass equality covers values, half_widths, n_permutations, seed,
+        # confidence, tolerance, and grand_utility; np.array_equal re-checks
+        # the numeric fields with no tolerance at all.
+        assert batched == scalar
+        scalar_values, scalar_widths = _ordered(scalar, labels)
+        batched_values, batched_widths = _ordered(batched, labels)
+        assert np.array_equal(batched_values, scalar_values)
+        assert np.array_equal(batched_widths, scalar_widths)
+        # The bitmask cache must dedupe exactly as deeply as the scalar
+        # CachedUtility: same count of distinct coalitions scored.
+        assert batched.evaluations == scalar.evaluations
+
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    def test_process_pool_parity_at_several_worker_counts(self, n_workers, monkeypatch):
+        labels, vectors, scorer = _group_game(m=8, n_samples=16, seed=42)
+        # Shrink the scorer's chunk so the pool genuinely splits the block
+        # batches (the default unit dwarfs an m=8 block's <=64 rows).
+        monkeypatch.setattr(
+            type(scorer), "_CHUNK_LOGITS_ELEMENTS", 4 * 16 * N_CLASSES
+        )
+        serial = sampled_group_shapley(
+            labels, vectors, scorer, n_permutations=16, seed=5, method="batched",
+        )
+        backend = ProcessPoolEvaluationBackend(n_workers, min_parallel_rows=1)
+        try:
+            pooled = sampled_group_shapley(
+                labels, vectors, scorer, n_permutations=16, seed=5,
+                backend=backend, method="batched",
+            )
+        finally:
+            backend.close()
+        assert pooled == serial
+        pooled_values, pooled_widths = _ordered(pooled, labels)
+        serial_values, serial_widths = _ordered(serial, labels)
+        assert np.array_equal(pooled_values, serial_values)
+        assert np.array_equal(pooled_widths, serial_widths)
+        assert pooled.telemetry["backend"] == "process-pool"
+        assert pooled.telemetry["n_workers"] == n_workers
+        # Same dedupe, same batch structure — only the wall clock may differ.
+        for counter in ("coalitions", "cache_hits", "batches"):
+            assert pooled.telemetry[counter] == serial.telemetry[counter]
+
+    def test_auto_routes_batched_only_for_bare_vector_games(self):
+        labels, vectors, scorer = _group_game(m=4, n_samples=8, seed=3)
+        auto = sampled_group_shapley(labels, vectors, scorer, n_permutations=8, seed=1)
+        assert auto.telemetry is not None  # took the batched path
+        wrapped = CachedUtility(VectorModelUtility(vectors, scorer))
+        scalar = stratified_permutation_shapley(
+            labels, wrapped, n_permutations=8, seed=1
+        )
+        assert scalar.telemetry is None  # cached games stay on the oracle walk
+        assert scalar == auto
+
+    def test_explicit_batched_requires_a_vector_game(self):
+        with pytest.raises(ShapleyError, match="VectorModelUtility"):
+            stratified_permutation_shapley(
+                ["a", "b"], lambda s: float(len(s)), n_permutations=4, method="batched"
+            )
+        with pytest.raises(ShapleyError, match="method"):
+            labels, vectors, scorer = _group_game(m=2, n_samples=4, seed=0)
+            sampled_group_shapley(
+                labels, vectors, scorer, n_permutations=4, method="turbo"
+            )
+
+
+@pytest.fixture(scope="module")
+def sampled_setup():
+    return make_owner_datasets(n_owners=6, sigma=0.1, n_samples=400, seed=7)
+
+
+def _run_sampled_protocol(sampled_setup):
+    dataset, owners = sampled_setup
+    protocol = BlockchainFLProtocol(
+        owners, dataset.test_features, dataset.test_labels, dataset.n_classes,
+        ProtocolConfig(
+            n_owners=6, n_groups=3, n_rounds=2, local_epochs=2,
+            learning_rate=2.0, permutation_seed=13,
+            sv_estimator="sampled", sv_samples=12,
+        ),
+    )
+    protocol.run()
+    return protocol
+
+
+class TestAuditCrossParity:
+    """A chain written by one method must verify under the other.
+
+    ``_DEFAULT_METHOD`` is the module-level routing default the contract and
+    the audit both resolve ``method=None`` against, so monkeypatching it flips
+    writer and auditor independently — exactly the situation of two nodes
+    running different build configurations of the same code version.
+    """
+
+    @pytest.fixture(scope="class")
+    def scalar_written(self, sampled_setup, request):
+        monkey = pytest.MonkeyPatch()
+        request.addfinalizer(monkey.undo)
+        monkey.setattr(estimator_module, "_DEFAULT_METHOD", "scalar")
+        protocol = _run_sampled_protocol(sampled_setup)
+        monkey.undo()
+        return protocol
+
+    @pytest.fixture(scope="class")
+    def batched_written(self, sampled_setup):
+        return _run_sampled_protocol(sampled_setup)
+
+    def test_receipt_numbers_are_identical_across_methods(self, scalar_written, batched_written):
+        """Every number in the receipts is bit-identical across methods.
+
+        The only difference the batched path may introduce is the *additive*
+        telemetry key — values, half-widths, user splits, and totals are the
+        same floats to the last bit.
+        """
+        scalar_chain = scalar_written.participants[scalar_written.owner_ids[0]].node.chain
+        batched_chain = batched_written.participants[batched_written.owner_ids[0]].node.chain
+        for round_number in (0, 1):
+            scalar_record = dict(scalar_chain.state.get("contribution", f"evaluation/{round_number}"))
+            batched_record = dict(batched_chain.state.get("contribution", f"evaluation/{round_number}"))
+            batched_estimator = dict(batched_record["estimator"])
+            assert batched_estimator.pop("telemetry", None) is not None
+            batched_record["estimator"] = batched_estimator
+            assert scalar_record == batched_record
+        assert scalar_chain.state.get("contribution", "totals") == \
+            batched_chain.state.get("contribution", "totals")
+
+    def test_scalar_chain_verifies_under_a_batched_auditor(self, sampled_setup, scalar_written):
+        # Incremental mode: the estimator re-run is checked within its
+        # verified bounds, so the auditor's method is free.  (Replay mode
+        # re-executes the contract byte-for-byte and is therefore pinned to
+        # the writer's method default, exercised below.)
+        dataset, _ = sampled_setup
+        chain = scalar_written.participants[scalar_written.owner_ids[0]].node.chain
+        report = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            mode="incremental",
+        )
+        assert report.passed, report.mismatches
+        assert report.estimators_checked == [0, 1]
+
+    def test_batched_chain_verifies_under_a_scalar_auditor(
+        self, sampled_setup, batched_written, monkeypatch
+    ):
+        dataset, _ = sampled_setup
+        chain = batched_written.participants[batched_written.owner_ids[0]].node.chain
+        monkeypatch.setattr(estimator_module, "_DEFAULT_METHOD", "scalar")
+        report = audit_chain(
+            chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+            mode="incremental",
+        )
+        assert report.passed, report.mismatches
+        assert report.estimators_checked == [0, 1]
+
+    def test_replay_audit_passes_when_auditor_matches_the_writer(
+        self, sampled_setup, scalar_written, batched_written, monkeypatch
+    ):
+        dataset, _ = sampled_setup
+        batched_chain = batched_written.participants[batched_written.owner_ids[0]].node.chain
+        report = audit_chain(
+            batched_chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+        )
+        assert report.passed, report.mismatches
+        monkeypatch.setattr(estimator_module, "_DEFAULT_METHOD", "scalar")
+        scalar_chain = scalar_written.participants[scalar_written.owner_ids[0]].node.chain
+        report = audit_chain(
+            scalar_chain, dataset.test_features, dataset.test_labels, dataset.n_classes,
+        )
+        assert report.passed, report.mismatches
+
+    def test_batched_receipts_carry_deterministic_telemetry_only(self, batched_written):
+        chain = batched_written.participants[batched_written.owner_ids[0]].node.chain
+        for round_number in (0, 1):
+            record = chain.state.get("contribution", f"evaluation/{round_number}")
+            telemetry = record["estimator"]["telemetry"]
+            # Pure functions of (labels, n_samples, seed) — consensus-safe.
+            assert set(telemetry) == {"coalitions", "cache_hits", "batches"}
+            assert telemetry["coalitions"] > 0
+            assert telemetry["cache_hits"] >= 0
+            assert telemetry["batches"] >= 1
+            # Wall-clock time and backend identity must never reach the chain.
+            assert "backend_seconds" not in telemetry
+            assert "backend" not in telemetry
+
+    def test_scalar_receipts_omit_the_telemetry_key(self, scalar_written):
+        chain = scalar_written.participants[scalar_written.owner_ids[0]].node.chain
+        record = chain.state.get("contribution", "evaluation/0")
+        assert "telemetry" not in record["estimator"]
+
+    def test_audit_flags_tampered_telemetry_counters(self, sampled_setup, batched_written):
+        from repro.core.audit import AuditReport, _audit_sampled_round
+
+        dataset, _ = sampled_setup
+        chain = batched_written.participants[batched_written.owner_ids[0]].node.chain
+        scorer = AccuracyUtility(
+            dataset.test_features, dataset.test_labels, dataset.n_classes
+        )
+        round_record = chain.state.get("fl_training", "round/0")
+        stored = dict(chain.state.get("contribution", "evaluation/0"))
+        tampered = dict(stored)
+        tampered["estimator"] = dict(stored["estimator"])
+        tampered["estimator"]["telemetry"] = dict(stored["estimator"]["telemetry"])
+        tampered["estimator"]["telemetry"]["coalitions"] += 1
+        report = AuditReport(chain_valid=True)
+        assert not _audit_sampled_round(
+            scorer, round_record, tampered,
+            batched_written.config.permutation_seed,
+            batched_written.config.sv_samples,
+            report, tolerance=1e-9,
+        )
+        assert any("telemetry" in mismatch for mismatch in report.mismatches)

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.fl.server import CentralizedTrainer
+from repro.shapley import backend as backend_module
 from repro.shapley.backend import (
     ProcessPoolEvaluationBackend,
     SerialEvaluationBackend,
@@ -19,9 +20,16 @@ from repro.shapley.backend import (
     default_backend,
     make_backend,
 )
-from repro.shapley.engine import mask_coalition
+from repro.shapley.engine import mask_coalition, score_vectors
 from repro.shapley.native import native_shapley
 from repro.shapley.utility import CachedUtility, CoalitionModelUtility, RetrainUtility
+
+
+@pytest.fixture(autouse=True)
+def multi_cpu(monkeypatch):
+    """Pretend the host has 2 CPUs so ``make_backend`` routing is testable
+    anywhere (the single-CPU downgrade has its own dedicated tests)."""
+    monkeypatch.setattr(backend_module, "_effective_cpu_count", lambda: 2)
 
 
 @pytest.fixture(scope="module")
@@ -48,6 +56,16 @@ class TestBackendSelection:
         parallel = make_backend(2)
         assert parallel.name == "process-pool"
         assert parallel.n_workers == 2
+
+    def test_make_backend_downgrades_on_a_single_cpu_host(self, monkeypatch):
+        # A pool on one core is pure overhead (BENCH measured ~0.9x): the
+        # routing helper must hand back the serial backend instead.
+        monkeypatch.setattr(backend_module, "_effective_cpu_count", lambda: 1)
+        assert make_backend(4).name == "serial"
+        # An explicitly constructed pool still honours the caller.
+        explicit = ProcessPoolEvaluationBackend(n_workers=2)
+        assert explicit.name == "process-pool"
+        explicit.close()
 
     def test_retrain_utility_picks_up_n_workers(self, retrain_game):
         assert retrain_game().backend.name == "serial"
@@ -147,6 +165,66 @@ class TestRetrainUtilityBatchPaths:
         values = backend.retrain_scores(utility, coalitions)
         reference = retrain_game().backend.retrain_scores(retrain_game(), coalitions)
         assert np.array_equal(values, reference)
+
+
+class TestParallelScoring:
+    """The pool backend's chunk-aligned batched scoring (the estimator's path)."""
+
+    def test_parallel_score_models_is_bitwise_identical(self, scorer, rng, monkeypatch):
+        # Shrink the scorer's chunk to 16 rows so the 64-row batch really
+        # splits across workers (at the default chunk size it would be one
+        # unit and short-circuit to serial).
+        logits_per_row = scorer.test_features.shape[0] * scorer.n_classes
+        monkeypatch.setattr(
+            type(scorer), "_CHUNK_LOGITS_ELEMENTS", 16 * logits_per_row, raising=False
+        )
+        assert scorer.batch_chunk_rows() == 16
+        dimension = scorer.test_features.shape[1] * scorer.n_classes + scorer.n_classes
+        vectors = rng.normal(size=(64, dimension))
+        reference = score_vectors(scorer, vectors)
+        with ProcessPoolEvaluationBackend(n_workers=2, min_parallel_rows=8) as backend:
+            parallel = backend.score_models(scorer, vectors)
+        assert np.array_equal(parallel, reference)
+
+    def test_small_batches_short_circuit_to_serial(self, scorer, rng):
+        dimension = scorer.test_features.shape[1] * scorer.n_classes + scorer.n_classes
+        vectors = rng.normal(size=(16, dimension))
+        backend = ProcessPoolEvaluationBackend(n_workers=2, min_parallel_rows=1024)
+        try:
+            scores = backend.score_models(scorer, vectors)
+            # Regression pin: below the min-work threshold no pool may be
+            # spun up — small runs must not pay process start-up for nothing.
+            assert backend._pool is None
+            assert np.array_equal(scores, score_vectors(scorer, vectors))
+        finally:
+            backend.close()
+
+    def test_scorers_without_chunk_contract_stay_serial(self, rng):
+        class PlainScorer:
+            def score_batch(self, rows):
+                return np.asarray(rows, dtype=np.float64).sum(axis=1)
+
+        scorer = PlainScorer()
+        backend = ProcessPoolEvaluationBackend(n_workers=2, min_parallel_rows=1)
+        try:
+            scores = backend.score_models(scorer, rng.normal(size=(32, 4)))
+            assert backend._pool is None
+            assert scores.shape == (32,)
+        finally:
+            backend.close()
+
+    def test_split_boundaries_are_chunk_multiples(self, scorer, rng, monkeypatch):
+        # score_batch(rows[a:b]) == score_batch(rows)[a:b] only when a, b are
+        # multiples of the scorer's chunk size; shrink the chunk so a split at
+        # any other boundary would be detectable.
+        monkeypatch.setattr(type(scorer), "_CHUNK_LOGITS_ELEMENTS", 1, raising=False)
+        assert scorer.batch_chunk_rows() == 1
+        dimension = scorer.test_features.shape[1] * scorer.n_classes + scorer.n_classes
+        vectors = rng.normal(size=(23, dimension))
+        reference = score_vectors(scorer, vectors)
+        with ProcessPoolEvaluationBackend(n_workers=2, min_parallel_rows=2) as backend:
+            parallel = backend.score_models(scorer, vectors)
+        assert np.array_equal(parallel, reference)
 
 
 class TestGenericRouting:
